@@ -1,0 +1,276 @@
+//! Dawid–Skene EM aggregation \[9\].
+//!
+//! The binary-class observer model: pair `i` has a latent truth
+//! `zᵢ ∈ {match, non-match}`; worker `w` reports truthfully with
+//! per-class rates (sensitivity `αw`, specificity `βw`). EM alternates:
+//!
+//! * **E-step** — posterior `P(zᵢ = match | votes)` under current worker
+//!   rates and class prior,
+//! * **M-step** — re-estimate `αw`, `βw` and the prior from the
+//!   posteriors (with Laplace smoothing so degenerate workers cannot
+//!   produce 0/1 rates and infinite log-odds).
+//!
+//! Initialization is majority vote, as in Ipeirotis et al. \[16\]. The
+//! spammer robustness the paper relies on falls out naturally: a random
+//! clicker converges to `α ≈ 1 − β`, carrying zero evidence weight.
+
+use crate::Vote;
+use crowder_types::{Error, Pair, Result, ScoredPair};
+use std::collections::BTreeMap;
+
+/// Estimated quality of one worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerQuality {
+    /// Estimated P(vote YES | true match).
+    pub sensitivity: f64,
+    /// Estimated P(vote NO | true non-match).
+    pub specificity: f64,
+}
+
+/// Result of a Dawid–Skene run.
+#[derive(Debug, Clone)]
+pub struct DawidSkeneOutcome {
+    /// Per-pair match posteriors, ranked descending — the hybrid
+    /// workflow's final ranked list.
+    pub ranked: Vec<ScoredPair>,
+    /// Per-worker quality estimates, keyed by worker index.
+    pub worker_quality: BTreeMap<usize, WorkerQuality>,
+    /// Estimated prevalence of true matches.
+    pub prior: f64,
+    /// EM iterations performed.
+    pub iterations: usize,
+    /// True iff the parameter change dropped below tolerance.
+    pub converged: bool,
+}
+
+/// Dawid–Skene EM configuration.
+#[derive(Debug, Clone)]
+pub struct DawidSkene {
+    /// Maximum EM iterations.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the max absolute posterior change.
+    pub tolerance: f64,
+    /// Laplace smoothing pseudo-count.
+    pub smoothing: f64,
+}
+
+impl Default for DawidSkene {
+    fn default() -> Self {
+        DawidSkene { max_iterations: 100, tolerance: 1e-6, smoothing: 0.5 }
+    }
+}
+
+impl DawidSkene {
+    /// Run EM on the votes. Errors on an empty vote set.
+    pub fn run(&self, votes: &[Vote]) -> Result<DawidSkeneOutcome> {
+        if votes.is_empty() {
+            return Err(Error::InvalidData("no votes to aggregate".into()));
+        }
+        // Dense indexes for pairs and workers.
+        let mut pair_ids: BTreeMap<Pair, usize> = BTreeMap::new();
+        let mut worker_ids: BTreeMap<usize, usize> = BTreeMap::new();
+        for &(pair, worker, _) in votes {
+            let np = pair_ids.len();
+            pair_ids.entry(pair).or_insert(np);
+            let nw = worker_ids.len();
+            worker_ids.entry(worker).or_insert(nw);
+        }
+        let n_pairs = pair_ids.len();
+        let n_workers = worker_ids.len();
+        // votes_by_pair[i] = list of (dense worker, verdict).
+        let mut votes_by_pair: Vec<Vec<(usize, bool)>> = vec![Vec::new(); n_pairs];
+        for &(pair, worker, verdict) in votes {
+            votes_by_pair[pair_ids[&pair]].push((worker_ids[&worker], verdict));
+        }
+
+        // Init posteriors with majority vote.
+        let mut posterior: Vec<f64> = votes_by_pair
+            .iter()
+            .map(|vs| {
+                let yes = vs.iter().filter(|(_, v)| *v).count();
+                yes as f64 / vs.len() as f64
+            })
+            .collect();
+
+        let mut sens = vec![0.8f64; n_workers];
+        let mut spec = vec![0.8f64; n_workers];
+        let mut prior = 0.5f64;
+        let mut iterations = 0usize;
+        let mut converged = false;
+
+        while iterations < self.max_iterations {
+            iterations += 1;
+            // M-step: worker rates and prior from current posteriors.
+            let s = self.smoothing;
+            let mut yes_match = vec![s; n_workers]; // votes YES on matches
+            let mut tot_match = vec![2.0 * s; n_workers];
+            let mut no_nonmatch = vec![s; n_workers];
+            let mut tot_nonmatch = vec![2.0 * s; n_workers];
+            for (i, vs) in votes_by_pair.iter().enumerate() {
+                let p = posterior[i];
+                for &(w, verdict) in vs {
+                    tot_match[w] += p;
+                    tot_nonmatch[w] += 1.0 - p;
+                    if verdict {
+                        yes_match[w] += p;
+                    } else {
+                        no_nonmatch[w] += 1.0 - p;
+                    }
+                }
+            }
+            for w in 0..n_workers {
+                sens[w] = (yes_match[w] / tot_match[w]).clamp(1e-6, 1.0 - 1e-6);
+                spec[w] = (no_nonmatch[w] / tot_nonmatch[w]).clamp(1e-6, 1.0 - 1e-6);
+            }
+            prior = (posterior.iter().sum::<f64>() / n_pairs as f64).clamp(1e-6, 1.0 - 1e-6);
+
+            // E-step: recompute posteriors in log space.
+            let mut max_delta = 0.0f64;
+            for (i, vs) in votes_by_pair.iter().enumerate() {
+                let mut log_match = prior.ln();
+                let mut log_non = (1.0 - prior).ln();
+                for &(w, verdict) in vs {
+                    if verdict {
+                        log_match += sens[w].ln();
+                        log_non += (1.0 - spec[w]).ln();
+                    } else {
+                        log_match += (1.0 - sens[w]).ln();
+                        log_non += spec[w].ln();
+                    }
+                }
+                // Softmax of the two log-likelihoods.
+                let m = log_match.max(log_non);
+                let pm = (log_match - m).exp();
+                let pn = (log_non - m).exp();
+                let new_post = pm / (pm + pn);
+                max_delta = max_delta.max((new_post - posterior[i]).abs());
+                posterior[i] = new_post;
+            }
+            if max_delta < self.tolerance {
+                converged = true;
+                break;
+            }
+        }
+
+        let mut ranked: Vec<ScoredPair> = pair_ids
+            .iter()
+            .map(|(&pair, &idx)| ScoredPair::new(pair, posterior[idx]))
+            .collect();
+        crowder_types::pair::sort_ranked(&mut ranked);
+        let worker_quality: BTreeMap<usize, WorkerQuality> = worker_ids
+            .iter()
+            .map(|(&orig, &dense)| {
+                (orig, WorkerQuality { sensitivity: sens[dense], specificity: spec[dense] })
+            })
+            .collect();
+        Ok(DawidSkeneOutcome { ranked, worker_quality, prior, iterations, converged })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Synthesize votes: `n_match` true-match pairs and `n_non` non-match
+    /// pairs, voted on by workers with the given (sens, spec) profiles.
+    fn synth_votes(
+        n_match: u32,
+        n_non: u32,
+        workers: &[(f64, f64)],
+        seed: u64,
+    ) -> (Vec<Vote>, Vec<(Pair, bool)>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut votes = Vec::new();
+        let mut truth = Vec::new();
+        for i in 0..(n_match + n_non) {
+            let pair = Pair::of(2 * i, 2 * i + 1);
+            let is_match = i < n_match;
+            truth.push((pair, is_match));
+            for (w, &(sens, spec)) in workers.iter().enumerate() {
+                let p_yes = if is_match { sens } else { 1.0 - spec };
+                votes.push((pair, w, rng.random::<f64>() < p_yes));
+            }
+        }
+        (votes, truth)
+    }
+
+    fn accuracy(ranked: &[ScoredPair], truth: &[(Pair, bool)]) -> f64 {
+        let truth_map: std::collections::HashMap<Pair, bool> =
+            truth.iter().copied().collect();
+        let correct = ranked
+            .iter()
+            .filter(|sp| (sp.likelihood >= 0.5) == truth_map[&sp.pair])
+            .count();
+        correct as f64 / ranked.len() as f64
+    }
+
+    #[test]
+    fn recovers_truth_with_good_workers() {
+        let (votes, truth) = synth_votes(40, 60, &[(0.9, 0.9); 3], 1);
+        let out = DawidSkene::default().run(&votes).unwrap();
+        assert!(out.converged);
+        assert!(accuracy(&out.ranked, &truth) > 0.95);
+        assert!((out.prior - 0.4).abs() < 0.1);
+    }
+
+    #[test]
+    fn downweights_spammers_beating_majority() {
+        // 2 spammers + 3 good workers: majority can flip when both
+        // spammers collude with one error; EM learns to ignore them.
+        let workers = [(0.95, 0.95), (0.95, 0.95), (0.95, 0.95), (0.5, 0.5), (0.5, 0.5)];
+        let (votes, truth) = synth_votes(60, 60, &workers, 7);
+        let em = DawidSkene::default().run(&votes).unwrap();
+        let mv = crate::majority::majority_vote(&votes);
+        let em_acc = accuracy(&em.ranked, &truth);
+        let mv_acc = accuracy(&mv, &truth);
+        assert!(em_acc >= mv_acc, "EM {em_acc} should be ≥ majority {mv_acc}");
+        // Spammer quality estimates hover near chance.
+        let spam_q = em.worker_quality[&3];
+        assert!(
+            (spam_q.sensitivity + (1.0 - spam_q.specificity) - 1.0).abs() < 0.25,
+            "random spammer should look uninformative: {spam_q:?}"
+        );
+    }
+
+    #[test]
+    fn estimates_worker_quality() {
+        let workers = [(0.95, 0.9), (0.7, 0.8), (0.9, 0.95)];
+        let (votes, _) = synth_votes(150, 150, &workers, 3);
+        let out = DawidSkene::default().run(&votes).unwrap();
+        for (w, &(true_sens, _)) in workers.iter().enumerate() {
+            let est = out.worker_quality[&w];
+            assert!(
+                (est.sensitivity - true_sens).abs() < 0.12,
+                "worker {w}: estimated {est:?}, true sens {true_sens}"
+            );
+        }
+    }
+
+    #[test]
+    fn posteriors_are_probabilities() {
+        let (votes, _) = synth_votes(10, 10, &[(0.8, 0.8); 3], 5);
+        let out = DawidSkene::default().run(&votes).unwrap();
+        for sp in &out.ranked {
+            assert!((0.0..=1.0).contains(&sp.likelihood));
+        }
+        // Ranked descending.
+        for w in out.ranked.windows(2) {
+            assert!(w[0].likelihood >= w[1].likelihood - 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_votes_is_an_error() {
+        assert!(DawidSkene::default().run(&[]).is_err());
+    }
+
+    #[test]
+    fn single_pair_single_worker() {
+        let votes: Vec<Vote> = vec![(Pair::of(0, 1), 0, true)];
+        let out = DawidSkene::default().run(&votes).unwrap();
+        assert_eq!(out.ranked.len(), 1);
+        assert!(out.ranked[0].likelihood > 0.5);
+    }
+}

@@ -1,0 +1,59 @@
+//! Majority-vote aggregation.
+
+use crate::Vote;
+use crowder_types::{Pair, ScoredPair};
+use std::collections::BTreeMap;
+
+/// Aggregate votes by YES-share: each pair's likelihood is the fraction
+/// of its votes that said "same entity". Returns a ranked list
+/// (descending share, deterministic tie-break by pair).
+pub fn majority_vote(votes: &[Vote]) -> Vec<ScoredPair> {
+    let mut tally: BTreeMap<Pair, (usize, usize)> = BTreeMap::new(); // (yes, total)
+    for &(pair, _worker, verdict) in votes {
+        let e = tally.entry(pair).or_insert((0, 0));
+        e.1 += 1;
+        if verdict {
+            e.0 += 1;
+        }
+    }
+    let mut out: Vec<ScoredPair> = tally
+        .into_iter()
+        .map(|(pair, (yes, total))| ScoredPair::new(pair, yes as f64 / total as f64))
+        .collect();
+    crowder_types::pair::sort_ranked(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_to_one_majority() {
+        let votes: Vec<Vote> = vec![
+            (Pair::of(0, 1), 0, true),
+            (Pair::of(0, 1), 1, true),
+            (Pair::of(0, 1), 2, false),
+            (Pair::of(2, 3), 0, false),
+            (Pair::of(2, 3), 1, false),
+            (Pair::of(2, 3), 2, true),
+        ];
+        let ranked = majority_vote(&votes);
+        assert_eq!(ranked[0].pair, Pair::of(0, 1));
+        assert!((ranked[0].likelihood - 2.0 / 3.0).abs() < 1e-12);
+        assert!((ranked[1].likelihood - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_votes() {
+        assert!(majority_vote(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_vote_pairs() {
+        let votes: Vec<Vote> = vec![(Pair::of(5, 6), 9, true)];
+        let ranked = majority_vote(&votes);
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].likelihood, 1.0);
+    }
+}

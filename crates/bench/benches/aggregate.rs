@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks of answer aggregation: Dawid–Skene EM vs
+//! majority vote on synthetic vote matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowder_aggregate::{majority_vote, DawidSkene, Vote};
+use crowder_types::Pair;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn synth_votes(n_pairs: u32, workers: usize, seed: u64) -> Vec<Vote> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut votes = Vec::with_capacity(n_pairs as usize * 3);
+    for i in 0..n_pairs {
+        let pair = Pair::of(2 * i, 2 * i + 1);
+        let is_match = rng.random::<f64>() < 0.3;
+        // Three assignments from random workers with 0.9 accuracy.
+        for _ in 0..3 {
+            let w = rng.random_range(0..workers);
+            let correct = rng.random::<f64>() < 0.9;
+            votes.push((pair, w, is_match == correct));
+        }
+    }
+    votes
+}
+
+fn aggregate_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregation");
+    group.sample_size(10);
+    for n in [1_000u32, 10_000] {
+        let votes = synth_votes(n, 200, 7);
+        group.bench_with_input(BenchmarkId::new("dawid_skene", n), &votes, |b, votes| {
+            b.iter(|| black_box(DawidSkene::default().run(votes).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("majority_vote", n), &votes, |b, votes| {
+            b.iter(|| black_box(majority_vote(votes)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, aggregate_bench);
+criterion_main!(benches);

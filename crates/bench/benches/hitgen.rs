@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks of the five cluster-HIT generators — the
+//! algorithmic core behind Figures 10/11.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowder::prelude::*;
+use std::hint::black_box;
+
+fn hitgen_bench(c: &mut Criterion) {
+    // Machine-pass output of a mid-sized Restaurant at τ = 0.3.
+    let dataset = restaurant(&RestaurantConfig {
+        unique_entities: 400,
+        duplicated_entities: 80,
+        seed: 1,
+    });
+    let tokens = TokenTable::build(&dataset);
+    let pairs: Vec<Pair> = all_pairs_scored(&dataset, &tokens, 0.25, 0)
+        .iter()
+        .map(|s| s.pair)
+        .collect();
+
+    let mut group = c.benchmark_group("cluster_hit_generation");
+    group.sample_size(10);
+    let generators: Vec<Box<dyn ClusterGenerator>> = vec![
+        Box::new(RandomGenerator::new(1)),
+        Box::new(DfsGenerator),
+        Box::new(BfsGenerator),
+        Box::new(ApproxGenerator::new(1)),
+        Box::new(TwoTieredGenerator::new()),
+    ];
+    for generator in &generators {
+        group.bench_with_input(
+            BenchmarkId::new(generator.name(), pairs.len()),
+            &pairs,
+            |b, pairs| b.iter(|| black_box(generator.generate(pairs, 10).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, hitgen_bench);
+criterion_main!(benches);

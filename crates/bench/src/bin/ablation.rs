@@ -1,0 +1,5 @@
+//! Regenerate the paper's ablation experiment. See `crowder_bench::experiments::ablation`.
+
+fn main() {
+    println!("{}", crowder_bench::experiments::ablation::run());
+}

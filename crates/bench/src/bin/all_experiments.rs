@@ -1,0 +1,27 @@
+//! Run the complete experiment battery — every table and figure of the
+//! paper's evaluation — and print one consolidated report (the source of
+//! EXPERIMENTS.md).
+
+use std::time::Instant;
+
+fn main() {
+    let experiments: Vec<(&str, fn() -> String)> = vec![
+        ("table2", crowder_bench::experiments::table2::run),
+        ("fig10", crowder_bench::experiments::fig10::run),
+        ("fig11", crowder_bench::experiments::fig11::run),
+        ("fig12", crowder_bench::experiments::fig12::run),
+        ("fig13+fig14", crowder_bench::experiments::fig13_14::run),
+        ("fig15", crowder_bench::experiments::fig15::run),
+        ("analysis", crowder_bench::experiments::analysis::run),
+        ("ablation", crowder_bench::experiments::ablation::run),
+    ];
+    let total = Instant::now();
+    for (name, run) in experiments {
+        let t0 = Instant::now();
+        let report = run();
+        println!("{report}");
+        eprintln!("[{name} finished in {:.1?}]", t0.elapsed());
+        println!("{}\n", "=".repeat(78));
+    }
+    eprintln!("[full battery in {:.1?}]", total.elapsed());
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's analysis experiment. See `crowder_bench::experiments::analysis`.
+
+fn main() {
+    println!("{}", crowder_bench::experiments::analysis::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's fig10 experiment. See `crowder_bench::experiments::fig10`.
+
+fn main() {
+    println!("{}", crowder_bench::experiments::fig10::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's fig11 experiment. See `crowder_bench::experiments::fig11`.
+
+fn main() {
+    println!("{}", crowder_bench::experiments::fig11::run());
+}

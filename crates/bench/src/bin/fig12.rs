@@ -1,0 +1,5 @@
+//! Regenerate the paper's fig12 experiment. See `crowder_bench::experiments::fig12`.
+
+fn main() {
+    println!("{}", crowder_bench::experiments::fig12::run());
+}

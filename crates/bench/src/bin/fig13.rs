@@ -1,0 +1,6 @@
+//! Regenerate the paper's fig13 experiment (Figures 13 and 14 share the
+//! §7.4 protocol and are produced together).
+
+fn main() {
+    println!("{}", crowder_bench::experiments::fig13_14::run());
+}

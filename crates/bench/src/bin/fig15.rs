@@ -1,0 +1,5 @@
+//! Regenerate the paper's fig15 experiment. See `crowder_bench::experiments::fig15`.
+
+fn main() {
+    println!("{}", crowder_bench::experiments::fig15::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's table2 experiment. See `crowder_bench::experiments::table2`.
+
+fn main() {
+    println!("{}", crowder_bench::experiments::table2::run());
+}

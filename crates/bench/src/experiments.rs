@@ -1,0 +1,11 @@
+//! One module per table/figure of the paper's evaluation (§7), plus the
+//! §6 analytical model and the ablation battery.
+
+pub mod ablation;
+pub mod analysis;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13_14;
+pub mod fig15;
+pub mod table2;

@@ -1,0 +1,118 @@
+//! Figure 12 — precision–recall curves of `simjoin`, `SVM`, `hybrid` and
+//! `hybrid(QT)` on Restaurant and Product.
+//!
+//! Paper findings to reproduce: on Restaurant the hybrid workflow matches
+//! the learning-based SVM; on Product it beats both machine-only
+//! techniques decisively; the qualification test nudges quality up.
+//! Also reprints the §7.3 run accounting (Restaurant: 2004 pairs at
+//! τ = 0.35 → 112 HITs → $8.40; Product: 8315 pairs at τ = 0.2 →
+//! 508 HITs → $38.10).
+
+use crate::harness;
+use crowder::prelude::*;
+use crowder_learn::SvmProtocol;
+
+const RECALL_GRID: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+struct DatasetRun {
+    label: &'static str,
+    threshold: f64,
+    svm_attrs: Vec<usize>,
+    paper_hits: usize,
+    paper_cost: f64,
+}
+
+fn run_dataset(dataset: &Dataset, cfg: &DatasetRun) -> String {
+    let mut out = format!("({}) {} dataset\n", cfg.label, dataset.name);
+
+    // simjoin: machine-only ranked list from the 0.1 floor.
+    let machine = simjoin_ranking(dataset, 0.1);
+    let machine_curve = pr_curve(&machine, &dataset.gold);
+
+    // SVM: the paper's protocol, 10 trials averaged.
+    let candidates: Vec<Pair> = machine.iter().map(|s| s.pair).collect();
+    let protocol = SvmProtocol::default();
+    let svm_points = match svm_rankings(dataset, &candidates, cfg.svm_attrs.clone(), &protocol)
+    {
+        Ok(trials) => svm_average_curve(dataset, &trials, &RECALL_GRID),
+        Err(e) => {
+            out.push_str(&format!("SVM protocol unavailable: {e}\n"));
+            Vec::new()
+        }
+    };
+
+    // hybrid and hybrid(QT).
+    let pool = harness::worker_pool(harness::CROWD_SEED);
+    let mut curves = Vec::new();
+    for (name, qt) in [("hybrid", false), ("hybrid(QT)", true)] {
+        let config = HybridConfig {
+            likelihood_threshold: cfg.threshold,
+            cluster_size: 10,
+            crowd: harness::crowd_config(harness::CROWD_SEED + qt as u64, qt),
+            ..HybridConfig::default()
+        };
+        let outcome = run_hybrid(dataset, &pool, &config).expect("workflow runs");
+        let curve = pr_curve(&outcome.ranked, &dataset.gold);
+        if !qt {
+            out.push_str(&format!(
+                "hybrid run: {} pairs (tau = {}) -> {} cluster HITs -> ${:.2} \
+                 [paper: {} HITs, ${:.2}]\n",
+                outcome.candidate_pairs.len(),
+                cfg.threshold,
+                outcome.hits.len(),
+                outcome.sim.cost_dollars,
+                cfg.paper_hits,
+                cfg.paper_cost,
+            ));
+        }
+        curves.push((name, curve));
+    }
+
+    let mut table = AsciiTable::new(["recall", "simjoin", "SVM", "hybrid", "hybrid(QT)"]);
+    for (i, &recall) in RECALL_GRID.iter().enumerate() {
+        let svm_p = svm_points.get(i).map_or(0.0, |p| p.precision);
+        table.row([
+            format!("{recall:.1}"),
+            harness::pct(precision_at_recall(&machine_curve, recall)),
+            harness::pct(svm_p),
+            harness::pct(precision_at_recall(&curves[0].1, recall)),
+            harness::pct(precision_at_recall(&curves[1].1, recall)),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// Regenerate Figure 12(a) and 12(b).
+pub fn run() -> String {
+    let mut out = harness::header(
+        "Figure 12: hybrid workflow vs machine-based techniques (precision at recall)",
+        "cells = interpolated precision; hybrid uses cluster HITs (k = 10), 3 assignments, Dawid-Skene EM",
+    );
+    out.push_str(&run_dataset(
+        &harness::restaurant_full(),
+        &DatasetRun {
+            label: "a",
+            threshold: 0.35,
+            svm_attrs: vec![0, 1, 2, 3],
+            paper_hits: 112,
+            paper_cost: 8.40,
+        },
+    ));
+    out.push('\n');
+    out.push_str(&run_dataset(
+        &harness::product_full(),
+        &DatasetRun {
+            label: "b",
+            threshold: 0.2,
+            svm_attrs: vec![0],
+            paper_hits: 508,
+            paper_cost: 38.10,
+        },
+    ));
+    out.push_str(
+        "\nShape check: (a) hybrid ~ SVM (both high); (b) hybrid dominates simjoin and SVM\n\
+         at every recall level, with machine-only precision collapsing by mid recall.\n",
+    );
+    out
+}

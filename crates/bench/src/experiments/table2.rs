@@ -1,0 +1,74 @@
+//! Table 2 — likelihood-threshold selection.
+//!
+//! For each threshold τ: how many pairs survive, how many are true
+//! matches, and the recall. The paper's numbers are printed alongside so
+//! drift is visible at a glance; absolute counts differ (synthetic
+//! datasets), the *shape* is the reproduction target.
+
+use crate::harness;
+use crowder::prelude::*;
+
+/// Paper values: (threshold, total pairs, matches, recall %).
+const PAPER_RESTAURANT: [(f64, u64, u64, f64); 6] = [
+    (0.5, 161, 83, 78.3),
+    (0.4, 755, 99, 93.4),
+    (0.3, 4_788, 105, 99.1),
+    (0.2, 23_944, 106, 100.0),
+    (0.1, 83_117, 106, 100.0),
+    (0.0, 367_653, 106, 100.0),
+];
+
+const PAPER_PRODUCT: [(f64, u64, u64, f64); 6] = [
+    (0.5, 637, 335, 30.5),
+    (0.4, 1_427, 571, 52.1),
+    (0.3, 3_154, 805, 73.4),
+    (0.2, 8_315, 1_011, 92.2),
+    (0.1, 37_641, 1_090, 99.4),
+    (0.0, 1_180_452, 1_097, 100.0),
+];
+
+fn sweep_table(dataset: &Dataset, paper: &[(f64, u64, u64, f64)]) -> AsciiTable {
+    let thresholds: Vec<f64> = paper.iter().map(|r| r.0).collect();
+    let tokens = TokenTable::build(dataset);
+    let rows = threshold_sweep(dataset, &tokens, &thresholds);
+    let mut table = AsciiTable::new([
+        "threshold",
+        "pairs",
+        "matches",
+        "recall",
+        "paper pairs",
+        "paper matches",
+        "paper recall",
+    ]);
+    for (row, &(thr, p_pairs, p_matches, p_recall)) in rows.iter().zip(paper) {
+        table.row([
+            format!("{thr:.1}"),
+            row.total_pairs.to_string(),
+            row.matches.to_string(),
+            harness::pct(row.recall),
+            p_pairs.to_string(),
+            p_matches.to_string(),
+            format!("{p_recall:.1}%"),
+        ]);
+    }
+    table
+}
+
+/// Regenerate Table 2(a) and 2(b).
+pub fn run() -> String {
+    let mut out = harness::header(
+        "Table 2: likelihood-threshold selection",
+        "machine pass = Jaccard over whole-record token sets; recall = matches kept / all matches",
+    );
+    let restaurant = harness::restaurant_full();
+    out.push_str("(a) Restaurant dataset\n");
+    out.push_str(&sweep_table(&restaurant, &PAPER_RESTAURANT).render());
+    let product = harness::product_full();
+    out.push_str("\n(b) Product dataset\n");
+    out.push_str(&sweep_table(&product, &PAPER_PRODUCT).render());
+    out.push_str(
+        "\nShape check: Restaurant recall is already high at tau=0.5 and saturates by 0.2;\n\
+         Product recall climbs slowly (heavy cross-source rewrites) and needs tau<=0.2 for >90%.\n",
+    );
+    out
+}

@@ -1,0 +1,67 @@
+//! Shared experiment plumbing: datasets, generator suites, crowd
+//! configurations and pair extraction.
+
+use crowder::prelude::*;
+
+/// Seed base for crowd simulations (distinct from dataset seeds).
+pub const CROWD_SEED: u64 = 0xC0_FFEE;
+
+/// Build the full-scale Restaurant dataset (858 records / 106 pairs).
+pub fn restaurant_full() -> Dataset {
+    restaurant(&RestaurantConfig::default())
+}
+
+/// Build the full-scale Product dataset (1081 + 1092 records / 1097
+/// pairs).
+pub fn product_full() -> Dataset {
+    product(&ProductConfig::default())
+}
+
+/// Build Product+Dup from the full Product per §7.4.
+pub fn product_dup_full() -> Dataset {
+    product_dup(&product_full(), &ProductDupConfig::default())
+}
+
+/// Pairs surviving the machine pass at `threshold`.
+pub fn pairs_at(dataset: &Dataset, threshold: f64) -> Vec<Pair> {
+    let tokens = TokenTable::build(dataset);
+    all_pairs_scored(dataset, &tokens, threshold, 0)
+        .iter()
+        .map(|s| s.pair)
+        .collect()
+}
+
+/// The five cluster-HIT generators of §7.2, deterministically seeded.
+pub fn generator_suite(seed: u64) -> Vec<Box<dyn ClusterGenerator>> {
+    vec![
+        Box::new(RandomGenerator::new(seed)),
+        Box::new(DfsGenerator),
+        Box::new(BfsGenerator),
+        Box::new(ApproxGenerator::new(seed)),
+        Box::new(TwoTieredGenerator::new()),
+    ]
+}
+
+/// Standard worker pool used by the crowd experiments.
+pub fn worker_pool(seed: u64) -> WorkerPopulation {
+    WorkerPopulation::generate(&PopulationConfig::default(), seed)
+}
+
+/// The paper's crowd marketplace settings (3 assignments, $0.025).
+pub fn crowd_config(seed: u64, qualification: bool) -> CrowdConfig {
+    CrowdConfig {
+        qualification: qualification.then(QualificationConfig::default),
+        seed,
+        ..CrowdConfig::default()
+    }
+}
+
+/// Format a fraction as `12.3%`.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Section header used by every experiment report.
+pub fn header(title: &str, subtitle: &str) -> String {
+    format!("== {title} ==\n{subtitle}\n\n")
+}

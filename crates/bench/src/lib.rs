@@ -1,0 +1,16 @@
+//! # crowder-bench
+//!
+//! The experiment harness of the CrowdER reproduction. Every table and
+//! figure of the paper's evaluation (§7) has a module under
+//! [`experiments`] whose `run()` regenerates the corresponding
+//! rows/series against the calibrated synthetic datasets, printing paper
+//! values next to measured ones. One binary per experiment
+//! (`cargo run --release -p crowder-bench --bin fig12`), plus
+//! `all_experiments` which runs the full battery and is the source of
+//! EXPERIMENTS.md.
+//!
+//! Criterion micro-benchmarks of the algorithmic substrates live in
+//! `benches/`.
+
+pub mod experiments;
+pub mod harness;

@@ -1,0 +1,264 @@
+//! Answer generation for both HIT shapes.
+//!
+//! * **Pair-based** (paper Figure 3): each listed pair gets an
+//!   independent YES/NO draw from the worker's confusion matrix; one
+//!   comparison per pair.
+//! * **Cluster-based** (paper Figure 4 + §6): the worker runs the
+//!   sequential entity-identification procedure — pick an unlabeled
+//!   record, compare it against every remaining unlabeled record, paint
+//!   the ones judged equal, repeat. Each of those comparisons is noisy,
+//!   but the result is by construction a *partition* (consistent
+//!   labeling), exactly like the color-assignment UI; derived pair
+//!   verdicts are read off the labels. The §6 comparison count falls out
+//!   of the same walk and feeds the latency model.
+
+use crate::worker::WorkerProfile;
+use crowder_hitgen::Hit;
+use crowder_types::{GoldStandard, Pair, RecordId};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A completed assignment: verdicts plus effort accounting.
+#[derive(Debug, Clone)]
+pub struct HitAnswer {
+    /// Per-pair verdicts (`true` = "same entity"). For cluster HITs this
+    /// covers every pair of records in the HIT.
+    pub verdicts: Vec<(Pair, bool)>,
+    /// Record comparisons the worker performed (§6 model).
+    pub comparisons: usize,
+    /// Wall-clock seconds the assignment took this worker.
+    pub duration_secs: f64,
+}
+
+/// Fixed interface overheads (seconds) — reading instructions, UI
+/// manipulation. Cluster HITs carry a higher constant: sorting/dragging
+/// rows (paper §3.2 describes both features).
+const PAIR_HIT_OVERHEAD_SECS: f64 = 12.0;
+const CLUSTER_HIT_OVERHEAD_SECS: f64 = 18.0;
+/// Per-record reading cost in a cluster HIT.
+const CLUSTER_READ_SECS_PER_RECORD: f64 = 1.0;
+/// Relative cost of one comparison in the cluster interface vs the pair
+/// interface. A pair-HIT comparison means reading two full records; in
+/// the cluster UI the records are co-located, sortable by column and
+/// color-grouped (§3.2's two features), so most §6 comparisons are a
+/// glance at adjacent rows. Calibrated so a C10 assignment undercuts the
+/// equal-cost pair batch by roughly the paper's ~15 % on Product and far
+/// more on duplicate-heavy data (Figure 13).
+const CLUSTER_COMPARISON_DISCOUNT: f64 = 0.1;
+/// Attenuation of *wrong merges* in the cluster interface. A wrong merge
+/// is visible — the two records sit in the same colored group, inviting a
+/// second look — whereas a missed merge is silent. Without this caution
+/// factor a single early wrong merge absorbs a record into the wrong
+/// entity and silently destroys its true pairs, which would contradict
+/// Figure 15's finding that pair- and cluster-HIT quality are similar.
+const CLUSTER_MERGE_CAUTION: f64 = 0.3;
+
+/// Simulate `worker` completing `hit` against ground truth `gold`.
+pub fn answer_hit(
+    worker: &WorkerProfile,
+    hit: &Hit,
+    gold: &GoldStandard,
+    rng: &mut StdRng,
+) -> HitAnswer {
+    match hit {
+        Hit::PairBased { pairs } => answer_pair_hit(worker, pairs, gold, rng),
+        Hit::ClusterBased { records } => answer_cluster_hit(worker, records, gold, rng),
+    }
+}
+
+fn answer_pair_hit(
+    worker: &WorkerProfile,
+    pairs: &[Pair],
+    gold: &GoldStandard,
+    rng: &mut StdRng,
+) -> HitAnswer {
+    let verdicts: Vec<(Pair, bool)> = pairs
+        .iter()
+        .map(|p| {
+            let truth = gold.is_match(p);
+            let yes = rng.random::<f64>() < worker.p_yes(truth);
+            (*p, yes)
+        })
+        .collect();
+    let comparisons = pairs.len();
+    let duration_secs =
+        PAIR_HIT_OVERHEAD_SECS + comparisons as f64 * worker.seconds_per_comparison;
+    HitAnswer { verdicts, comparisons, duration_secs }
+}
+
+fn answer_cluster_hit(
+    worker: &WorkerProfile,
+    records: &[RecordId],
+    gold: &GoldStandard,
+    rng: &mut StdRng,
+) -> HitAnswer {
+    // Sequential identification (§6): unlabeled records are scanned in
+    // display order; each seed is compared against all records still
+    // unlabeled after it.
+    let mut label: HashMap<RecordId, usize> = HashMap::with_capacity(records.len());
+    let mut comparisons = 0usize;
+    let mut next_entity = 0usize;
+    for (i, &seed) in records.iter().enumerate() {
+        if label.contains_key(&seed) {
+            continue;
+        }
+        let entity = next_entity;
+        next_entity += 1;
+        label.insert(seed, entity);
+        for &other in &records[i + 1..] {
+            if label.contains_key(&other) {
+                continue;
+            }
+            comparisons += 1;
+            let truth = Pair::new(seed, other).map(|p| gold.is_match(&p)).unwrap_or(false);
+            let p_merge = if truth {
+                worker.p_yes(true)
+            } else {
+                worker.p_yes(false) * CLUSTER_MERGE_CAUTION
+            };
+            let judged_same = rng.random::<f64>() < p_merge;
+            if judged_same {
+                label.insert(other, entity);
+            }
+        }
+    }
+    // Derived pairwise verdicts: same label ⇔ YES.
+    let mut verdicts = Vec::with_capacity(records.len() * (records.len().saturating_sub(1)) / 2);
+    for i in 0..records.len() {
+        for j in (i + 1)..records.len() {
+            let pair = Pair::new(records[i], records[j]).expect("records are distinct");
+            verdicts.push((pair, label[&records[i]] == label[&records[j]]));
+        }
+    }
+    let duration_secs = CLUSTER_HIT_OVERHEAD_SECS
+        + records.len() as f64 * CLUSTER_READ_SECS_PER_RECORD
+        + comparisons as f64 * worker.seconds_per_comparison * CLUSTER_COMPARISON_DISCOUNT;
+    HitAnswer { verdicts, comparisons, duration_secs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::{WorkerId, WorkerKind};
+    use crowder_hitgen::comparisons::cluster_comparisons;
+    use rand::SeedableRng;
+
+    fn perfect_worker() -> WorkerProfile {
+        WorkerProfile {
+            id: WorkerId(0),
+            kind: WorkerKind::Diligent,
+            sensitivity: 1.0,
+            specificity: 1.0,
+            seconds_per_comparison: 2.0,
+            cluster_affinity: 0.5,
+        }
+    }
+
+    fn ids(v: &[u32]) -> Vec<RecordId> {
+        v.iter().map(|&x| RecordId(x)).collect()
+    }
+
+    #[test]
+    fn perfect_worker_recovers_truth_on_pair_hit() {
+        let gold = GoldStandard::from_pairs(vec![Pair::of(1, 2)]);
+        let hit = Hit::pairs(vec![Pair::of(1, 2), Pair::of(4, 6)]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let ans = answer_hit(&perfect_worker(), &hit, &gold, &mut rng);
+        assert_eq!(ans.verdicts, vec![(Pair::of(1, 2), true), (Pair::of(4, 6), false)]);
+        assert_eq!(ans.comparisons, 2);
+    }
+
+    #[test]
+    fn paper_example4_comparison_count() {
+        // HIT {r1, r2, r3, r7}; r1, r2, r7 are one entity. Display order
+        // starts at r1 → 3 comparisons (not 4, and not n(n−1)/2 = 6).
+        let gold = GoldStandard::from_clusters(vec![ids(&[1, 2, 7])]);
+        let hit = Hit::cluster(ids(&[1, 2, 3, 7]));
+        let mut rng = StdRng::seed_from_u64(0);
+        let ans = answer_hit(&perfect_worker(), &hit, &gold, &mut rng);
+        assert_eq!(ans.comparisons, 3);
+        assert_eq!(ans.comparisons, cluster_comparisons(&[3, 1]));
+        // All 6 pair verdicts are derived; exactly the 3 entity pairs say
+        // YES.
+        assert_eq!(ans.verdicts.len(), 6);
+        let yes: Vec<Pair> = ans
+            .verdicts
+            .iter()
+            .filter(|(_, v)| *v)
+            .map(|(p, _)| *p)
+            .collect();
+        assert_eq!(yes, vec![Pair::of(1, 2), Pair::of(1, 7), Pair::of(2, 7)]);
+    }
+
+    #[test]
+    fn cluster_verdicts_are_transitive() {
+        // Even a noisy worker produces a partition: verdicts derived from
+        // labels can never violate transitivity.
+        let gold = GoldStandard::from_clusters(vec![ids(&[0, 1, 2])]);
+        let hit = Hit::cluster(ids(&[0, 1, 2, 3, 4]));
+        let noisy = WorkerProfile {
+            sensitivity: 0.6,
+            specificity: 0.6,
+            ..perfect_worker()
+        };
+        for seed in 0..50 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ans = answer_hit(&noisy, &hit, &gold, &mut rng);
+            let verdict: HashMap<Pair, bool> = ans.verdicts.iter().copied().collect();
+            let recs = ids(&[0, 1, 2, 3, 4]);
+            for a in 0..recs.len() {
+                for b in (a + 1)..recs.len() {
+                    for c in (b + 1)..recs.len() {
+                        let ab = verdict[&Pair::new(recs[a], recs[b]).unwrap()];
+                        let bc = verdict[&Pair::new(recs[b], recs[c]).unwrap()];
+                        let ac = verdict[&Pair::new(recs[a], recs[c]).unwrap()];
+                        if ab && bc {
+                            assert!(ac, "transitivity violated (seed {seed})");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_duplicates_cost_n_minus_1() {
+        // §6 extreme case: a cluster HIT whose records all match needs
+        // n − 1 comparisons.
+        let gold = GoldStandard::from_clusters(vec![ids(&[0, 1, 2, 3, 4])]);
+        let hit = Hit::cluster(ids(&[0, 1, 2, 3, 4]));
+        let mut rng = StdRng::seed_from_u64(1);
+        let ans = answer_hit(&perfect_worker(), &hit, &gold, &mut rng);
+        assert_eq!(ans.comparisons, 4);
+    }
+
+    #[test]
+    fn no_duplicates_cost_all_pairs() {
+        // §6 extreme case: all-distinct records need n(n−1)/2.
+        let gold = GoldStandard::new();
+        let hit = Hit::cluster(ids(&[0, 1, 2, 3]));
+        let mut rng = StdRng::seed_from_u64(1);
+        let ans = answer_hit(&perfect_worker(), &hit, &gold, &mut rng);
+        assert_eq!(ans.comparisons, 6);
+    }
+
+    #[test]
+    fn durations_scale_with_comparisons() {
+        let gold = GoldStandard::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let small = answer_hit(
+            &perfect_worker(),
+            &Hit::pairs(vec![Pair::of(0, 1)]),
+            &gold,
+            &mut rng,
+        );
+        let large = answer_hit(
+            &perfect_worker(),
+            &Hit::pairs((0..16).map(|i| Pair::of(2 * i, 2 * i + 1)).collect()),
+            &gold,
+            &mut rng,
+        );
+        assert!(large.duration_secs > small.duration_secs);
+    }
+}

@@ -1,0 +1,40 @@
+//! # crowder-crowd
+//!
+//! A deterministic, seeded crowd-platform simulator standing in for
+//! Amazon Mechanical Turk (see DESIGN.md §2 for the substitution
+//! argument). The paper's crowd findings are statistical statements about
+//! worker error rates, per-assignment latency, end-to-end completion time
+//! and cost; the simulator exposes each as an explicit parameter:
+//!
+//! * [`worker`] — per-worker sensitivity/specificity (the Dawid–Skene
+//!   generative model), spammer archetypes, working speed and
+//!   interface-familiarity coefficients;
+//! * [`population`] — seeded sampling of worker pools;
+//! * [`qualification`] — the 3-pair qualification test of §7.1, which
+//!   filters spammers *and* (per the paper's observation) makes passing
+//!   workers read instructions more carefully;
+//! * [`answer`] — answer generation: independent noisy verdicts for
+//!   pair-based HITs; the §6 sequential entity-identification procedure
+//!   (with noisy comparisons that still yield a consistent partition)
+//!   for cluster-based HITs, which also yields the comparison counts the
+//!   latency model consumes;
+//! * [`platform`] — an event-driven marketplace: Poisson worker
+//!   arrivals, per-HIT-shape acceptance probabilities (pair HITs attract
+//!   more workers — the paper's explanation of Figure 14(a)), AMT's
+//!   distinct-worker guarantee per HIT, payment accounting
+//!   ($0.02 + $0.005 per assignment).
+//!
+//! Everything is reproducible: all stochastic choices flow from a single
+//! `u64` seed per run.
+
+pub mod answer;
+pub mod platform;
+pub mod population;
+pub mod qualification;
+pub mod worker;
+
+pub use answer::{answer_hit, HitAnswer};
+pub use platform::{simulate, AssignmentRecord, CrowdConfig, SimOutcome};
+pub use population::{PopulationConfig, WorkerPopulation};
+pub use qualification::QualificationConfig;
+pub use worker::{WorkerId, WorkerKind, WorkerProfile};

@@ -1,0 +1,457 @@
+//! The event-driven HIT marketplace.
+//!
+//! Models the AMT mechanics the paper's experiments depend on:
+//!
+//! * every HIT is replicated into `assignments_per_hit` assignments, each
+//!   guaranteed to be done by a *different* worker (§7.1),
+//! * workers arrive as a Poisson process, browse open HITs, and accept
+//!   based on perceived effort — the number of record rows the interface
+//!   shows — and their familiarity with the HIT shape. This acceptance
+//!   model is what reproduces Figure 14: pair-based HITs look familiar
+//!   and attract more workers, *unless* the batch is so large (P28) that
+//!   the constant price no longer justifies the effort,
+//! * an optional qualification test gates first-time workers; failures
+//!   leave, and the extra friction deters arrivals (the paper measured
+//!   4.5 h → 19.9 h on Product),
+//! * payment is per assignment: reward + platform fee
+//!   ($0.02 + $0.005 in §7.1).
+
+use crate::answer::{answer_hit, HitAnswer};
+use crate::population::WorkerPopulation;
+use crate::qualification::QualificationConfig;
+use crate::worker::{WorkerId, WorkerProfile};
+use crowder_hitgen::Hit;
+use crowder_types::{Error, GoldStandard, Pair, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// Marketplace configuration.
+#[derive(Debug, Clone)]
+pub struct CrowdConfig {
+    /// Assignments per HIT (the paper uses 3).
+    pub assignments_per_hit: usize,
+    /// Reward per assignment in dollars (paper: $0.02).
+    pub reward_per_assignment: f64,
+    /// Platform fee per assignment in dollars (paper: $0.005).
+    pub fee_per_assignment: f64,
+    /// Optional qualification test.
+    pub qualification: Option<QualificationConfig>,
+    /// Worker arrivals per simulated minute.
+    pub arrival_rate_per_min: f64,
+    /// Mean HITs a worker attempts per session (geometric).
+    pub mean_session_hits: f64,
+    /// How many open HITs a browsing worker considers per session.
+    pub browse_limit: usize,
+    /// Effort scale (record rows) of the acceptance model; larger means
+    /// workers tolerate bigger HITs.
+    pub effort_scale_rows: f64,
+    /// Probability that an arriving worker engages with a batch that
+    /// requires a qualification test at all (the rest browse away) —
+    /// friction beyond the pass/fail filtering itself.
+    pub qualification_friction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CrowdConfig {
+    fn default() -> Self {
+        CrowdConfig {
+            assignments_per_hit: 3,
+            reward_per_assignment: 0.02,
+            fee_per_assignment: 0.005,
+            qualification: None,
+            arrival_rate_per_min: 2.0,
+            mean_session_hits: 8.0,
+            browse_limit: 40,
+            effort_scale_rows: 40.0,
+            qualification_friction: 0.35,
+            seed: 0,
+        }
+    }
+}
+
+/// One completed assignment.
+#[derive(Debug, Clone)]
+pub struct AssignmentRecord {
+    /// Index of the HIT in the published batch.
+    pub hit_index: usize,
+    /// Worker who completed it.
+    pub worker: WorkerId,
+    /// Verdicts and effort.
+    pub answer: HitAnswer,
+    /// Simulation minute at which the worker accepted.
+    pub accepted_at_min: f64,
+    /// Simulation minute at which the assignment was submitted.
+    pub completed_at_min: f64,
+}
+
+/// Result of simulating a full batch.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// All completed assignments.
+    pub assignments: Vec<AssignmentRecord>,
+    /// Minutes from publication until the last assignment finished.
+    pub elapsed_minutes: f64,
+    /// Total payment: assignments × (reward + fee).
+    pub cost_dollars: f64,
+    /// Distinct workers who completed at least one assignment.
+    pub workers_participated: usize,
+}
+
+impl SimOutcome {
+    /// Median per-assignment duration in seconds (Figure 13's metric).
+    pub fn median_assignment_secs(&self) -> f64 {
+        if self.assignments.is_empty() {
+            return 0.0;
+        }
+        let mut durations: Vec<f64> =
+            self.assignments.iter().map(|a| a.answer.duration_secs).collect();
+        durations.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let mid = durations.len() / 2;
+        if durations.len() % 2 == 1 {
+            durations[mid]
+        } else {
+            (durations[mid - 1] + durations[mid]) / 2.0
+        }
+    }
+
+    /// Flatten to `(pair, worker, verdict)` triples — the input shape of
+    /// the Dawid–Skene aggregator.
+    pub fn labeled_triples(&self) -> Vec<(Pair, WorkerId, bool)> {
+        let mut out = Vec::new();
+        for a in &self.assignments {
+            for &(pair, verdict) in &a.answer.verdicts {
+                out.push((pair, a.worker, verdict));
+            }
+        }
+        out
+    }
+}
+
+/// Perceived-effort acceptance probability.
+///
+/// The visible effort of a HIT is its record-row count: a pair HIT with
+/// `m` pairs shows `2m` rows; a cluster HIT with `n` records shows `n`
+/// rows but an unfamiliar interface, discounted by the worker's
+/// `cluster_affinity`.
+fn acceptance_probability(worker: &WorkerProfile, hit: &Hit, config: &CrowdConfig) -> f64 {
+    let p = match hit {
+        Hit::PairBased { pairs } => {
+            let rows = 2.0 * pairs.len() as f64;
+            (-rows / config.effort_scale_rows).exp()
+        }
+        Hit::ClusterBased { records } => {
+            let rows = records.len() as f64;
+            worker.cluster_affinity * (-rows / config.effort_scale_rows).exp()
+        }
+    };
+    p.max(0.01)
+}
+
+/// Per-worker platform state across sessions.
+enum QualificationState {
+    NotTaken,
+    Failed,
+    Passed(WorkerProfile),
+}
+
+/// Simulate publishing `hits` to the crowd.
+///
+/// Returns an error if the batch cannot be completed within the arrival
+/// budget (pathological configurations only: empty worker pool, or more
+/// assignments per HIT than workers).
+pub fn simulate(
+    hits: &[Hit],
+    gold: &GoldStandard,
+    population: &WorkerPopulation,
+    config: &CrowdConfig,
+) -> Result<SimOutcome> {
+    if config.assignments_per_hit == 0 {
+        return Err(Error::InvalidConfig {
+            param: "assignments_per_hit",
+            message: "must be at least 1".into(),
+        });
+    }
+    if hits.is_empty() {
+        return Ok(SimOutcome {
+            assignments: Vec::new(),
+            elapsed_minutes: 0.0,
+            cost_dollars: 0.0,
+            workers_participated: 0,
+        });
+    }
+    if population.len() < config.assignments_per_hit {
+        return Err(Error::InvalidConfig {
+            param: "population",
+            message: format!(
+                "{} workers cannot satisfy {} distinct assignments per HIT",
+                population.len(),
+                config.assignments_per_hit
+            ),
+        });
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut remaining: Vec<usize> = vec![config.assignments_per_hit; hits.len()];
+    let mut done_by: Vec<HashSet<WorkerId>> = vec![HashSet::new(); hits.len()];
+    let mut open: Vec<usize> = (0..hits.len()).collect();
+    let mut qual_state: HashMap<WorkerId, QualificationState> = HashMap::new();
+    let mut assignments: Vec<AssignmentRecord> = Vec::new();
+    let mut participants: HashSet<WorkerId> = HashSet::new();
+
+    let mut clock_min = 0.0f64;
+    let total_needed = hits.len() * config.assignments_per_hit;
+    // Arrival budget: generous multiple of the workload; hitting it means
+    // the configuration starves (reported as an error, not a hang).
+    let max_arrivals = 200 * total_needed + 10_000;
+
+    for _arrival in 0..max_arrivals {
+        if assignments.len() == total_needed {
+            break;
+        }
+        // Poisson arrivals: exponential inter-arrival gap.
+        let u: f64 = rng.random::<f64>().max(1e-12);
+        clock_min += -u.ln() / config.arrival_rate_per_min;
+
+        let widx = rng.random_range(0..population.len());
+        let base_worker = &population.workers()[widx];
+
+        // Qualification friction: a required test deters many arriving
+        // workers from engaging with the batch at all — the paper's
+        // "steep cost in terms of latency" (4.5 h → 19.9 h on Product)
+        // comes from this thinning of the effective arrival rate.
+        if config.qualification.is_some()
+            && rng.random::<f64>() >= config.qualification_friction
+        {
+            continue;
+        }
+
+        // Qualification gate (taken once per worker).
+        let effective: WorkerProfile = match &config.qualification {
+            None => base_worker.clone(),
+            Some(qt) => {
+                let state = qual_state
+                    .entry(base_worker.id)
+                    .or_insert(QualificationState::NotTaken);
+                if matches!(state, QualificationState::NotTaken) {
+                    *state = match qt.administer(base_worker, &mut rng) {
+                        Some(boosted) => QualificationState::Passed(boosted),
+                        None => QualificationState::Failed,
+                    };
+                }
+                match state {
+                    QualificationState::Passed(p) => p.clone(),
+                    QualificationState::Failed => continue,
+                    QualificationState::NotTaken => unreachable!("state set above"),
+                }
+            }
+        };
+
+        // Session: browse up to `browse_limit` random open HITs, accept
+        // each with the effort model, stop after the geometric budget.
+        let session_budget = geometric(config.mean_session_hits, &mut rng);
+        let mut worker_time = clock_min;
+        let mut completed_this_session = 0usize;
+        let mut browse: Vec<usize> = open.clone();
+        browse.shuffle(&mut rng);
+        for &hit_idx in browse.iter().take(config.browse_limit) {
+            if completed_this_session >= session_budget {
+                break;
+            }
+            if remaining[hit_idx] == 0 || done_by[hit_idx].contains(&effective.id) {
+                continue;
+            }
+            let p = acceptance_probability(&effective, &hits[hit_idx], config);
+            if rng.random::<f64>() >= p {
+                continue;
+            }
+            let answer = answer_hit(&effective, &hits[hit_idx], gold, &mut rng);
+            let accepted_at = worker_time;
+            worker_time += answer.duration_secs / 60.0;
+            remaining[hit_idx] -= 1;
+            done_by[hit_idx].insert(effective.id);
+            participants.insert(effective.id);
+            assignments.push(AssignmentRecord {
+                hit_index: hit_idx,
+                worker: effective.id,
+                answer,
+                accepted_at_min: accepted_at,
+                completed_at_min: worker_time,
+            });
+            completed_this_session += 1;
+        }
+        // Prune fully-assigned HITs from the open list occasionally.
+        if assignments.len() % 64 == 0 {
+            open.retain(|&h| remaining[h] > 0);
+        }
+    }
+
+    if assignments.len() < total_needed {
+        return Err(Error::NoConvergence {
+            routine: "crowd-simulation",
+            iterations: max_arrivals,
+        });
+    }
+
+    let elapsed_minutes = assignments
+        .iter()
+        .map(|a| a.completed_at_min)
+        .fold(0.0, f64::max);
+    let cost_dollars = assignments.len() as f64
+        * (config.reward_per_assignment + config.fee_per_assignment);
+    Ok(SimOutcome {
+        workers_participated: participants.len(),
+        assignments,
+        elapsed_minutes,
+        cost_dollars,
+    })
+}
+
+/// Geometric session budget with the given mean (≥ 1).
+fn geometric(mean: f64, rng: &mut StdRng) -> usize {
+    let p = 1.0 / mean.max(1.0);
+    let mut n = 1usize;
+    while rng.random::<f64>() > p && n < 1000 {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::PopulationConfig;
+    use crowder_types::RecordId;
+
+    fn small_world() -> (Vec<Hit>, GoldStandard, WorkerPopulation) {
+        let hits = vec![
+            Hit::pairs(vec![Pair::of(0, 1), Pair::of(2, 3)]),
+            Hit::cluster([RecordId(0), RecordId(1), RecordId(4)]),
+            Hit::pairs(vec![Pair::of(4, 5)]),
+        ];
+        let gold = GoldStandard::from_pairs(vec![Pair::of(0, 1)]);
+        let pop = WorkerPopulation::generate(
+            &PopulationConfig { size: 60, ..Default::default() },
+            11,
+        );
+        (hits, gold, pop)
+    }
+
+    #[test]
+    fn completes_all_assignments_with_distinct_workers() {
+        let (hits, gold, pop) = small_world();
+        let cfg = CrowdConfig::default();
+        let out = simulate(&hits, &gold, &pop, &cfg).unwrap();
+        assert_eq!(out.assignments.len(), hits.len() * cfg.assignments_per_hit);
+        for hit_idx in 0..hits.len() {
+            let workers: HashSet<WorkerId> = out
+                .assignments
+                .iter()
+                .filter(|a| a.hit_index == hit_idx)
+                .map(|a| a.worker)
+                .collect();
+            assert_eq!(workers.len(), cfg.assignments_per_hit, "hit {hit_idx}");
+        }
+        assert!(out.elapsed_minutes > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (hits, gold, pop) = small_world();
+        let cfg = CrowdConfig::default();
+        let a = simulate(&hits, &gold, &pop, &cfg).unwrap();
+        let b = simulate(&hits, &gold, &pop, &cfg).unwrap();
+        assert_eq!(a.assignments.len(), b.assignments.len());
+        assert_eq!(a.elapsed_minutes, b.elapsed_minutes);
+        assert_eq!(a.cost_dollars, b.cost_dollars);
+    }
+
+    #[test]
+    fn cost_matches_paper_formula() {
+        // §7.3: 112 HITs × 3 assignments × $0.025 = $8.40.
+        let hits: Vec<Hit> = (0..112)
+            .map(|i| Hit::pairs(vec![Pair::of(2 * i, 2 * i + 1)]))
+            .collect();
+        let gold = GoldStandard::new();
+        let pop = WorkerPopulation::generate(
+            &PopulationConfig { size: 300, ..Default::default() },
+            1,
+        );
+        let out = simulate(&hits, &gold, &pop, &CrowdConfig::default()).unwrap();
+        assert!((out.cost_dollars - 8.40).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_batch_is_trivial() {
+        let (_, gold, pop) = small_world();
+        let out = simulate(&[], &gold, &pop, &CrowdConfig::default()).unwrap();
+        assert!(out.assignments.is_empty());
+        assert_eq!(out.cost_dollars, 0.0);
+    }
+
+    #[test]
+    fn rejects_insufficient_population() {
+        let (hits, gold, _) = small_world();
+        let tiny = WorkerPopulation::generate(
+            &PopulationConfig { size: 2, ..Default::default() },
+            0,
+        );
+        let err = simulate(&hits, &gold, &tiny, &CrowdConfig::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn qualification_test_filters_and_slows() {
+        let (hits, gold, pop) = small_world();
+        let no_qt = simulate(&hits, &gold, &pop, &CrowdConfig::default()).unwrap();
+        let with_qt = simulate(
+            &hits,
+            &gold,
+            &pop,
+            &CrowdConfig {
+                qualification: Some(QualificationConfig::default()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // QT adds friction: the same batch takes longer end-to-end.
+        assert!(with_qt.elapsed_minutes > no_qt.elapsed_minutes);
+    }
+
+    #[test]
+    fn pair_hits_attract_more_than_unfamiliar_clusters() {
+        // The acceptance model behind Figure 14(a): a 16-pair HIT is
+        // accepted more readily than a 10-record cluster HIT by an
+        // average worker, but a 28-pair HIT is not (Figure 14(b)).
+        let worker = WorkerProfile {
+            id: WorkerId(0),
+            kind: crate::worker::WorkerKind::Diligent,
+            sensitivity: 0.9,
+            specificity: 0.9,
+            seconds_per_comparison: 2.0,
+            cluster_affinity: 0.45,
+        };
+        let cfg = CrowdConfig::default();
+        let p16 = Hit::pairs((0..16).map(|i| Pair::of(2 * i, 2 * i + 1)).collect());
+        let p28 = Hit::pairs((0..28).map(|i| Pair::of(2 * i, 2 * i + 1)).collect());
+        let c10 = Hit::cluster((0..10).map(RecordId));
+        let a16 = acceptance_probability(&worker, &p16, &cfg);
+        let a28 = acceptance_probability(&worker, &p28, &cfg);
+        let ac10 = acceptance_probability(&worker, &c10, &cfg);
+        assert!(a16 > ac10, "P16 {a16} should attract more than C10 {ac10}");
+        assert!(a28 < ac10, "P28 {a28} should attract less than C10 {ac10}");
+    }
+
+    #[test]
+    fn median_and_triples_helpers() {
+        let (hits, gold, pop) = small_world();
+        let out = simulate(&hits, &gold, &pop, &CrowdConfig::default()).unwrap();
+        assert!(out.median_assignment_secs() > 0.0);
+        let triples = out.labeled_triples();
+        // Each pair HIT contributes its pairs; the 3-record cluster HIT
+        // contributes 3 derived pairs; ×3 assignments.
+        assert_eq!(triples.len(), (2 + 3 + 1) * 3);
+    }
+}

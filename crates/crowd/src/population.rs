@@ -1,0 +1,208 @@
+//! Seeded sampling of worker populations.
+
+use crate::worker::{WorkerId, WorkerKind, WorkerProfile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Distribution parameters for a worker pool.
+#[derive(Debug, Clone)]
+pub struct PopulationConfig {
+    /// Number of distinct workers available.
+    pub size: usize,
+    /// Mean sensitivity of diligent workers (truncated-normal).
+    pub mean_sensitivity: f64,
+    /// Mean specificity of diligent workers.
+    pub mean_specificity: f64,
+    /// Standard deviation of both accuracy parameters.
+    pub accuracy_stddev: f64,
+    /// Fraction of spammers (split evenly between random, always-yes and
+    /// always-no archetypes).
+    pub spammer_fraction: f64,
+    /// Mean seconds per record comparison (log-normal-ish spread).
+    pub mean_seconds_per_comparison: f64,
+    /// Mean affinity for the unfamiliar cluster interface in `[0, 1]`.
+    pub mean_cluster_affinity: f64,
+}
+
+impl Default for PopulationConfig {
+    /// Defaults calibrated so that majority-vote accuracy and EM recovery
+    /// sit in the range the paper's AMT runs exhibit (high but imperfect
+    /// precision/recall, noticeably degraded without a qualification
+    /// test).
+    fn default() -> Self {
+        PopulationConfig {
+            size: 400,
+            mean_sensitivity: 0.93,
+            mean_specificity: 0.95,
+            accuracy_stddev: 0.05,
+            spammer_fraction: 0.12,
+            mean_seconds_per_comparison: 2.5,
+            mean_cluster_affinity: 0.45,
+        }
+    }
+}
+
+/// A sampled pool of workers.
+#[derive(Debug, Clone)]
+pub struct WorkerPopulation {
+    workers: Vec<WorkerProfile>,
+}
+
+impl WorkerPopulation {
+    /// Build a pool from explicit profiles (ids are reassigned densely —
+    /// the platform uses them as indices).
+    pub fn from_workers(mut workers: Vec<WorkerProfile>) -> Self {
+        for (i, w) in workers.iter_mut().enumerate() {
+            w.id = WorkerId(i as u32);
+        }
+        WorkerPopulation { workers }
+    }
+
+    /// Sample a pool from `config` with a fixed `seed`.
+    pub fn generate(config: &PopulationConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut workers = Vec::with_capacity(config.size);
+        for i in 0..config.size {
+            let spam_roll: f64 = rng.random();
+            let kind = if spam_roll < config.spammer_fraction {
+                match (spam_roll / config.spammer_fraction * 3.0) as usize {
+                    0 => WorkerKind::RandomSpammer,
+                    1 => WorkerKind::AlwaysYesSpammer,
+                    _ => WorkerKind::AlwaysNoSpammer,
+                }
+            } else {
+                WorkerKind::Diligent
+            };
+            let (sensitivity, specificity) = match kind {
+                WorkerKind::Diligent => (
+                    truncated_normal(
+                        &mut rng,
+                        config.mean_sensitivity,
+                        config.accuracy_stddev,
+                        0.55,
+                        0.999,
+                    ),
+                    truncated_normal(
+                        &mut rng,
+                        config.mean_specificity,
+                        config.accuracy_stddev,
+                        0.55,
+                        0.999,
+                    ),
+                ),
+                WorkerKind::RandomSpammer => (0.5, 0.5),
+                WorkerKind::AlwaysYesSpammer => (1.0, 0.0),
+                WorkerKind::AlwaysNoSpammer => (0.0, 1.0),
+            };
+            let seconds = truncated_normal(
+                &mut rng,
+                config.mean_seconds_per_comparison,
+                config.mean_seconds_per_comparison * 0.4,
+                0.5,
+                20.0,
+            );
+            let affinity =
+                truncated_normal(&mut rng, config.mean_cluster_affinity, 0.2, 0.02, 1.0);
+            workers.push(WorkerProfile {
+                id: WorkerId(i as u32),
+                kind,
+                sensitivity,
+                specificity,
+                seconds_per_comparison: seconds,
+                cluster_affinity: affinity,
+            });
+        }
+        WorkerPopulation { workers }
+    }
+
+    /// All workers.
+    #[inline]
+    pub fn workers(&self) -> &[WorkerProfile] {
+        &self.workers
+    }
+
+    /// Pool size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True iff the pool is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Look up a worker by id.
+    pub fn worker(&self, id: WorkerId) -> &WorkerProfile {
+        &self.workers[id.0 as usize]
+    }
+}
+
+/// Box–Muller normal sample truncated (by clamping) to `[lo, hi]`.
+fn truncated_normal(rng: &mut StdRng, mean: f64, stddev: f64, lo: f64, hi: f64) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (mean + stddev * z).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = PopulationConfig::default();
+        let a = WorkerPopulation::generate(&cfg, 9);
+        let b = WorkerPopulation::generate(&cfg, 9);
+        assert_eq!(a.len(), b.len());
+        for (wa, wb) in a.workers().iter().zip(b.workers()) {
+            assert_eq!(wa.id, wb.id);
+            assert_eq!(wa.kind, wb.kind);
+            assert_eq!(wa.sensitivity, wb.sensitivity);
+        }
+    }
+
+    #[test]
+    fn spammer_fraction_roughly_respected() {
+        let cfg = PopulationConfig { size: 2000, ..Default::default() };
+        let pop = WorkerPopulation::generate(&cfg, 3);
+        let spammers = pop
+            .workers()
+            .iter()
+            .filter(|w| !matches!(w.kind, WorkerKind::Diligent))
+            .count();
+        let frac = spammers as f64 / pop.len() as f64;
+        assert!((frac - cfg.spammer_fraction).abs() < 0.03, "fraction {frac}");
+    }
+
+    #[test]
+    fn diligent_workers_are_competent() {
+        let pop = WorkerPopulation::generate(&PopulationConfig::default(), 1);
+        for w in pop.workers() {
+            if matches!(w.kind, WorkerKind::Diligent) {
+                assert!(w.sensitivity >= 0.55 && w.sensitivity <= 0.999);
+                assert!(w.specificity >= 0.55 && w.specificity <= 0.999);
+            }
+            assert!(w.seconds_per_comparison >= 0.5);
+            assert!((0.0..=1.0).contains(&w.cluster_affinity));
+        }
+    }
+
+    #[test]
+    fn zero_sized_pool() {
+        let cfg = PopulationConfig { size: 0, ..Default::default() };
+        let pop = WorkerPopulation::generate(&cfg, 0);
+        assert!(pop.is_empty());
+    }
+
+    #[test]
+    fn truncation_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = truncated_normal(&mut rng, 0.9, 0.3, 0.0, 1.0);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Qualification tests (§7.1).
+//!
+//! *"The qualification test consists of three pairs of records. For each
+//! one, a worker needs to decide whether or not they match. Workers must
+//! get all three pairs correct to pass."* The paper credits the test
+//! with two effects: weeding out spammers and making workers read the
+//! instructions more carefully; both are modeled here.
+
+use crate::worker::WorkerProfile;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Qualification-test parameters.
+#[derive(Debug, Clone)]
+pub struct QualificationConfig {
+    /// Number of matching pairs in the test.
+    pub matching_questions: usize,
+    /// Number of non-matching pairs in the test.
+    pub non_matching_questions: usize,
+    /// Attention boost applied to passing diligent workers (see
+    /// [`WorkerProfile::with_attention_boost`]).
+    pub attention_boost: f64,
+}
+
+impl Default for QualificationConfig {
+    /// The paper's three-question test (we split it 2 matching + 1
+    /// non-matching) with a moderate attention boost.
+    fn default() -> Self {
+        QualificationConfig {
+            matching_questions: 2,
+            non_matching_questions: 1,
+            attention_boost: 0.35,
+        }
+    }
+}
+
+impl QualificationConfig {
+    /// Simulate one worker taking the test. Returns the (boosted)
+    /// profile on a pass, `None` on a fail.
+    pub fn administer(&self, worker: &WorkerProfile, rng: &mut StdRng) -> Option<WorkerProfile> {
+        for _ in 0..self.matching_questions {
+            let answered_yes = rng.random::<f64>() < worker.p_yes(true);
+            if !answered_yes {
+                return None;
+            }
+        }
+        for _ in 0..self.non_matching_questions {
+            let answered_yes = rng.random::<f64>() < worker.p_yes(false);
+            if answered_yes {
+                return None;
+            }
+        }
+        Some(worker.clone().with_attention_boost(self.attention_boost))
+    }
+
+    /// Closed-form pass probability for a worker (used by tests and by
+    /// capacity planning in the budget example).
+    pub fn pass_probability(&self, worker: &WorkerProfile) -> f64 {
+        worker.sensitivity.powi(self.matching_questions as i32)
+            * worker.specificity.powi(self.non_matching_questions as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::{WorkerId, WorkerKind};
+    use rand::SeedableRng;
+
+    fn worker(kind: WorkerKind, sens: f64, spec: f64) -> WorkerProfile {
+        WorkerProfile {
+            id: WorkerId(0),
+            kind,
+            sensitivity: sens,
+            specificity: spec,
+            seconds_per_comparison: 2.0,
+            cluster_affinity: 0.5,
+        }
+    }
+
+    #[test]
+    fn always_yes_spammer_always_fails() {
+        // The non-matching question catches them with certainty.
+        let cfg = QualificationConfig::default();
+        let w = worker(WorkerKind::AlwaysYesSpammer, 1.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert!(cfg.administer(&w, &mut rng).is_none());
+        }
+        assert_eq!(cfg.pass_probability(&w), 0.0);
+    }
+
+    #[test]
+    fn perfect_worker_always_passes_with_boost() {
+        let cfg = QualificationConfig::default();
+        let w = worker(WorkerKind::Diligent, 1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let passed = cfg.administer(&w, &mut rng).expect("must pass");
+        assert_eq!(passed.sensitivity, 1.0);
+    }
+
+    #[test]
+    fn empirical_pass_rate_matches_closed_form() {
+        let cfg = QualificationConfig::default();
+        let w = worker(WorkerKind::Diligent, 0.9, 0.8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 20_000;
+        let passes = (0..trials)
+            .filter(|_| cfg.administer(&w, &mut rng).is_some())
+            .count();
+        let empirical = passes as f64 / trials as f64;
+        let expected = cfg.pass_probability(&w); // 0.81 · 0.8 = 0.648
+        assert!((empirical - expected).abs() < 0.02, "{empirical} vs {expected}");
+    }
+
+    #[test]
+    fn random_spammer_passes_only_one_in_eight() {
+        let cfg = QualificationConfig::default();
+        let w = worker(WorkerKind::RandomSpammer, 0.5, 0.5);
+        assert!((cfg.pass_probability(&w) - 0.125).abs() < 1e-12);
+    }
+}

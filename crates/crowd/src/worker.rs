@@ -1,0 +1,142 @@
+//! Worker profiles.
+//!
+//! Workers follow the Dawid–Skene generative model the paper's EM
+//! aggregation assumes: a worker answers a true-match pair YES with
+//! probability `sensitivity` and a true-non-match pair NO with
+//! probability `specificity`. Spammers (the paper: *"we found that some
+//! workers may do our HITs maliciously"*) are modeled as archetypes with
+//! uninformative or constant response patterns.
+
+/// Identifier of a simulated crowd worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WorkerId(pub u32);
+
+impl std::fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// Behavioural archetype of a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerKind {
+    /// A genuine worker whose errors follow sensitivity/specificity.
+    Diligent,
+    /// Answers uniformly at random (sensitivity = specificity = 0.5).
+    RandomSpammer,
+    /// Answers YES to everything (sensitivity 1, specificity 0).
+    AlwaysYesSpammer,
+    /// Answers NO to everything (sensitivity 0, specificity 1).
+    AlwaysNoSpammer,
+}
+
+impl WorkerKind {
+    /// Short archetype name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkerKind::Diligent => "diligent",
+            WorkerKind::RandomSpammer => "random-spammer",
+            WorkerKind::AlwaysYesSpammer => "always-yes",
+            WorkerKind::AlwaysNoSpammer => "always-no",
+        }
+    }
+}
+
+/// A simulated crowd worker.
+#[derive(Debug, Clone)]
+pub struct WorkerProfile {
+    /// Stable id.
+    pub id: WorkerId,
+    /// Archetype.
+    pub kind: WorkerKind,
+    /// P(answer YES | records truly match).
+    pub sensitivity: f64,
+    /// P(answer NO | records truly differ).
+    pub specificity: f64,
+    /// Seconds per record comparison (the §6 unit of work).
+    pub seconds_per_comparison: f64,
+    /// Probability of accepting a *cluster-based* HIT when browsing; the
+    /// paper observed the unfamiliar cluster interface deterred workers
+    /// (§7.4). Pair-HIT acceptance is handled by the effort model in
+    /// [`crate::platform`].
+    pub cluster_affinity: f64,
+}
+
+impl WorkerProfile {
+    /// Effective P(YES) for a pair whose ground truth is `is_match`.
+    pub fn p_yes(&self, is_match: bool) -> f64 {
+        if is_match {
+            self.sensitivity
+        } else {
+            1.0 - self.specificity
+        }
+    }
+
+    /// Human-readable archetype name.
+    pub fn kind_name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// Apply the qualification-test "attention boost": the paper argues
+    /// the test makes workers read instructions more carefully, so
+    /// passing workers get their error rates shrunk by `boost ∈ [0, 1]`
+    /// (0 = no change, 1 = perfect). Spammer archetypes are unaffected —
+    /// carelessness is not their problem.
+    pub fn with_attention_boost(mut self, boost: f64) -> Self {
+        if matches!(self.kind, WorkerKind::Diligent) {
+            self.sensitivity += (1.0 - self.sensitivity) * boost;
+            self.specificity += (1.0 - self.specificity) * boost;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diligent() -> WorkerProfile {
+        WorkerProfile {
+            id: WorkerId(1),
+            kind: WorkerKind::Diligent,
+            sensitivity: 0.9,
+            specificity: 0.8,
+            seconds_per_comparison: 3.0,
+            cluster_affinity: 0.5,
+        }
+    }
+
+    #[test]
+    fn p_yes_follows_confusion_matrix() {
+        let w = diligent();
+        assert!((w.p_yes(true) - 0.9).abs() < 1e-12);
+        assert!((w.p_yes(false) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attention_boost_shrinks_errors() {
+        let w = diligent().with_attention_boost(0.5);
+        assert!((w.sensitivity - 0.95).abs() < 1e-12);
+        assert!((w.specificity - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attention_boost_ignores_spammers() {
+        let mut w = diligent();
+        w.kind = WorkerKind::RandomSpammer;
+        w.sensitivity = 0.5;
+        w.specificity = 0.5;
+        let boosted = w.with_attention_boost(0.9);
+        assert_eq!(boosted.sensitivity, 0.5);
+        assert_eq!(boosted.specificity, 0.5);
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(diligent().kind_name(), "diligent");
+        assert_eq!(
+            WorkerProfile { kind: WorkerKind::AlwaysYesSpammer, ..diligent() }.kind_name(),
+            "always-yes"
+        );
+    }
+}

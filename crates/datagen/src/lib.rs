@@ -1,0 +1,36 @@
+//! # crowder-datagen
+//!
+//! Seeded synthetic stand-ins for the paper's datasets (the originals —
+//! the Fodor/Zagat Restaurant set and the Abt-Buy Product set — are
+//! external downloads we cannot assume; DESIGN.md §2 records the
+//! substitution argument).
+//!
+//! Each generator is calibrated against the corresponding Table 2 sweep:
+//! the *shape* of the likelihood-threshold → (surviving pairs, recall)
+//! profile is what every downstream experiment depends on, and the
+//! calibration tests in this crate pin it:
+//!
+//! * [`restaurant()`](restaurant()) — 858 single-source records, 106 duplicate pairs,
+//!   schema `[name, address, city, type]`; matches are mostly
+//!   high-similarity (recall ≈ 78 % already at τ = 0.5),
+//! * [`product()`](product()) — two sources (1081 + 1092 records), 1097 cross-source
+//!   matching pairs, schema `[name, price]`; matches are heavily
+//!   rewritten (recall ≈ 30 % at τ = 0.5, ≈ 92 % at τ = 0.2), which is
+//!   why machine-only techniques fail on it (Figure 12(b)),
+//! * [`product_dup()`](product_dup()) — §7.4's construction: 100 sampled Product records
+//!   plus x ~ U[0, 9] token-swapped copies each (≈ 562 records, ≈ 1713
+//!   matching pairs),
+//! * [`toy`] — the paper's Table 1 (nine products), used by examples and
+//!   as the fixture behind the worked examples of §2–§6.
+
+pub mod perturb;
+pub mod product;
+pub mod product_dup;
+pub mod restaurant;
+pub mod toy;
+pub mod vocab;
+
+pub use product::{product, ProductConfig};
+pub use product_dup::{product_dup, ProductDupConfig};
+pub use restaurant::{restaurant, RestaurantConfig};
+pub use toy::table1;

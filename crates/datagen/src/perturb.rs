@@ -1,0 +1,196 @@
+//! Perturbation operators for duplicate-record synthesis.
+//!
+//! A duplicate is the base record pushed through `k` random edit
+//! operations; `k` is drawn from a tier distribution calibrated per
+//! dataset so the duplicates' Jaccard-to-base distribution matches the
+//! corresponding Table 2 recall column.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One token-level edit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditOp {
+    /// Remove a random token.
+    Drop,
+    /// Replace a random token with a fresh unseen token.
+    Replace,
+    /// Append a fresh unseen token.
+    Add,
+    /// Mutate one character of a random token (a typo — the token no
+    /// longer matches its original).
+    Typo,
+    /// Truncate a random token to a 1–3 character prefix (an
+    /// abbreviation, e.g. `boulevard` → `blv`).
+    Abbreviate,
+    /// Swap two random tokens (changes the string but NOT the token set
+    /// — the §7.4 Product+Dup operator).
+    SwapTokens,
+}
+
+/// Apply `op` to `tokens` in place. `fresh` supplies replacement tokens
+/// guaranteed distinct from the originals (we use a counter-derived
+/// token).
+pub fn apply_op(tokens: &mut Vec<String>, op: EditOp, rng: &mut StdRng, fresh: &mut u32) {
+    if tokens.is_empty() {
+        return;
+    }
+    let idx = rng.random_range(0..tokens.len());
+    match op {
+        EditOp::Drop => {
+            if tokens.len() > 2 {
+                tokens.remove(idx);
+            }
+        }
+        EditOp::Replace => {
+            *fresh += 1;
+            tokens[idx] = format!("x{fresh}q");
+        }
+        EditOp::Add => {
+            *fresh += 1;
+            tokens.push(format!("x{fresh}q"));
+        }
+        EditOp::Typo => {
+            let tok = &tokens[idx];
+            if tok.is_empty() {
+                return;
+            }
+            let chars: Vec<char> = tok.chars().collect();
+            let pos = rng.random_range(0..chars.len());
+            let replacement =
+                (b'a' + rng.random_range(0..26u8)) as char;
+            let mutated: String = chars
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| if i == pos { replacement } else { c })
+                .collect();
+            tokens[idx] = mutated;
+        }
+        EditOp::Abbreviate => {
+            let take = rng.random_range(1..=3usize);
+            let tok = tokens[idx].clone();
+            let abbreviated: String = tok.chars().take(take).collect();
+            if !abbreviated.is_empty() && abbreviated != tok {
+                tokens[idx] = abbreviated;
+            }
+        }
+        EditOp::SwapTokens => {
+            if tokens.len() >= 2 {
+                let j = rng.random_range(0..tokens.len());
+                tokens.swap(idx, j);
+            }
+        }
+    }
+}
+
+/// Apply `count` random destructive ops (everything except
+/// [`EditOp::SwapTokens`]) to a copy of `tokens`.
+pub fn perturb(tokens: &[String], count: usize, rng: &mut StdRng, fresh: &mut u32) -> Vec<String> {
+    const OPS: [EditOp; 5] = [
+        EditOp::Drop,
+        EditOp::Replace,
+        EditOp::Add,
+        EditOp::Typo,
+        EditOp::Abbreviate,
+    ];
+    let mut out = tokens.to_vec();
+    for _ in 0..count {
+        let op = OPS[rng.random_range(0..OPS.len())];
+        apply_op(&mut out, op, rng, fresh);
+    }
+    out
+}
+
+/// Draw an op count from a cumulative tier distribution:
+/// `tiers[i] = (ops, cumulative_probability)`, sorted by cumulative
+/// probability. Falls back to the last tier.
+pub fn draw_op_count(tiers: &[(usize, f64)], rng: &mut StdRng) -> usize {
+    let roll: f64 = rng.random();
+    for &(ops, cume) in tiers {
+        if roll < cume {
+            return ops;
+        }
+    }
+    tiers.last().map_or(0, |&(ops, _)| ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn toks(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn swap_preserves_token_set() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut fresh = 0;
+        for _ in 0..50 {
+            let mut t = toks(&["a", "b", "c", "d"]);
+            apply_op(&mut t, EditOp::SwapTokens, &mut rng, &mut fresh);
+            let mut sorted = t.clone();
+            sorted.sort();
+            assert_eq!(sorted, toks(&["a", "b", "c", "d"]));
+        }
+    }
+
+    #[test]
+    fn drop_never_empties_below_two() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut fresh = 0;
+        let mut t = toks(&["a", "b"]);
+        for _ in 0..10 {
+            apply_op(&mut t, EditOp::Drop, &mut rng, &mut fresh);
+        }
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn replace_and_add_introduce_fresh_tokens() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut fresh = 0;
+        let mut t = toks(&["alpha", "beta"]);
+        apply_op(&mut t, EditOp::Replace, &mut rng, &mut fresh);
+        apply_op(&mut t, EditOp::Add, &mut rng, &mut fresh);
+        assert_eq!(fresh, 2);
+        assert_eq!(t.len(), 3);
+        assert!(t.iter().any(|x| x.starts_with('x') && x.ends_with('q')));
+    }
+
+    #[test]
+    fn more_ops_means_lower_similarity_on_average() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut fresh = 0;
+        let base = toks(&["t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9"]);
+        let mut mean_j = |ops: usize, rng: &mut StdRng, fresh: &mut u32| -> f64 {
+            let mut total = 0.0;
+            for _ in 0..200 {
+                let p = perturb(&base, ops, rng, fresh);
+                let a = crowder_text::TokenSet::from_tokens(base.clone());
+                let b = crowder_text::TokenSet::from_tokens(p);
+                total += crowder_text::jaccard(&a, &b);
+            }
+            total / 200.0
+        };
+        let j1 = mean_j(1, &mut rng, &mut fresh);
+        let j4 = mean_j(4, &mut rng, &mut fresh);
+        let j8 = mean_j(8, &mut rng, &mut fresh);
+        assert!(j1 > j4 && j4 > j8, "{j1} > {j4} > {j8} expected");
+        assert!(j1 > 0.7);
+    }
+
+    #[test]
+    fn tier_draw_respects_distribution() {
+        let tiers = [(1usize, 0.5), (3, 0.8), (6, 1.0)];
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..10_000 {
+            *counts.entry(draw_op_count(&tiers, &mut rng)).or_insert(0usize) += 1;
+        }
+        assert!((counts[&1] as f64 / 10_000.0 - 0.5).abs() < 0.03);
+        assert!((counts[&3] as f64 / 10_000.0 - 0.3).abs() < 0.03);
+        assert!((counts[&6] as f64 / 10_000.0 - 0.2).abs() < 0.03);
+    }
+}

@@ -1,0 +1,255 @@
+//! The synthetic Restaurant dataset.
+//!
+//! Mirrors the paper's §7.1 description: 858 non-identical single-source
+//! records, 106 matching pairs, schema `[name, address, city, type]`,
+//! example record `["oceana", "55 e. 54th st.", "new york", "seafood"]`.
+//!
+//! Calibration target — Table 2(a)'s recall column: matches are mostly
+//! *small* perturbations, so ~78 % of them already clear a 0.5 Jaccard
+//! threshold and essentially all clear 0.2. The background pair tail
+//! (the "Total #Pair" column) comes from shared city/cuisine/street
+//! tokens.
+
+use crate::perturb::{draw_op_count, perturb};
+use crate::vocab;
+use crowder_types::{Dataset, GoldStandard, Pair, PairSpace, RecordId, SourceId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters; defaults reproduce the paper's dataset scale.
+#[derive(Debug, Clone)]
+pub struct RestaurantConfig {
+    /// Entities with a single record.
+    pub unique_entities: usize,
+    /// Entities with exactly two records (one duplicate each) — each
+    /// contributes one matching pair.
+    pub duplicated_entities: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RestaurantConfig {
+    /// 646 + 2·106 = 858 records, 106 matching pairs.
+    fn default() -> Self {
+        RestaurantConfig { unique_entities: 646, duplicated_entities: 106, seed: 0xC0FFEE }
+    }
+}
+
+/// Perturbation tiers (op count, cumulative probability), calibrated so
+/// the duplicate-similarity distribution tracks Table 2(a): ≈78 % of
+/// matches at J ≥ 0.5, ≈93 % at ≥ 0.4, ≈99 % at ≥ 0.3, ≈100 % at ≥ 0.2.
+/// On ~10-token records, k ops land near J ≈ (10 − 0.8k)/(10 + 0.5k).
+const DUPLICATE_TIERS: [(usize, f64); 8] = [
+    (1, 0.30),
+    (2, 0.50),
+    (3, 0.65),
+    (4, 0.78),
+    (5, 0.87),
+    (6, 0.93),
+    (7, 0.99),
+    (9, 1.00),
+];
+
+/// A base restaurant as attribute token vectors.
+struct BaseRestaurant {
+    name: Vec<String>,
+    address: Vec<String>,
+    city: String,
+    cuisine: String,
+}
+
+impl BaseRestaurant {
+    fn sample(rng: &mut StdRng) -> Self {
+        let mut name = vec![
+            vocab::pick(rng, vocab::NAME_ADJECTIVES).to_string(),
+            vocab::pick(rng, vocab::NAME_NOUNS).to_string(),
+        ];
+        if rng.random::<f64>() < 0.55 {
+            name.push(vocab::pick(rng, vocab::NAME_SUFFIXES).to_string());
+        }
+        let mut address = vec![rng.random_range(1..300u32).to_string()];
+        if rng.random::<f64>() < 0.5 {
+            address.push(vocab::pick(rng, vocab::DIRECTIONS).to_string());
+        }
+        address.push(vocab::pick(rng, vocab::STREET_NAMES).to_string());
+        address.push(vocab::pick(rng, vocab::STREET_SUFFIXES).to_string());
+        BaseRestaurant {
+            name,
+            address,
+            city: vocab::pick(rng, vocab::CITIES).to_string(),
+            cuisine: vocab::pick(rng, vocab::CUISINES).to_string(),
+        }
+    }
+
+    fn fields(&self) -> Vec<String> {
+        vec![
+            self.name.join(" "),
+            self.address.join(" "),
+            self.city.clone(),
+            self.cuisine.clone(),
+        ]
+    }
+
+    /// Flatten to one token vector (the perturbation unit — duplicates
+    /// may garble any attribute).
+    fn all_tokens(&self) -> Vec<String> {
+        let mut t = self.name.clone();
+        t.extend(self.address.iter().cloned());
+        t.extend(self.city.split_whitespace().map(str::to_string));
+        t.push(self.cuisine.clone());
+        t
+    }
+
+    /// Rebuild fields from a perturbed token vector, preserving the
+    /// attribute arity of the original (tokens are consumed
+    /// positionally; surplus goes to the name, shortage empties the
+    /// trailing attributes).
+    fn fields_from_tokens(&self, tokens: &[String]) -> Vec<String> {
+        let name_len = self.name.len();
+        let addr_len = self.address.len();
+        let city_len = self.city.split_whitespace().count();
+        let mut it = tokens.iter().cloned();
+        let mut take = |n: usize| -> String {
+            let parts: Vec<String> = (&mut it).take(n).collect();
+            parts.join(" ")
+        };
+        let name = take(name_len);
+        let address = take(addr_len);
+        let city = take(city_len);
+        let mut cuisine = take(1);
+        // Any surplus tokens append to the cuisine field so no token is
+        // silently lost.
+        let rest: Vec<String> = it.collect();
+        if !rest.is_empty() {
+            cuisine = format!("{} {}", cuisine, rest.join(" "));
+        }
+        vec![name, address, city, cuisine]
+    }
+}
+
+/// Generate the Restaurant dataset.
+pub fn restaurant(config: &RestaurantConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = vec!["name".into(), "address".into(), "city".into(), "type".into()];
+    let mut dataset = Dataset::new("Restaurant", schema, PairSpace::SelfJoin);
+    let mut gold_pairs: Vec<Pair> = Vec::with_capacity(config.duplicated_entities);
+    let mut fresh = 0u32;
+
+    for _ in 0..config.unique_entities {
+        let base = BaseRestaurant::sample(&mut rng);
+        dataset
+            .push_record(SourceId(0), base.fields())
+            .expect("schema arity is fixed");
+    }
+    for _ in 0..config.duplicated_entities {
+        let base = BaseRestaurant::sample(&mut rng);
+        let original = dataset
+            .push_record(SourceId(0), base.fields())
+            .expect("schema arity is fixed");
+        let ops = draw_op_count(&DUPLICATE_TIERS, &mut rng);
+        // Retry no-op perturbations (a typo can redraw the same letter,
+        // an abbreviation can hit an already-short token): the paper's
+        // records are explicitly "non-identical".
+        let base_tokens = base.all_tokens();
+        let mut perturbed = perturb(&base_tokens, ops, &mut rng, &mut fresh);
+        for _ in 0..10 {
+            if perturbed != base_tokens {
+                break;
+            }
+            perturbed = perturb(&base_tokens, ops, &mut rng, &mut fresh);
+        }
+        let dup = dataset
+            .push_record(SourceId(0), base.fields_from_tokens(&perturbed))
+            .expect("schema arity is fixed");
+        gold_pairs.push(Pair::new(original, dup).expect("distinct ids"));
+    }
+    dataset.gold = GoldStandard::from_pairs(gold_pairs);
+    dataset
+}
+
+/// Record ids of all duplicate-entity originals — convenient for tests.
+pub fn duplicate_originals(config: &RestaurantConfig) -> Vec<RecordId> {
+    (0..config.duplicated_entities)
+        .map(|i| RecordId((config.unique_entities + 2 * i) as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowder_simjoin::{threshold_sweep, TokenTable};
+
+    #[test]
+    fn matches_paper_scale() {
+        let d = restaurant(&RestaurantConfig::default());
+        assert_eq!(d.len(), 858);
+        assert_eq!(d.gold.len(), 106);
+        assert_eq!(d.candidate_pair_count(), 367_653);
+        assert_eq!(d.schema.len(), 4);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = restaurant(&RestaurantConfig::default());
+        let b = restaurant(&RestaurantConfig::default());
+        assert_eq!(a.records(), b.records());
+    }
+
+    #[test]
+    fn records_are_non_identical() {
+        // The paper stresses "858 (non-identical) restaurant records".
+        let d = restaurant(&RestaurantConfig::default());
+        let mut texts: Vec<String> =
+            d.records().iter().map(|r| r.joined_text()).collect();
+        texts.sort();
+        texts.dedup();
+        // Allow a tiny number of coincidental collisions among
+        // *non-matching* records; duplicates must differ from originals.
+        assert!(texts.len() >= d.len() - 3, "{} distinct of {}", texts.len(), d.len());
+    }
+
+    /// The headline calibration test: the threshold→recall profile of the
+    /// synthetic Restaurant tracks Table 2(a)'s shape.
+    #[test]
+    fn table2a_shape() {
+        let d = restaurant(&RestaurantConfig::default());
+        let tokens = TokenTable::build(&d);
+        let rows = threshold_sweep(&d, &tokens, &[0.5, 0.4, 0.3, 0.2, 0.1]);
+        let recall: Vec<f64> = rows.iter().map(|r| r.recall).collect();
+        // Paper: 78.3%, 93.4%, 99.1%, 100%, 100%.
+        assert!(
+            (0.62..=0.92).contains(&recall[0]),
+            "recall@0.5 = {} outside Table 2(a) band",
+            recall[0]
+        );
+        assert!((0.85..=0.99).contains(&recall[1]), "recall@0.4 = {}", recall[1]);
+        assert!(recall[2] >= 0.95, "recall@0.3 = {}", recall[2]);
+        assert!(recall[3] >= 0.99, "recall@0.2 = {}", recall[3]);
+        assert!(recall[4] >= 0.999, "recall@0.1 = {}", recall[4]);
+        // Pair-count shape: pruning is drastic at high thresholds.
+        let total = d.candidate_pair_count() as f64;
+        assert!(rows[0].total_pairs as f64 / total < 0.005, "τ=0.5 keeps too many");
+        assert!(rows[2].total_pairs as f64 / total < 0.05, "τ=0.3 keeps too many");
+        assert!(
+            rows[4].total_pairs as f64 / total < 0.45,
+            "τ=0.1 keeps {} of {}",
+            rows[4].total_pairs,
+            total
+        );
+        // Monotone growth with decreasing threshold.
+        for w in rows.windows(2) {
+            assert!(w[0].total_pairs <= w[1].total_pairs);
+        }
+    }
+
+    #[test]
+    fn custom_scale() {
+        let cfg = RestaurantConfig { unique_entities: 10, duplicated_entities: 5, seed: 7 };
+        let d = restaurant(&cfg);
+        assert_eq!(d.len(), 20);
+        assert_eq!(d.gold.len(), 5);
+        let originals = duplicate_originals(&cfg);
+        assert_eq!(originals.len(), 5);
+        assert_eq!(originals[0], RecordId(10));
+    }
+}

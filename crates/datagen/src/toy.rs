@@ -1,0 +1,105 @@
+//! The paper's Table 1 — nine product records used by every worked
+//! example (Examples 1–4, Figures 2, 5, 8, 9).
+
+use crowder_types::{Dataset, GoldStandard, PairSpace, RecordId, SourceId};
+
+/// Build the Table 1 toy dataset.
+///
+/// Record ids match the paper's names: `RecordId(1)` is r1 … ; id 0 is a
+/// filler record (`"sony walkman nwz"`) so the paper's 1-based names map
+/// onto our dense 0-based ids without arithmetic. Gold entities are
+/// {r1, r2, r7} (the 16GB white WiFi iPad 2) and {r3, r4} (the 16GB
+/// white iPhone 4), giving the four matching pairs of Figure 2(c).
+pub fn table1() -> Dataset {
+    let mut d = Dataset::new(
+        "Table1",
+        vec!["product_name".into(), "price".into()],
+        PairSpace::SelfJoin,
+    );
+    let rows: [(&str, &str); 10] = [
+        ("sony walkman nwz", "$99"),
+        ("iPad Two 16GB WiFi White", "$490"),
+        ("iPad 2nd generation 16GB WiFi White", "$469"),
+        ("iPhone 4th generation White 16GB", "$545"),
+        ("Apple iPhone 4 16GB White", "$520"),
+        ("Apple iPhone 3rd generation Black 16GB", "$375"),
+        ("iPhone 4 32GB White", "$599"),
+        ("Apple iPad2 16GB WiFi White", "$499"),
+        ("Apple iPod shuffle 2GB Blue", "$49"),
+        ("Apple iPod shuffle USB Cable", "$19"),
+    ];
+    for (name, price) in rows {
+        d.push_record(SourceId(0), vec![name.into(), price.into()])
+            .expect("fixed schema");
+    }
+    d.gold = GoldStandard::from_clusters(vec![
+        vec![RecordId(1), RecordId(2), RecordId(7)],
+        vec![RecordId(3), RecordId(4)],
+    ]);
+    d
+}
+
+/// The ten pairs of Figure 2(a): Table 1 pairs whose *name* Jaccard is
+/// ≥ 0.3 (the paper's Example 1 uses name-only likelihoods).
+pub fn figure2a_pairs() -> Vec<crowder_types::Pair> {
+    use crowder_types::Pair;
+    vec![
+        Pair::of(1, 2),
+        Pair::of(1, 7),
+        Pair::of(2, 3),
+        Pair::of(2, 7),
+        Pair::of(3, 4),
+        Pair::of(3, 5),
+        Pair::of(4, 5),
+        Pair::of(4, 6),
+        Pair::of(4, 7),
+        Pair::of(8, 9),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowder_text::jaccard_strs;
+    use crowder_types::Pair;
+
+    #[test]
+    fn has_ten_records_and_four_matching_pairs() {
+        let d = table1();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.gold.len(), 4); // 3 iPad pairs + 1 iPhone pair
+        assert!(d.gold.is_match(&Pair::of(1, 2)));
+        assert!(d.gold.is_match(&Pair::of(1, 7)));
+        assert!(d.gold.is_match(&Pair::of(2, 7)));
+        assert!(d.gold.is_match(&Pair::of(3, 4)));
+        assert!(!d.gold.is_match(&Pair::of(4, 6)));
+    }
+
+    #[test]
+    fn figure2a_pairs_are_exactly_the_name_jaccard_survivors() {
+        let d = table1();
+        let mut survivors = Vec::new();
+        for i in 0..d.len() as u32 {
+            for j in (i + 1)..d.len() as u32 {
+                let a = d.records()[i as usize].field(0).unwrap();
+                let b = d.records()[j as usize].field(0).unwrap();
+                if jaccard_strs(a, b) >= 0.3 {
+                    survivors.push(Pair::of(i, j));
+                }
+            }
+        }
+        let mut expected = figure2a_pairs();
+        expected.sort();
+        survivors.sort();
+        assert_eq!(survivors, expected);
+    }
+
+    #[test]
+    fn paper_jaccard_examples_hold() {
+        let d = table1();
+        let name = |i: usize| d.records()[i].field(0).unwrap().to_string();
+        // §2.1.1: J(r1, r2) = 0.57, J(r1, r3) = 0.25.
+        assert!((jaccard_strs(&name(1), &name(2)) - 4.0 / 7.0).abs() < 1e-12);
+        assert!((jaccard_strs(&name(1), &name(3)) - 0.25).abs() < 1e-12);
+    }
+}

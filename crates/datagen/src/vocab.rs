@@ -1,0 +1,168 @@
+//! Token vocabularies for the synthetic generators.
+//!
+//! Pool sizes are calibration parameters: small pools (street suffixes,
+//! cities, colors, marketing words) create the background token overlap
+//! that gives non-matching pairs their Table 2 likelihood tail, while
+//! large pools (street names, model codes) keep true entities
+//! distinguishable.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Restaurant name adjectives.
+pub const NAME_ADJECTIVES: &[&str] = &[
+    "golden", "blue", "royal", "little", "grand", "silver", "lucky", "happy", "olive",
+    "red", "green", "ancient", "sunny", "rustic", "urban", "velvet", "copper", "ivory",
+    "crystal", "hidden", "twin", "wild", "quiet", "brave", "noble", "amber", "coral",
+    "misty", "iron", "stone", "maple", "cedar", "willow", "jade", "pearl", "scarlet",
+    "indigo", "crimson", "cobalt", "saffron",
+];
+
+/// Restaurant name nouns.
+pub const NAME_NOUNS: &[&str] = &[
+    "dragon", "garden", "palace", "bistro", "table", "fork", "spoon", "kettle", "hearth",
+    "lantern", "harbor", "terrace", "vineyard", "orchard", "pavilion", "courtyard",
+    "parlor", "cellar", "attic", "veranda", "galley", "pantry", "larder", "griddle",
+    "skillet", "oven", "ember", "flame", "smoke", "spice", "pepper", "ginger", "basil",
+    "thyme", "sage", "rosemary", "clove", "anise", "cumin", "fennel", "sesame", "walnut",
+    "chestnut", "almond", "cashew", "pistachio", "apricot", "quince", "plum", "cherry",
+    "peach", "melon", "citron", "lemon", "lime", "papaya", "mango", "guava", "fig",
+    "olivetree",
+];
+
+/// Restaurant name suffix words (common across many restaurants — a
+/// deliberate source of background overlap).
+pub const NAME_SUFFIXES: &[&str] =
+    &["cafe", "grill", "house", "kitchen", "diner", "tavern", "bar", "room"];
+
+/// Street base names.
+pub const STREET_NAMES: &[&str] = &[
+    "main", "oak", "pine", "maple", "cedar", "elm", "washington", "lake", "hill",
+    "park", "river", "spring", "church", "center", "union", "prospect", "highland",
+    "forest", "jackson", "lincoln", "adams", "jefferson", "madison", "monroe",
+    "franklin", "clinton", "marshall", "grant", "sherman", "sheridan", "delancey",
+    "houston", "bleecker", "mercer", "spruce", "walnut", "chestnut", "locust",
+    "sycamore", "magnolia", "juniper", "laurel", "colorado", "ventura", "sunset",
+    "melrose", "wilshire", "pico", "olympic", "figueroa", "broadway", "lexington",
+    "amsterdam", "columbus", "riverside", "morningside", "vermont", "normandie",
+    "fairfax", "labrea",
+];
+
+/// Street suffixes (small pool: heavy overlap source).
+pub const STREET_SUFFIXES: &[&str] = &["st", "ave", "blvd", "rd"];
+
+/// Directions (optional address token).
+pub const DIRECTIONS: &[&str] = &["e", "w", "n", "s"];
+
+/// Cities — two tokens each, small pool (the dominant non-match overlap
+/// source for Restaurant, matching Table 2(a)'s fat tail at τ = 0.1).
+pub const CITIES: &[&str] = &[
+    "new york", "los angeles", "san francisco", "las vegas", "new orleans",
+    "santa monica", "long beach", "palo alto",
+];
+
+/// Cuisine types.
+pub const CUISINES: &[&str] = &[
+    "seafood", "italian", "french", "chinese", "mexican", "japanese", "indian",
+    "american", "thai", "greek",
+];
+
+/// Product brands.
+pub const BRANDS: &[&str] = &[
+    "apple", "sony", "samsung", "canon", "nikon", "panasonic", "toshiba", "philips",
+    "sharp", "sanyo", "jvc", "pioneer", "kenwood", "garmin", "logitech", "netgear",
+    "linksys", "belkin", "brother", "epson", "lexmark", "olympus", "casio", "yamaha",
+    "denon", "onkyo", "bose", "klipsch", "polk", "sennheiser",
+];
+
+/// Product categories.
+pub const CATEGORIES: &[&str] = &[
+    "camera", "camcorder", "tv", "receiver", "speaker", "headphones", "printer",
+    "router", "phone", "player", "keyboard", "monitor",
+];
+
+/// Product series names (mid-size pool).
+pub const SERIES: &[&str] = &[
+    "powershot", "coolpix", "cybershot", "bravia", "viera", "aquos", "lumix",
+    "stylus", "exilim", "handycam", "walkman", "diamante", "vaio", "pavilion",
+    "inspiron", "satellite", "travelmate", "thinkpad", "ideapad", "chromebook",
+];
+
+/// Colors (small pool: overlap source).
+pub const COLORS: &[&str] = &["black", "white", "silver", "blue", "red", "gray", "pink", "green"];
+
+/// Capacity / size tokens (small pool: overlap source).
+pub const SIZES: &[&str] = &[
+    "2gb", "4gb", "8gb", "16gb", "32gb", "64gb", "19", "22", "26", "32", "42", "52",
+];
+
+/// Marketing filler words (small pool, several per record: the dominant
+/// Product background-overlap source).
+pub const MARKETING: &[&str] = &[
+    "digital", "wireless", "portable", "compact", "hd", "stereo", "dual", "pro",
+    "series", "edition", "kit", "bundle", "pack", "new", "slim", "mini", "ultra",
+    "plus", "premium", "home",
+];
+
+/// Pick one element of a slice uniformly.
+pub fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.random_range(0..pool.len())]
+}
+
+/// Alphanumeric model code like `sd1200is` — effectively unique tokens.
+pub fn model_code(rng: &mut StdRng) -> String {
+    let letters = b"abcdefghijklmnopqrstuvwxyz";
+    let l1 = letters[rng.random_range(0..26)] as char;
+    let l2 = letters[rng.random_range(0..26)] as char;
+    let num: u32 = rng.random_range(100..9999);
+    let suffix = ["", "is", "x", "s", "le"][rng.random_range(0..5)];
+    format!("{l1}{l2}{num}{suffix}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pools_are_nonempty_and_lowercase() {
+        for pool in [
+            NAME_ADJECTIVES,
+            NAME_NOUNS,
+            NAME_SUFFIXES,
+            STREET_NAMES,
+            STREET_SUFFIXES,
+            DIRECTIONS,
+            CITIES,
+            CUISINES,
+            BRANDS,
+            CATEGORIES,
+            SERIES,
+            COLORS,
+            SIZES,
+            MARKETING,
+        ] {
+            assert!(!pool.is_empty());
+            for token in pool {
+                assert_eq!(token.to_lowercase(), *token, "vocab must be pre-normalized");
+            }
+        }
+    }
+
+    #[test]
+    fn model_codes_are_mostly_unique() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let codes: std::collections::HashSet<String> =
+            (0..1000).map(|_| model_code(&mut rng)).collect();
+        assert!(codes.len() > 950);
+    }
+
+    #[test]
+    fn pick_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            assert_eq!(pick(&mut a, BRANDS), pick(&mut b, BRANDS));
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Connected-component extraction.
+//!
+//! Algorithm 1 of the paper begins by splitting the pair graph into
+//! connected components and classifying them as *small* (≤ k vertices)
+//! or *large* (> k). The split is computed here; classification lives
+//! with the two-tiered generator.
+
+use crate::graph::PairGraph;
+use crate::unionfind::UnionFind;
+use crowder_types::{Pair, RecordId};
+
+/// Group the vertices of `graph` into connected components.
+///
+/// Components are returned as lists of [`RecordId`]s; each list is sorted
+/// and the components themselves are ordered by their smallest member, so
+/// the output is deterministic.
+pub fn connected_components(graph: &PairGraph) -> Vec<Vec<RecordId>> {
+    let n = graph.vertex_count();
+    let mut uf = UnionFind::new(n);
+    for (u, v) in graph.edges() {
+        uf.union(u as usize, v as usize);
+    }
+    let mut groups: std::collections::HashMap<usize, Vec<RecordId>> =
+        std::collections::HashMap::new();
+    for v in 0..n {
+        groups.entry(uf.find(v)).or_default().push(graph.record(v as u32));
+    }
+    let mut out: Vec<Vec<RecordId>> = groups
+        .into_values()
+        .map(|mut g| {
+            g.sort_unstable();
+            g
+        })
+        .collect();
+    out.sort_by_key(|g| g[0]);
+    out
+}
+
+/// Partition a pair list by connected component: returns, for each
+/// component, the pairs whose endpoints both lie in it (which is all the
+/// pairs touching it, since pairs are edges).
+pub fn pairs_by_component(pairs: &[Pair]) -> Vec<Vec<Pair>> {
+    let graph = PairGraph::from_pairs(pairs);
+    let comps = connected_components(&graph);
+    // Map record -> component index.
+    let mut comp_of: std::collections::HashMap<RecordId, usize> =
+        std::collections::HashMap::new();
+    for (ci, comp) in comps.iter().enumerate() {
+        for &r in comp {
+            comp_of.insert(r, ci);
+        }
+    }
+    let mut out: Vec<Vec<Pair>> = vec![Vec::new(); comps.len()];
+    for pair in pairs {
+        let ci = comp_of[&pair.lo()];
+        debug_assert_eq!(ci, comp_of[&pair.hi()], "edge must not span components");
+        out[ci].push(*pair);
+    }
+    for group in &mut out {
+        group.sort();
+        group.dedup();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure5_pairs() -> Vec<Pair> {
+        vec![
+            Pair::of(1, 2),
+            Pair::of(2, 3),
+            Pair::of(1, 7),
+            Pair::of(2, 7),
+            Pair::of(3, 4),
+            Pair::of(3, 5),
+            Pair::of(4, 5),
+            Pair::of(4, 6),
+            Pair::of(4, 7),
+            Pair::of(8, 9),
+        ]
+    }
+
+    #[test]
+    fn figure5_has_two_components() {
+        // Paper §5.1: the Figure 5 graph consists of two connected
+        // components — {r1..r7} (an LCC at k=4) and {r8, r9} (an SCC).
+        let g = PairGraph::from_pairs(&figure5_pairs());
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], (1..=7).map(RecordId).collect::<Vec<_>>());
+        assert_eq!(comps[1], vec![RecordId(8), RecordId(9)]);
+    }
+
+    #[test]
+    fn pairs_by_component_splits_edges() {
+        let split = pairs_by_component(&figure5_pairs());
+        assert_eq!(split.len(), 2);
+        assert_eq!(split[0].len(), 9);
+        assert_eq!(split[1], vec![Pair::of(8, 9)]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = PairGraph::from_pairs(&[]);
+        assert!(connected_components(&g).is_empty());
+        assert!(pairs_by_component(&[]).is_empty());
+    }
+
+    #[test]
+    fn singleton_edges_are_their_own_components() {
+        let pairs = vec![Pair::of(0, 1), Pair::of(2, 3), Pair::of(4, 5)];
+        let comps = connected_components(&PairGraph::from_pairs(&pairs));
+        assert_eq!(comps.len(), 3);
+    }
+}

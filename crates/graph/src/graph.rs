@@ -1,0 +1,172 @@
+//! Immutable pair graphs.
+
+use crowder_types::{Pair, RecordId};
+use std::collections::HashMap;
+
+/// An undirected graph whose vertices are the records touched by a pair
+/// set and whose edges are the pairs themselves (paper §4, Figure 5).
+///
+/// Vertices are stored densely (`0..n`) with a bidirectional mapping to
+/// [`RecordId`]s; adjacency lists are sorted for deterministic iteration.
+#[derive(Debug, Clone)]
+pub struct PairGraph {
+    verts: Vec<RecordId>,
+    index: HashMap<RecordId, u32>,
+    adj: Vec<Vec<u32>>,
+    edge_count: usize,
+}
+
+impl PairGraph {
+    /// Build from a pair list; duplicate pairs are collapsed.
+    pub fn from_pairs<'a, I: IntoIterator<Item = &'a Pair>>(pairs: I) -> Self {
+        let mut verts: Vec<RecordId> = Vec::new();
+        let mut index: HashMap<RecordId, u32> = HashMap::new();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for pair in pairs {
+            let mut id_of = |r: RecordId| -> u32 {
+                *index.entry(r).or_insert_with(|| {
+                    verts.push(r);
+                    (verts.len() - 1) as u32
+                })
+            };
+            let u = id_of(pair.lo());
+            let v = id_of(pair.hi());
+            edges.push((u.min(v), u.max(v)));
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); verts.len()];
+        for &(u, v) in &edges {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        PairGraph { verts, index, adj, edge_count: edges.len() }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The record behind dense vertex `v`.
+    #[inline]
+    pub fn record(&self, v: u32) -> RecordId {
+        self.verts[v as usize]
+    }
+
+    /// Dense vertex of `record`, if present.
+    pub fn vertex(&self, record: RecordId) -> Option<u32> {
+        self.index.get(&record).copied()
+    }
+
+    /// Sorted neighbor list of dense vertex `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of dense vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Iterate all edges as dense vertex pairs `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, list)| {
+            let u = u as u32;
+            list.iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// Iterate all edges as record [`Pair`]s.
+    pub fn edge_pairs(&self) -> impl Iterator<Item = Pair> + '_ {
+        self.edges().map(|(u, v)| {
+            Pair::new(self.record(u), self.record(v)).expect("distinct vertices")
+        })
+    }
+
+    /// All record ids in dense-vertex order.
+    pub fn records(&self) -> &[RecordId] {
+        &self.verts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 5 of the paper: the graph built from the ten surviving pairs
+    /// of Table 1 at likelihood threshold 0.3.
+    pub fn figure5_pairs() -> Vec<Pair> {
+        vec![
+            Pair::of(1, 2),
+            Pair::of(2, 3),
+            Pair::of(1, 7),
+            Pair::of(2, 7),
+            Pair::of(3, 4),
+            Pair::of(3, 5),
+            Pair::of(4, 5),
+            Pair::of(4, 6),
+            Pair::of(4, 7),
+            Pair::of(8, 9),
+        ]
+    }
+
+    #[test]
+    fn figure5_graph_shape() {
+        let pairs = figure5_pairs();
+        let g = PairGraph::from_pairs(&pairs);
+        assert_eq!(g.vertex_count(), 9);
+        assert_eq!(g.edge_count(), 10);
+        // r4 has the maximum degree (4): edges to r3, r5, r6, r7.
+        let v4 = g.vertex(RecordId(4)).unwrap();
+        assert_eq!(g.degree(v4), 4);
+    }
+
+    #[test]
+    fn duplicate_pairs_collapse() {
+        let pairs = vec![Pair::of(0, 1), Pair::of(1, 0), Pair::of(0, 1)];
+        let g = PairGraph::from_pairs(&pairs);
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn edge_pairs_round_trip() {
+        let pairs = figure5_pairs();
+        let g = PairGraph::from_pairs(&pairs);
+        let mut out: Vec<Pair> = g.edge_pairs().collect();
+        out.sort();
+        let mut expect = pairs.clone();
+        expect.sort();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = PairGraph::from_pairs(&[]);
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn vertex_mapping_is_bijective() {
+        let pairs = figure5_pairs();
+        let g = PairGraph::from_pairs(&pairs);
+        for v in 0..g.vertex_count() as u32 {
+            assert_eq!(g.vertex(g.record(v)), Some(v));
+        }
+    }
+}

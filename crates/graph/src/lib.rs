@@ -1,0 +1,25 @@
+//! # crowder-graph
+//!
+//! The pair-graph substrate used by HIT generation (paper §4–§5).
+//!
+//! The paper models the set of pairs to be crowdsourced as a graph: each
+//! vertex is a record, each edge a pair that needs verification; a
+//! cluster-based HIT is a vertex set that *covers* the edges inside it.
+//! All five cluster-HIT generators operate on this structure:
+//!
+//! * [`PairGraph`] — immutable snapshot built from a pair list, with
+//!   connected-component extraction (the two-tiered algorithm's first
+//!   step, Algorithm 1 line 2),
+//! * [`MutGraph`] — an adjacency-set graph supporting the edge removals
+//!   every generator performs ("remove the edges covered by H"),
+//! * [`UnionFind`] — disjoint sets for component labelling.
+
+pub mod components;
+pub mod graph;
+pub mod mutgraph;
+pub mod unionfind;
+
+pub use components::connected_components;
+pub use graph::PairGraph;
+pub use mutgraph::MutGraph;
+pub use unionfind::UnionFind;

@@ -1,0 +1,123 @@
+//! Disjoint-set forest with union by rank and path halving.
+
+/// A union-find structure over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True iff the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set (path halving).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            let grandparent = self.parent[self.parent[x] as usize];
+            self.parent[x] = grandparent;
+            x = grandparent as usize;
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns true if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.components -= 1;
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Are `a` and `b` in the same set?
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2)); // already merged
+        assert_eq!(uf.component_count(), 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+    }
+
+    #[test]
+    fn empty_structure() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.component_count(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn component_count_matches_distinct_roots(
+            edges in proptest::collection::vec((0usize..20, 0usize..20), 0..40)
+        ) {
+            let mut uf = UnionFind::new(20);
+            for (a, b) in edges {
+                uf.union(a, b);
+            }
+            let mut roots: Vec<usize> = (0..20).map(|i| uf.find(i)).collect();
+            roots.sort_unstable();
+            roots.dedup();
+            prop_assert_eq!(roots.len(), uf.component_count());
+        }
+
+        #[test]
+        fn union_is_transitive(
+            chain in proptest::collection::vec(0usize..15, 2..15)
+        ) {
+            let mut uf = UnionFind::new(15);
+            for w in chain.windows(2) {
+                uf.union(w[0], w[1]);
+            }
+            let first = *chain.first().unwrap();
+            for &x in &chain {
+                prop_assert!(uf.connected(first, x));
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The `BFS-based` and `DFS-based` baseline generators (§7.2).
+//!
+//! Both build the pair graph and emit the first `k` vertices of a
+//! graph traversal as a cluster-based HIT, remove the edges that HIT
+//! covers, and re-traverse the shrunken graph until no edges remain. The
+//! only difference is the traversal discipline. The paper found BFS to be
+//! the strongest baseline — breadth-first order keeps each HIT's vertices
+//! locally clustered, covering more edges per HIT.
+
+use crate::hit::{ClusterGenerator, Hit};
+use crate::validate::check_k;
+use crowder_graph::MutGraph;
+use crowder_types::{Pair, Result};
+
+/// Shared engine for the two traversal baselines.
+fn traversal_generate(pairs: &[Pair], k: usize, bfs: bool) -> Result<Vec<Hit>> {
+    check_k(k)?;
+    let mut graph = MutGraph::from_pairs(pairs);
+    let mut hits = Vec::new();
+    while !graph.is_edgeless() {
+        // Only the first k vertices of the traversal are consumed, so the
+        // prefix walk stops early instead of ordering the whole graph.
+        let prefix = if bfs { graph.bfs_prefix(k) } else { graph.dfs_prefix(k) };
+        let hit = Hit::cluster(prefix.iter().copied());
+        let removed = graph.remove_covered_edges(&prefix);
+        debug_assert!(
+            removed > 0,
+            "a k >= 2 prefix of a traversal always covers the first tree edge"
+        );
+        hits.push(hit);
+    }
+    Ok(hits)
+}
+
+/// Breadth-first-search baseline generator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BfsGenerator;
+
+impl ClusterGenerator for BfsGenerator {
+    fn name(&self) -> &'static str {
+        "BFS-based"
+    }
+
+    fn generate(&self, pairs: &[Pair], k: usize) -> Result<Vec<Hit>> {
+        traversal_generate(pairs, k, true)
+    }
+}
+
+/// Depth-first-search baseline generator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DfsGenerator;
+
+impl ClusterGenerator for DfsGenerator {
+    fn name(&self) -> &'static str {
+        "DFS-based"
+    }
+
+    fn generate(&self, pairs: &[Pair], k: usize) -> Result<Vec<Hit>> {
+        traversal_generate(pairs, k, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_cluster_hits;
+    use proptest::prelude::*;
+
+    fn figure2a_pairs() -> Vec<Pair> {
+        vec![
+            Pair::of(1, 2),
+            Pair::of(2, 3),
+            Pair::of(1, 7),
+            Pair::of(2, 7),
+            Pair::of(3, 4),
+            Pair::of(3, 5),
+            Pair::of(4, 5),
+            Pair::of(4, 6),
+            Pair::of(4, 7),
+            Pair::of(8, 9),
+        ]
+    }
+
+    #[test]
+    fn bfs_covers_everything() {
+        let hits = BfsGenerator.generate(&figure2a_pairs(), 4).unwrap();
+        validate_cluster_hits(&hits, &figure2a_pairs(), 4).unwrap();
+    }
+
+    #[test]
+    fn dfs_covers_everything() {
+        let hits = DfsGenerator.generate(&figure2a_pairs(), 4).unwrap();
+        validate_cluster_hits(&hits, &figure2a_pairs(), 4).unwrap();
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = BfsGenerator.generate(&figure2a_pairs(), 4).unwrap();
+        let b = BfsGenerator.generate(&figure2a_pairs(), 4).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_edge_single_hit() {
+        let pairs = vec![Pair::of(0, 1)];
+        for gen in [
+            Box::new(BfsGenerator) as Box<dyn ClusterGenerator>,
+            Box::new(DfsGenerator),
+        ] {
+            let hits = gen.generate(&pairs, 10).unwrap();
+            assert_eq!(hits.len(), 1);
+            assert_eq!(hits[0].size(), 2);
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(BfsGenerator.name(), "BFS-based");
+        assert_eq!(DfsGenerator.name(), "DFS-based");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn traversal_generators_invariants(
+            edges in proptest::collection::vec((0u32..25, 0u32..25), 1..60),
+            k in 2usize..=8,
+            bfs in proptest::bool::ANY,
+        ) {
+            let pairs: Vec<Pair> = edges
+                .into_iter()
+                .filter(|(a, b)| a != b)
+                .map(|(a, b)| Pair::of(a, b))
+                .collect();
+            let hits = traversal_generate(&pairs, k, bfs).unwrap();
+            prop_assert!(validate_cluster_hits(&hits, &pairs, k).is_ok());
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! The HIT model and the cluster-generator trait.
+
+use crowder_types::{Pair, RecordId, Result};
+use std::collections::BTreeSet;
+
+/// One Human Intelligence Task, ready to be published to a crowd
+/// platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Hit {
+    /// A pair-based HIT: the worker answers YES/NO for each listed pair
+    /// independently (paper Figure 3).
+    PairBased {
+        /// The batched pairs.
+        pairs: Vec<Pair>,
+    },
+    /// A cluster-based HIT: the worker labels duplicate groups among the
+    /// records (paper Figure 4), implicitly answering every pair inside.
+    ClusterBased {
+        /// The records shown, sorted and deduplicated.
+        records: Vec<RecordId>,
+    },
+}
+
+impl Hit {
+    /// Build a cluster-based HIT, deduplicating and sorting records.
+    pub fn cluster<I: IntoIterator<Item = RecordId>>(records: I) -> Self {
+        let set: BTreeSet<RecordId> = records.into_iter().collect();
+        Hit::ClusterBased { records: set.into_iter().collect() }
+    }
+
+    /// Build a pair-based HIT.
+    pub fn pairs(pairs: Vec<Pair>) -> Self {
+        Hit::PairBased { pairs }
+    }
+
+    /// Number of records (cluster) or pairs (pair-based) — the `|H|`
+    /// bounded by the size threshold `k`.
+    pub fn size(&self) -> usize {
+        match self {
+            Hit::PairBased { pairs } => pairs.len(),
+            Hit::ClusterBased { records } => records.len(),
+        }
+    }
+
+    /// Can this HIT verify `pair`? Pair-based HITs verify listed pairs;
+    /// cluster-based HITs verify any pair whose two records they contain
+    /// (§3.2: "a cluster-based HIT allows a pair of records to be
+    /// matched iff both records are in the HIT").
+    pub fn covers(&self, pair: &Pair) -> bool {
+        match self {
+            Hit::PairBased { pairs } => pairs.contains(pair),
+            Hit::ClusterBased { records } => {
+                records.binary_search(&pair.lo()).is_ok()
+                    && records.binary_search(&pair.hi()).is_ok()
+            }
+        }
+    }
+
+    /// All pairs this HIT can verify. For a cluster HIT that is every
+    /// unordered pair of its records.
+    pub fn coverable_pairs(&self) -> Vec<Pair> {
+        match self {
+            Hit::PairBased { pairs } => pairs.clone(),
+            Hit::ClusterBased { records } => {
+                let mut out = Vec::new();
+                for i in 0..records.len() {
+                    for j in (i + 1)..records.len() {
+                        out.push(Pair::new(records[i], records[j]).expect("distinct sorted"));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Records shown to the worker.
+    pub fn records(&self) -> Vec<RecordId> {
+        match self {
+            Hit::PairBased { pairs } => {
+                let set: BTreeSet<RecordId> = pairs
+                    .iter()
+                    .flat_map(|p| [p.lo(), p.hi()])
+                    .collect();
+                set.into_iter().collect()
+            }
+            Hit::ClusterBased { records } => records.clone(),
+        }
+    }
+}
+
+/// A cluster-based HIT generation algorithm (the five of §7.2).
+pub trait ClusterGenerator {
+    /// Short name used in experiment reports (e.g. `"Two-tiered"`).
+    fn name(&self) -> &'static str;
+
+    /// Generate cluster-based HITs of at most `k` records covering every
+    /// pair in `pairs`.
+    fn generate(&self, pairs: &[Pair], k: usize) -> Result<Vec<Hit>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_hits_dedup_and_sort() {
+        let h = Hit::cluster([RecordId(3), RecordId(1), RecordId(3)]);
+        assert_eq!(h.size(), 2);
+        assert_eq!(h.records(), vec![RecordId(1), RecordId(3)]);
+    }
+
+    #[test]
+    fn cluster_coverage_is_all_internal_pairs() {
+        let h = Hit::cluster([RecordId(1), RecordId(2), RecordId(7)]);
+        assert!(h.covers(&Pair::of(1, 2)));
+        assert!(h.covers(&Pair::of(2, 7)));
+        assert!(!h.covers(&Pair::of(1, 4)));
+        assert_eq!(h.coverable_pairs().len(), 3);
+    }
+
+    #[test]
+    fn pair_hit_covers_only_listed_pairs() {
+        let h = Hit::pairs(vec![Pair::of(1, 2), Pair::of(4, 6)]);
+        assert_eq!(h.size(), 2);
+        assert!(h.covers(&Pair::of(1, 2)));
+        // (2, 4): both records appear in the HIT but the pair is not
+        // listed, so a pair-based HIT does NOT verify it.
+        assert!(!h.covers(&Pair::of(2, 4)));
+        assert_eq!(h.records(), vec![RecordId(1), RecordId(2), RecordId(4), RecordId(6)]);
+    }
+
+    #[test]
+    fn empty_hits() {
+        let h = Hit::cluster([]);
+        assert_eq!(h.size(), 0);
+        assert!(h.coverable_pairs().is_empty());
+    }
+}

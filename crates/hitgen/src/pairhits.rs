@@ -1,0 +1,90 @@
+//! Pair-based HIT generation (§3.1).
+//!
+//! *"Suppose a pair-based HIT can contain at most k pairs. Given a set of
+//! pairs, P, we need to generate ⌈|P|/k⌉ pair-based HITs."* Pairs are
+//! batched in ranked order, so the most likely matches are published
+//! first — useful when a budget truncates the run.
+
+use crate::hit::Hit;
+use crowder_types::{Error, Pair, Result};
+
+/// Chunk `pairs` into pair-based HITs of at most `per_hit` pairs.
+pub fn generate_pair_hits(pairs: &[Pair], per_hit: usize) -> Result<Vec<Hit>> {
+    if per_hit == 0 {
+        return Err(Error::InvalidConfig {
+            param: "per_hit",
+            message: "a pair-based HIT must hold at least one pair".into(),
+        });
+    }
+    Ok(pairs
+        .chunks(per_hit)
+        .map(|chunk| Hit::pairs(chunk.to_vec()))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ten_pairs() -> Vec<Pair> {
+        vec![
+            Pair::of(1, 2),
+            Pair::of(2, 3),
+            Pair::of(1, 7),
+            Pair::of(2, 7),
+            Pair::of(3, 4),
+            Pair::of(3, 5),
+            Pair::of(4, 5),
+            Pair::of(4, 6),
+            Pair::of(4, 7),
+            Pair::of(8, 9),
+        ]
+    }
+
+    #[test]
+    fn paper_example_five_hits_of_two() {
+        // §3.1: "for the ten pairs ... if k = 2, we would need to generate
+        // five pair-based HITs".
+        let hits = generate_pair_hits(&ten_pairs(), 2).unwrap();
+        assert_eq!(hits.len(), 5);
+        assert!(hits.iter().all(|h| h.size() == 2));
+    }
+
+    #[test]
+    fn ragged_final_hit() {
+        let hits = generate_pair_hits(&ten_pairs(), 3).unwrap();
+        assert_eq!(hits.len(), 4); // ⌈10/3⌉
+        assert_eq!(hits.last().unwrap().size(), 1);
+    }
+
+    #[test]
+    fn zero_batch_size_rejected() {
+        assert!(generate_pair_hits(&ten_pairs(), 0).is_err());
+    }
+
+    #[test]
+    fn empty_pair_set() {
+        assert!(generate_pair_hits(&[], 5).unwrap().is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn hit_count_is_ceiling_and_every_pair_once(
+            n in 0usize..60,
+            per_hit in 1usize..=20,
+        ) {
+            let pairs: Vec<Pair> = (0..n as u32).map(|i| Pair::of(2 * i, 2 * i + 1)).collect();
+            let hits = generate_pair_hits(&pairs, per_hit).unwrap();
+            prop_assert_eq!(hits.len(), n.div_ceil(per_hit));
+            let flattened: Vec<Pair> = hits
+                .iter()
+                .flat_map(|h| match h {
+                    Hit::PairBased { pairs } => pairs.clone(),
+                    _ => unreachable!(),
+                })
+                .collect();
+            prop_assert_eq!(flattened, pairs);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Validation of the Definition 1 requirements.
+//!
+//! A correct cluster-based HIT generation must satisfy: (1) every HIT has
+//! at most `k` records; (2) every input pair is covered by at least one
+//! HIT. These checks back the unit and property tests of all five
+//! generators and are cheap enough to run after real generations too.
+
+use crate::hit::Hit;
+use crowder_types::{Error, Pair, Result};
+use std::collections::HashSet;
+
+/// Validate the cluster-size threshold itself: a cluster-based HIT must
+/// be able to hold at least one pair.
+pub fn check_k(k: usize) -> Result<()> {
+    if k < 2 {
+        return Err(Error::InvalidConfig {
+            param: "k",
+            message: format!("cluster-size threshold must be ≥ 2, got {k}"),
+        });
+    }
+    Ok(())
+}
+
+/// Check Definition 1 for cluster-based HITs: sizes ≤ `k` and full
+/// coverage of `pairs`.
+pub fn validate_cluster_hits(hits: &[Hit], pairs: &[Pair], k: usize) -> Result<()> {
+    for (i, hit) in hits.iter().enumerate() {
+        let Hit::ClusterBased { records } = hit else {
+            return Err(Error::InvalidData(format!(
+                "HIT {i} is pair-based in a cluster-based generation"
+            )));
+        };
+        if records.len() > k {
+            return Err(Error::InvalidData(format!(
+                "HIT {i} holds {} records, exceeding k = {k}",
+                records.len()
+            )));
+        }
+    }
+    // Coverage via a hash of all coverable pairs — O(Σ|H|²) total.
+    let covered: HashSet<Pair> = hits
+        .iter()
+        .flat_map(Hit::coverable_pairs)
+        .collect();
+    for pair in pairs {
+        if !covered.contains(pair) {
+            return Err(Error::InvalidData(format!(
+                "pair {pair} is not covered by any cluster-based HIT"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Check the pair-based analogue: each HIT batches ≤ `per_hit` pairs and
+/// every input pair appears in some HIT.
+pub fn validate_pair_hits(hits: &[Hit], pairs: &[Pair], per_hit: usize) -> Result<()> {
+    let mut listed: HashSet<Pair> = HashSet::new();
+    for (i, hit) in hits.iter().enumerate() {
+        let Hit::PairBased { pairs: batch } = hit else {
+            return Err(Error::InvalidData(format!(
+                "HIT {i} is cluster-based in a pair-based generation"
+            )));
+        };
+        if batch.len() > per_hit {
+            return Err(Error::InvalidData(format!(
+                "HIT {i} batches {} pairs, exceeding {per_hit}",
+                batch.len()
+            )));
+        }
+        listed.extend(batch.iter().copied());
+    }
+    for pair in pairs {
+        if !listed.contains(pair) {
+            return Err(Error::InvalidData(format!(
+                "pair {pair} is not listed in any pair-based HIT"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowder_types::RecordId;
+
+    #[test]
+    fn k_bounds() {
+        assert!(check_k(0).is_err());
+        assert!(check_k(1).is_err());
+        assert!(check_k(2).is_ok());
+    }
+
+    #[test]
+    fn detects_oversized_hit() {
+        let hits = vec![Hit::cluster((0..5).map(RecordId))];
+        let err = validate_cluster_hits(&hits, &[], 4);
+        assert!(matches!(err, Err(Error::InvalidData(_))));
+    }
+
+    #[test]
+    fn detects_uncovered_pair() {
+        let hits = vec![Hit::cluster([RecordId(0), RecordId(1)])];
+        assert!(validate_cluster_hits(&hits, &[Pair::of(0, 1)], 4).is_ok());
+        assert!(validate_cluster_hits(&hits, &[Pair::of(1, 2)], 4).is_err());
+    }
+
+    #[test]
+    fn detects_wrong_hit_shape() {
+        let pair_hit = vec![Hit::pairs(vec![Pair::of(0, 1)])];
+        assert!(validate_cluster_hits(&pair_hit, &[], 4).is_err());
+        let cluster_hit = vec![Hit::cluster([RecordId(0), RecordId(1)])];
+        assert!(validate_pair_hits(&cluster_hit, &[], 4).is_err());
+    }
+
+    #[test]
+    fn pair_validation() {
+        let hits = vec![
+            Hit::pairs(vec![Pair::of(0, 1), Pair::of(2, 3)]),
+            Hit::pairs(vec![Pair::of(4, 5)]),
+        ];
+        let all = [Pair::of(0, 1), Pair::of(2, 3), Pair::of(4, 5)];
+        assert!(validate_pair_hits(&hits, &all, 2).is_ok());
+        assert!(validate_pair_hits(&hits, &[Pair::of(0, 2)], 2).is_err());
+        assert!(validate_pair_hits(&hits, &all, 1).is_err()); // batch too big
+    }
+}

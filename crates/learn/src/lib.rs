@@ -1,0 +1,26 @@
+//! # crowder-learn
+//!
+//! The learning-based entity-resolution baseline of §2.1.2 / §7.3: a
+//! linear soft-margin SVM over per-pair similarity features.
+//!
+//! The paper treats the SVM as an off-the-shelf component; we build it
+//! from scratch:
+//!
+//! * [`svm`] — sequential minimal optimization (SMO) for the dual
+//!   soft-margin problem with a linear kernel,
+//! * [`scaler`] — per-dimension standardization (SMO behaves badly on
+//!   unscaled features),
+//! * [`protocol`] — the paper's exact experimental protocol: features
+//!   are edit-distance + cosine similarity per attribute, the training
+//!   set is 500 pairs sampled from candidates with Jaccard > 0.1, labels
+//!   come from the gold standard, sampling repeats 10 times and
+//!   performance is averaged, and the ranked list orders the remaining
+//!   pairs by signed margin.
+
+pub mod protocol;
+pub mod scaler;
+pub mod svm;
+
+pub use protocol::{SvmProtocol, SvmTrialOutput};
+pub use scaler::StandardScaler;
+pub use svm::{LinearSvm, SvmConfig};

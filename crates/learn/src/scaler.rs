@@ -1,0 +1,112 @@
+//! Per-dimension feature standardization.
+
+use crowder_types::{Error, Result};
+
+/// Standardizes features to zero mean, unit variance (dimensions with
+/// zero variance pass through centered only).
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stddevs: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit on a feature matrix (rows = samples). Errors on an empty
+    /// matrix or ragged rows.
+    pub fn fit(rows: &[Vec<f64>]) -> Result<Self> {
+        let Some(first) = rows.first() else {
+            return Err(Error::InvalidData("cannot fit scaler on zero samples".into()));
+        };
+        let dims = first.len();
+        if rows.iter().any(|r| r.len() != dims) {
+            return Err(Error::InvalidData("ragged feature matrix".into()));
+        }
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; dims];
+        for row in rows {
+            for (m, &v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; dims];
+        for row in rows {
+            for ((var, &v), &m) in vars.iter_mut().zip(row).zip(&means) {
+                *var += (v - m) * (v - m);
+            }
+        }
+        let stddevs: Vec<f64> = vars
+            .into_iter()
+            .map(|v| {
+                let sd = (v / n).sqrt();
+                if sd < 1e-12 {
+                    1.0
+                } else {
+                    sd
+                }
+            })
+            .collect();
+        Ok(StandardScaler { means, stddevs })
+    }
+
+    /// Transform one sample in place.
+    pub fn transform_in_place(&self, row: &mut [f64]) {
+        for ((v, &m), &sd) in row.iter_mut().zip(&self.means).zip(&self.stddevs) {
+            *v = (*v - m) / sd;
+        }
+    }
+
+    /// Transform a copy of one sample.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = row.to_vec();
+        self.transform_in_place(&mut out);
+        out
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.means.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_variance() {
+        let rows = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]];
+        let scaler = StandardScaler::fit(&rows).unwrap();
+        let transformed: Vec<Vec<f64>> =
+            rows.iter().map(|r| scaler.transform(r)).collect();
+        for d in 0..2 {
+            let mean: f64 = transformed.iter().map(|r| r[d]).sum::<f64>() / 3.0;
+            let var: f64 =
+                transformed.iter().map(|r| (r[d] - mean).powi(2)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_dimension_is_centered_only() {
+        let rows = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let scaler = StandardScaler::fit(&rows).unwrap();
+        assert_eq!(scaler.transform(&[5.0]), vec![0.0]);
+        assert_eq!(scaler.transform(&[6.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(StandardScaler::fit(&[]).is_err());
+        assert!(StandardScaler::fit(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn dims_reported() {
+        let scaler = StandardScaler::fit(&[vec![0.0, 1.0, 2.0]]).unwrap();
+        assert_eq!(scaler.dims(), 3);
+    }
+}

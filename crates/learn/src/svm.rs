@@ -1,0 +1,257 @@
+//! Linear soft-margin SVM trained with simplified SMO.
+//!
+//! Solves the dual problem
+//! `max Σαᵢ − ½ΣΣ αᵢαⱼyᵢyⱼ⟨xᵢ,xⱼ⟩ s.t. 0 ≤ αᵢ ≤ C, Σαᵢyᵢ = 0`
+//! with Platt's pairwise coordinate ascent. Because the kernel is
+//! linear, the weight vector is maintained incrementally, so decision
+//! values are O(d) and training is practical for the paper's 500-sample
+//! training sets.
+
+use crowder_types::{Error, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// SVM hyperparameters.
+#[derive(Debug, Clone)]
+pub struct SvmConfig {
+    /// Soft-margin penalty C.
+    pub c: f64,
+    /// KKT violation tolerance.
+    pub tolerance: f64,
+    /// Stop after this many consecutive full passes without updates.
+    pub max_passes: usize,
+    /// Hard cap on total passes.
+    pub max_iterations: usize,
+    /// Seed for the pair-selection shuffle.
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        SvmConfig {
+            c: 1.0,
+            tolerance: 1e-3,
+            max_passes: 5,
+            max_iterations: 200,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained linear classifier: `f(x) = ⟨w, x⟩ + b`.
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    /// Weight vector.
+    pub weights: Vec<f64>,
+    /// Bias term.
+    pub bias: f64,
+}
+
+impl LinearSvm {
+    /// Train on rows `x` with labels `y ∈ {true = match, false = non}`.
+    ///
+    /// Requires at least one sample of each class (a one-class "SVM"
+    /// carries no ranking information).
+    pub fn train(x: &[Vec<f64>], y: &[bool], config: &SvmConfig) -> Result<Self> {
+        if x.is_empty() || x.len() != y.len() {
+            return Err(Error::InvalidData(format!(
+                "bad training set: {} samples, {} labels",
+                x.len(),
+                y.len()
+            )));
+        }
+        let dims = x[0].len();
+        if x.iter().any(|r| r.len() != dims) {
+            return Err(Error::InvalidData("ragged feature matrix".into()));
+        }
+        if y.iter().all(|&l| l) || y.iter().all(|&l| !l) {
+            return Err(Error::InvalidData(
+                "training set must contain both classes".into(),
+            ));
+        }
+        let n = x.len();
+        let labels: Vec<f64> = y.iter().map(|&l| if l { 1.0 } else { -1.0 }).collect();
+        let mut alpha = vec![0.0f64; n];
+        let mut w = vec![0.0f64; dims];
+        let mut b = 0.0f64;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        let dot = |a: &[f64], c: &[f64]| -> f64 {
+            a.iter().zip(c).map(|(p, q)| p * q).sum()
+        };
+
+        let mut passes = 0usize;
+        let mut iterations = 0usize;
+        let mut order: Vec<usize> = (0..n).collect();
+        while passes < config.max_passes && iterations < config.max_iterations {
+            iterations += 1;
+            let mut changed = 0usize;
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let f_i = dot(&w, &x[i]) + b;
+                let e_i = f_i - labels[i];
+                let viol = (labels[i] * e_i < -config.tolerance && alpha[i] < config.c)
+                    || (labels[i] * e_i > config.tolerance && alpha[i] > 0.0);
+                if !viol {
+                    continue;
+                }
+                // Second index: random j ≠ i (simplified SMO heuristic).
+                let j = {
+                    let mut j = rand::Rng::random_range(&mut rng, 0..n - 1);
+                    if j >= i {
+                        j += 1;
+                    }
+                    j
+                };
+                let f_j = dot(&w, &x[j]) + b;
+                let e_j = f_j - labels[j];
+                let (alpha_i_old, alpha_j_old) = (alpha[i], alpha[j]);
+                // Bounds for alpha_j.
+                let (lo, hi) = if (labels[i] - labels[j]).abs() > 0.5 {
+                    let d = alpha_j_old - alpha_i_old;
+                    (d.max(0.0), (config.c + d).min(config.c))
+                } else {
+                    let s = alpha_i_old + alpha_j_old;
+                    ((s - config.c).max(0.0), s.min(config.c))
+                };
+                if (hi - lo).abs() < 1e-12 {
+                    continue;
+                }
+                let k_ii = dot(&x[i], &x[i]);
+                let k_jj = dot(&x[j], &x[j]);
+                let k_ij = dot(&x[i], &x[j]);
+                let eta = 2.0 * k_ij - k_ii - k_jj;
+                if eta >= -1e-12 {
+                    continue;
+                }
+                let mut alpha_j_new = alpha_j_old - labels[j] * (e_i - e_j) / eta;
+                alpha_j_new = alpha_j_new.clamp(lo, hi);
+                if (alpha_j_new - alpha_j_old).abs() < 1e-7 {
+                    continue;
+                }
+                let alpha_i_new =
+                    alpha_i_old + labels[i] * labels[j] * (alpha_j_old - alpha_j_new);
+                // Incremental weight update (linear kernel only).
+                let di = labels[i] * (alpha_i_new - alpha_i_old);
+                let dj = labels[j] * (alpha_j_new - alpha_j_old);
+                for d in 0..dims {
+                    w[d] += di * x[i][d] + dj * x[j][d];
+                }
+                // Bias via the standard b1/b2 rule.
+                let b1 = b - e_i - di * k_ii - dj * k_ij;
+                let b2 = b - e_j - di * k_ij - dj * k_jj;
+                b = if alpha_i_new > 0.0 && alpha_i_new < config.c {
+                    b1
+                } else if alpha_j_new > 0.0 && alpha_j_new < config.c {
+                    b2
+                } else {
+                    (b1 + b2) / 2.0
+                };
+                alpha[i] = alpha_i_new;
+                alpha[j] = alpha_j_new;
+                changed += 1;
+            }
+            if changed == 0 {
+                passes += 1;
+            } else {
+                passes = 0;
+            }
+        }
+        Ok(LinearSvm { weights: w, bias: b })
+    }
+
+    /// Signed decision value `⟨w, x⟩ + b`; positive ⇒ predicted match.
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + self.bias
+    }
+
+    /// Hard prediction.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.decision(x) > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn separates_linearly_separable_data() {
+        // Class +: x0 > 1; class −: x0 < −1.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..60 {
+            let pos: f64 = 1.0 + rng.random::<f64>();
+            let neg: f64 = -1.0 - rng.random::<f64>();
+            x.push(vec![pos, rng.random::<f64>()]);
+            y.push(true);
+            x.push(vec![neg, rng.random::<f64>()]);
+            y.push(false);
+        }
+        let svm = LinearSvm::train(&x, &y, &SvmConfig::default()).unwrap();
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| svm.predict(xi) == yi)
+            .count();
+        assert_eq!(correct, x.len(), "perfectly separable data must be separated");
+        // The separating dimension dominates the weight vector.
+        assert!(svm.weights[0].abs() > svm.weights[1].abs());
+    }
+
+    #[test]
+    fn tolerates_label_noise() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in 0..200 {
+            let is_pos = i % 2 == 0;
+            let center = if is_pos { 1.0 } else { -1.0 };
+            x.push(vec![center + 0.5 * (rng.random::<f64>() - 0.5)]);
+            // 5% label noise.
+            let label = if rng.random::<f64>() < 0.05 { !is_pos } else { is_pos };
+            y.push(label);
+        }
+        let svm = LinearSvm::train(&x, &y, &SvmConfig::default()).unwrap();
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| svm.predict(xi) == yi)
+            .count();
+        assert!(correct as f64 / x.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn margins_rank_confidence() {
+        let x = vec![vec![-2.0], vec![-0.1], vec![0.1], vec![2.0]];
+        let y = vec![false, false, true, true];
+        let svm = LinearSvm::train(&x, &y, &SvmConfig::default()).unwrap();
+        assert!(svm.decision(&[2.0]) > svm.decision(&[0.1]));
+        assert!(svm.decision(&[0.1]) > svm.decision(&[-0.1]));
+        assert!(svm.decision(&[-0.1]) > svm.decision(&[-2.0]));
+    }
+
+    #[test]
+    fn rejects_degenerate_training_sets() {
+        let cfg = SvmConfig::default();
+        assert!(LinearSvm::train(&[], &[], &cfg).is_err());
+        assert!(LinearSvm::train(&[vec![1.0]], &[true], &cfg).is_err()); // one class
+        assert!(
+            LinearSvm::train(&[vec![1.0], vec![2.0, 3.0]], &[true, false], &cfg).is_err()
+        );
+        assert!(LinearSvm::train(&[vec![1.0]], &[true, false], &cfg).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = vec![vec![1.0, 0.0], vec![-1.0, 0.1], vec![0.9, 0.2], vec![-1.1, 0.0]];
+        let y = vec![true, false, true, false];
+        let a = LinearSvm::train(&x, &y, &SvmConfig::default()).unwrap();
+        let b = LinearSvm::train(&x, &y, &SvmConfig::default()).unwrap();
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.bias, b.bias);
+    }
+}

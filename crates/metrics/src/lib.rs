@@ -1,0 +1,19 @@
+//! # crowder-metrics
+//!
+//! Result-quality evaluation in the paper's terms (§7.3): *"precision is
+//! the percentage of correctly identified matching pairs out of all
+//! pairs identified as matches; recall is the percentage of correctly
+//! identified matching pairs out of all matching pairs in the dataset.
+//! ... We assume the result of an entity-resolution technique is a
+//! ranked list of pairs ... the first n pairs are identified as matching
+//! pairs. To plot the precision-recall curve, we vary n."*
+//!
+//! [`pr`] implements exactly that sweep plus the interpolation and
+//! multi-trial averaging Figure 12 needs; [`table`] renders the
+//! experiment harness's ASCII tables.
+
+pub mod pr;
+pub mod table;
+
+pub use pr::{average_precision, precision_at_recall, pr_curve, PrCurve, PrPoint};
+pub use table::AsciiTable;

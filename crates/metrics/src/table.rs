@@ -1,0 +1,119 @@
+//! ASCII tables for the experiment harness.
+//!
+//! Every bench binary prints the paper's rows/series through this
+//! formatter so EXPERIMENTS.md and stdout stay consistent.
+
+/// A simple right-aligned ASCII table.
+#[derive(Debug, Clone, Default)]
+pub struct AsciiTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl AsciiTable {
+    /// Table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        AsciiTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (shorter rows are padded with empty cells).
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with column separators and a header rule.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for i in 0..cols {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!(" {:>width$} |", cell, width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&render_row(&self.headers, &widths));
+        out.push('|');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('|');
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for AsciiTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = AsciiTable::new(["thr", "pairs", "recall"]);
+        t.row(["0.5", "161", "78.3%"]);
+        t.row(["0.1", "83,117", "100%"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header + rule + 2 rows
+        // All lines equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(s.contains("83,117"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = AsciiTable::new(["a", "b"]);
+        t.row(["only"]);
+        assert!(t.render().contains("only"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = AsciiTable::new(["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

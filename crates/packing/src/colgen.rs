@@ -1,0 +1,208 @@
+//! Column generation for the cutting-stock LP relaxation.
+//!
+//! The paper (§5.3): *"The above integer linear program can be solved by
+//! using column generation and branch-and-bound \[25\]. The technique is
+//! very efficient as it does not need to generate all feasible patterns
+//! at the beginning. Instead, it starts with a few patterns and generates
+//! more patterns as needed."*
+//!
+//! We solve the master LP by *dualizing*: the dual
+//! `max Σⱼ cⱼyⱼ s.t. Σⱼ aᵢⱼyⱼ ≤ 1 ∀i, y ≥ 0` has non-negative
+//! right-hand sides, so the all-slack basis is feasible for our
+//! [`simplex`](crate::simplex) solver, and each generated pattern is just
+//! a new dual constraint. Strong duality recovers the master objective,
+//! the dual solution `y` feeds the pricing knapsack, and the shadow
+//! prices of the dual rows are exactly the master's pattern counts `xᵢ`.
+
+use crate::knapsack::best_pattern;
+use crate::pattern::Pattern;
+use crate::simplex::solve_max;
+use crowder_types::{Error, Result};
+
+/// The solved LP relaxation of the cutting-stock master problem.
+#[derive(Debug, Clone)]
+pub struct LpMaster {
+    /// Patterns generated so far (columns of the master).
+    pub patterns: Vec<Pattern>,
+    /// Fractional usage `xᵢ` of each pattern.
+    pub usage: Vec<f64>,
+    /// LP optimum `Σ xᵢ` — a valid lower bound on the integer optimum.
+    pub objective: f64,
+    /// Final dual prices per size class.
+    pub duals: Vec<f64>,
+    /// Pricing rounds performed.
+    pub rounds: usize,
+}
+
+impl LpMaster {
+    /// `⌈objective⌉` with a small tolerance — the usable integer lower
+    /// bound.
+    pub fn integer_lower_bound(&self) -> usize {
+        (self.objective - 1e-6).ceil().max(0.0) as usize
+    }
+}
+
+/// Solve the LP relaxation of `min Σxᵢ s.t. Σᵢ aᵢⱼxᵢ ≥ demands[j-1]` over
+/// all feasible patterns for `capacity`, generating columns on demand.
+///
+/// `demands[j-1]` is the number of components of size `j` (the paper's
+/// `cⱼ`). Sizes above `capacity` with non-zero demand are infeasible.
+pub fn solve_lp_relaxation(demands: &[u64], capacity: usize) -> Result<LpMaster> {
+    if capacity == 0 {
+        return Err(Error::InvalidConfig {
+            param: "capacity",
+            message: "cluster-size threshold must be positive".into(),
+        });
+    }
+    for (idx, &d) in demands.iter().enumerate() {
+        if d > 0 && idx + 1 > capacity {
+            return Err(Error::Infeasible(format!(
+                "component of size {} exceeds cluster-size threshold {capacity}",
+                idx + 1
+            )));
+        }
+    }
+    let active: Vec<usize> = demands
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d > 0)
+        .map(|(idx, _)| idx + 1)
+        .collect();
+    if active.is_empty() {
+        return Ok(LpMaster {
+            patterns: Vec::new(),
+            usage: Vec::new(),
+            objective: 0.0,
+            duals: vec![0.0; demands.len()],
+            rounds: 0,
+        });
+    }
+
+    // Initial columns: for each demanded size j, the homogeneous pattern
+    // with ⌊k/j⌋ copies — always feasible, and together they cover every
+    // demand, so the master LP starts feasible.
+    let mut patterns: Vec<Pattern> = Vec::new();
+    for &size in &active {
+        let copies = (capacity / size) as u32;
+        let mut counts = vec![0u32; demands.len()];
+        counts[size - 1] = copies;
+        patterns.push(Pattern::new(counts, capacity).expect("homogeneous pattern fits"));
+    }
+
+    let c_obj: Vec<f64> = demands.iter().map(|&d| d as f64).collect();
+    let mut rounds = 0usize;
+    // Column generation loop. Each round solves the dual LP whose rows
+    // are the current patterns, then prices a new pattern on the duals.
+    loop {
+        rounds += 1;
+        let a: Vec<Vec<f64>> = patterns
+            .iter()
+            .map(|p| p.counts().iter().map(|&v| f64::from(v)).collect())
+            .collect();
+        let b = vec![1.0; patterns.len()];
+        let sol = solve_max(&a, &b, &c_obj)?;
+        // Price: most valuable feasible pattern under prices y.
+        let improving = best_pattern(&sol.primal, capacity)
+            .filter(|(_, value)| *value > 1.0 + 1e-7)
+            .map(|(p, _)| p);
+        match improving {
+            Some(p) if !patterns.contains(&p) && rounds < 10_000 => patterns.push(p),
+            _ => {
+                return Ok(LpMaster {
+                    usage: sol.duals,
+                    objective: sol.objective,
+                    duals: sol.primal,
+                    rounds,
+                    patterns,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_section53_lp_bound_is_three() {
+        // Demands c = [0, 2, 0, 2] (two SCCs of size 2, two of size 4),
+        // k = 4. The paper's optimal integer packing is 3 HITs; the LP
+        // bound here is exactly 3.0.
+        let lp = solve_lp_relaxation(&[0, 2, 0, 2], 4).unwrap();
+        assert!((lp.objective - 3.0).abs() < 1e-6, "objective {}", lp.objective);
+        assert_eq!(lp.integer_lower_bound(), 3);
+    }
+
+    #[test]
+    fn zero_demands_cost_nothing() {
+        let lp = solve_lp_relaxation(&[0, 0, 0], 5).unwrap();
+        assert_eq!(lp.objective, 0.0);
+        assert_eq!(lp.integer_lower_bound(), 0);
+        assert!(lp.patterns.is_empty());
+    }
+
+    #[test]
+    fn oversized_demand_is_infeasible() {
+        let r = solve_lp_relaxation(&[0, 0, 0, 0, 1], 4); // size-5 item, k=4
+        assert!(matches!(r, Err(Error::Infeasible(_))));
+        assert!(solve_lp_relaxation(&[1], 0).is_err());
+    }
+
+    #[test]
+    fn uniform_items_match_volume_bound() {
+        // 10 items of size 3 into capacity 9: LP = 10·3/9 = 10/3.
+        let lp = solve_lp_relaxation(&[0, 0, 10], 9).unwrap();
+        assert!((lp.objective - 10.0 / 3.0).abs() < 1e-6);
+        assert_eq!(lp.integer_lower_bound(), 4);
+    }
+
+    #[test]
+    fn usage_covers_demands_fractionally() {
+        let demands = [3u64, 4, 2, 1, 0, 2];
+        let capacity = 7;
+        let lp = solve_lp_relaxation(&demands, capacity).unwrap();
+        for (j, &d) in demands.iter().enumerate() {
+            let covered: f64 = lp
+                .patterns
+                .iter()
+                .zip(&lp.usage)
+                .map(|(p, &x)| f64::from(p.counts()[j]) * x)
+                .sum();
+            assert!(
+                covered + 1e-6 >= d as f64,
+                "size {} covered {covered} < demand {d}",
+                j + 1
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn lp_bound_sandwiched_between_volume_and_ffd(
+            demands in proptest::collection::vec(0u64..6, 1..8),
+            capacity in 8usize..=16,
+        ) {
+            let lp = solve_lp_relaxation(&demands, capacity).unwrap();
+            let volume: u64 = demands
+                .iter()
+                .enumerate()
+                .map(|(idx, &d)| (idx as u64 + 1) * d)
+                .sum();
+            let volume_lb = volume as f64 / capacity as f64;
+            prop_assert!(lp.objective >= volume_lb - 1e-6,
+                "LP {} below volume bound {volume_lb}", lp.objective);
+
+            // FFD is an integer feasible solution, so LP ≤ FFD.
+            let mut sizes = Vec::new();
+            for (idx, &d) in demands.iter().enumerate() {
+                for _ in 0..d {
+                    sizes.push(idx + 1);
+                }
+            }
+            let ffd = crate::ffd::first_fit_decreasing(&sizes, capacity).unwrap();
+            prop_assert!(lp.objective <= ffd.len() as f64 + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! The pricing problem of column generation.
+//!
+//! Given the master LP's dual prices `y_j` (the marginal value of
+//! covering one more component of size `j`), the most improving new
+//! pattern maximizes `Σ_j y_j·a_j` subject to `Σ_j j·a_j ≤ k` — an
+//! unbounded integer knapsack over the size classes. A pattern prices
+//! out (improves the LP) iff its value exceeds its unit cost, 1.
+
+use crate::pattern::Pattern;
+
+/// Solve the pricing knapsack: maximize `Σ y[j-1]·a_j` over feasible
+/// patterns for `capacity`. Returns the best pattern and its value, or
+/// `None` if every size class has non-positive price (the only optimum
+/// is the empty pattern).
+///
+/// Classic O(k²) dynamic program over capacities with parent pointers.
+pub fn best_pattern(duals: &[f64], capacity: usize) -> Option<(Pattern, f64)> {
+    let num_classes = duals.len().min(capacity);
+    if num_classes == 0 {
+        return None;
+    }
+    // dp[w] = best value achievable with exactly ≤ w capacity;
+    // choice[w] = size of the last item added to reach dp[w].
+    let mut dp = vec![0.0f64; capacity + 1];
+    let mut choice = vec![0usize; capacity + 1];
+    for w in 1..=capacity {
+        // `size 0` marks "leave this capacity unit empty" (carry w-1).
+        let mut best_val = dp[w - 1];
+        let mut best_sz = 0usize;
+        for size in 1..=num_classes.min(w) {
+            let val = dp[w - size] + duals[size - 1];
+            if val > best_val + 1e-12 {
+                best_val = val;
+                best_sz = size;
+            }
+        }
+        dp[w] = best_val;
+        choice[w] = best_sz;
+    }
+    if dp[capacity] <= 1e-12 {
+        return None;
+    }
+    // Reconstruct counts.
+    let mut counts = vec![0u32; duals.len()];
+    let mut w = capacity;
+    while w > 0 {
+        let sz = choice[w];
+        if sz == 0 {
+            w -= 1;
+        } else {
+            counts[sz - 1] += 1;
+            w -= sz;
+        }
+    }
+    let value = dp[capacity];
+    let pattern = Pattern::new(counts, capacity).expect("DP respects capacity");
+    Some((pattern, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn picks_highest_density_items() {
+        // Sizes 1..4 with prices: size 2 has the best value/size ratio.
+        let duals = [0.1, 0.9, 0.5, 0.6];
+        let (p, v) = best_pattern(&duals, 4).unwrap();
+        assert_eq!(p.count_of(2), 2);
+        assert!((v - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixes_sizes_when_optimal() {
+        // capacity 5: one size-3 (value 1.0) + one size-2 (0.9) = 1.9
+        // beats two size-2 (1.8) + size-1 (0.0).
+        let duals = [0.0, 0.9, 1.0];
+        let (p, v) = best_pattern(&duals, 5).unwrap();
+        assert_eq!(p.count_of(3), 1);
+        assert_eq!(p.count_of(2), 1);
+        assert!((v - 1.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_zero_prices_yield_none() {
+        assert!(best_pattern(&[0.0, 0.0], 4).is_none());
+        assert!(best_pattern(&[], 4).is_none());
+        assert!(best_pattern(&[1.0], 0).is_none());
+    }
+
+    #[test]
+    fn negative_prices_are_never_packed() {
+        let duals = [-1.0, 0.5, -0.3];
+        let (p, _) = best_pattern(&duals, 6).unwrap();
+        assert_eq!(p.count_of(1), 0);
+        assert_eq!(p.count_of(3), 0);
+        assert_eq!(p.count_of(2), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn dp_matches_brute_force(
+            duals in proptest::collection::vec(0.0f64..2.0, 1..5),
+            capacity in 1usize..=8,
+        ) {
+            // Brute-force over all feasible patterns.
+            let demands = vec![u64::MAX; duals.len()];
+            let all = crate::pattern::enumerate_patterns(capacity, &demands);
+            let brute = all
+                .iter()
+                .map(|p| {
+                    p.counts()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &c)| duals[i] * c as f64)
+                        .sum::<f64>()
+                })
+                .fold(0.0f64, f64::max);
+            let dp = best_pattern(&duals, capacity).map_or(0.0, |(_, v)| v);
+            prop_assert!((dp - brute).abs() < 1e-7, "dp={dp} brute={brute}");
+        }
+
+        #[test]
+        fn result_is_always_feasible(
+            duals in proptest::collection::vec(-1.0f64..2.0, 1..8),
+            capacity in 1usize..=20,
+        ) {
+            if let Some((p, v)) = best_pattern(&duals, capacity) {
+                prop_assert!(p.used_capacity() <= capacity);
+                prop_assert!(v > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # crowder-packing
+//!
+//! The *bottom tier* of the paper's two-tiered HIT generation (§5.3):
+//! packing small connected components into the minimum number of
+//! cluster-based HITs of capacity `k`.
+//!
+//! The paper formulates this as a one-dimensional cutting-stock integer
+//! linear program over HIT *patterns* `p = [a₁ … a_k]` (`a_j` = number of
+//! SCCs of size `j` in the HIT, feasible iff `Σ j·a_j ≤ k`):
+//!
+//! ```text
+//!   min  Σᵢ xᵢ      s.t.  Σᵢ aᵢⱼ xᵢ ≥ cⱼ  ∀j,   xᵢ ≥ 0 integer
+//! ```
+//!
+//! and solves it with *column generation and branch-and-bound*
+//! (Gilmore–Gomory \[14\]; Valério de Carvalho \[25\]). This crate implements
+//! that machinery from scratch:
+//!
+//! * [`pattern`] — feasible patterns and their enumeration,
+//! * [`simplex`] — a dense-tableau simplex solver for the LP relaxations,
+//! * [`knapsack`] — the unbounded-knapsack *pricing problem* that
+//!   generates improving columns from the LP duals,
+//! * [`colgen`] — the column-generation loop producing the LP lower
+//!   bound and a fractional master solution,
+//! * [`branchbound`] — an exact bin-completion branch-and-bound used when
+//!   the LP/FFD bounds do not already certify optimality,
+//! * [`ffd`] — first-fit-decreasing, the classical heuristic that seeds
+//!   the incumbent,
+//! * [`solver`] — the public entry point [`pack_items`] tying the pieces
+//!   together and mapping size classes back to concrete items.
+
+pub mod branchbound;
+pub mod colgen;
+pub mod ffd;
+pub mod knapsack;
+pub mod pattern;
+pub mod simplex;
+pub mod solver;
+
+pub use colgen::{solve_lp_relaxation, LpMaster};
+pub use ffd::first_fit_decreasing;
+pub use pattern::Pattern;
+pub use solver::{pack_items, PackingConfig, PackingSolution};

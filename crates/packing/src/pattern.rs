@@ -1,0 +1,194 @@
+//! HIT patterns — the columns of the cutting-stock program.
+
+use crowder_types::{Error, Result};
+
+/// A cluster-based HIT pattern `p = [a₁, …, a_k]`: `counts[j-1]` is the
+/// number of packed components containing `j` records (paper §5.3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    counts: Vec<u32>,
+}
+
+impl Pattern {
+    /// Build a pattern for capacity `capacity`; `counts[j-1]` items of
+    /// size `j`. Fails if the pattern is infeasible (`Σ j·a_j > k`) or
+    /// empty.
+    pub fn new(counts: Vec<u32>, capacity: usize) -> Result<Self> {
+        let p = Pattern { counts };
+        let used = p.used_capacity();
+        if used == 0 {
+            return Err(Error::InvalidConfig {
+                param: "pattern",
+                message: "pattern must contain at least one item".into(),
+            });
+        }
+        if used > capacity {
+            return Err(Error::InvalidConfig {
+                param: "pattern",
+                message: format!("pattern uses {used} > capacity {capacity}"),
+            });
+        }
+        Ok(p)
+    }
+
+    /// Pattern with a single item of size `size`.
+    pub fn singleton(size: usize, num_classes: usize) -> Self {
+        let mut counts = vec![0u32; num_classes];
+        counts[size - 1] = 1;
+        Pattern { counts }
+    }
+
+    /// `counts[j-1]` — items of size `j`.
+    #[inline]
+    pub fn count_of(&self, size: usize) -> u32 {
+        self.counts.get(size - 1).copied().unwrap_or(0)
+    }
+
+    /// The raw count vector.
+    #[inline]
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Total records used: `Σ j·a_j`.
+    pub fn used_capacity(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(idx, &c)| (idx + 1) * c as usize)
+            .sum()
+    }
+
+    /// Total number of items (components) in the pattern: `Σ a_j`.
+    pub fn item_count(&self) -> usize {
+        self.counts.iter().map(|&c| c as usize).sum()
+    }
+
+    /// Is this pattern *maximal* given `capacity` and the remaining
+    /// `demands`? Maximal means no further demanded item fits in the
+    /// leftover capacity. Bin-count minimization admits an optimal
+    /// solution using only maximal bins, which the branch-and-bound
+    /// exploits to shrink its search space.
+    pub fn is_maximal(&self, capacity: usize, demands: &[u64]) -> bool {
+        let slack = capacity - self.used_capacity();
+        for (idx, &d) in demands.iter().enumerate() {
+            let size = idx + 1;
+            if size <= slack && d > u64::from(self.count_of(size)) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Enumerate *all* feasible patterns for `capacity` whose per-size counts
+/// never exceed `demands` (sizes with zero demand are excluded — the
+/// paper's §5.3 example makes the same reduction: "since c₁ = 0 and
+/// c₃ = 0, we omit the feasible patterns whose first or third dimension
+/// contains non-zero values").
+///
+/// Used by tests and by the exact solver for small capacities; column
+/// generation exists precisely so the LP never needs this full set.
+pub fn enumerate_patterns(capacity: usize, demands: &[u64]) -> Vec<Pattern> {
+    let num_classes = demands.len();
+    let mut out = Vec::new();
+    let mut counts = vec![0u32; num_classes];
+    // Recurse over sizes from largest to smallest.
+    fn rec(
+        size: usize,
+        remaining: usize,
+        counts: &mut Vec<u32>,
+        demands: &[u64],
+        out: &mut Vec<Pattern>,
+    ) {
+        if size == 0 {
+            if counts.iter().any(|&c| c > 0) {
+                out.push(Pattern { counts: counts.clone() });
+            }
+            return;
+        }
+        let max_fit = (remaining / size) as u64;
+        let max_count = max_fit.min(demands[size - 1]) as u32;
+        for c in 0..=max_count {
+            counts[size - 1] = c;
+            rec(size - 1, remaining - size * c as usize, counts, demands, out);
+        }
+        counts[size - 1] = 0;
+    }
+    let start = num_classes.min(capacity);
+    rec(start, capacity, &mut counts, demands, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_feasibility_example() {
+        // §5.3: with k = 4, p₁ = [0,0,0,1] is feasible (4 ≤ 4).
+        let p = Pattern::new(vec![0, 0, 0, 1], 4).unwrap();
+        assert_eq!(p.used_capacity(), 4);
+        assert_eq!(p.item_count(), 1);
+        assert_eq!(p.count_of(4), 1);
+    }
+
+    #[test]
+    fn infeasible_and_empty_patterns_rejected() {
+        assert!(Pattern::new(vec![0, 0, 0, 2], 4).is_err()); // 8 > 4
+        assert!(Pattern::new(vec![0, 0, 0, 0], 4).is_err()); // empty
+        assert!(Pattern::new(vec![5, 0], 4).is_err()); // 5 > 4
+    }
+
+    #[test]
+    fn paper_section53_pattern_set() {
+        // §5.3 example: SCC sizes {4, 4, 2, 2} with k = 4 give demands
+        // c = [0, 2, 0, 2]; the paper lists exactly three feasible
+        // patterns: [0,0,0,1], [0,2,0,0], [0,1,0,0].
+        let demands = vec![0u64, 2, 0, 2];
+        let mut pats = enumerate_patterns(4, &demands);
+        pats.sort_by_key(|p| p.counts().to_vec());
+        let expect: Vec<Vec<u32>> =
+            vec![vec![0, 0, 0, 1], vec![0, 1, 0, 0], vec![0, 2, 0, 0]];
+        let got: Vec<Vec<u32>> = pats.iter().map(|p| p.counts().to_vec()).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn maximality() {
+        let demands = vec![0u64, 2, 0, 2];
+        // [0,1,0,0] uses 2 of 4; another size-2 item is demanded and fits
+        // → not maximal.
+        let p = Pattern::new(vec![0, 1, 0, 0], 4).unwrap();
+        assert!(!p.is_maximal(4, &demands));
+        // [0,2,0,0] uses 4 of 4 → maximal.
+        let p = Pattern::new(vec![0, 2, 0, 0], 4).unwrap();
+        assert!(p.is_maximal(4, &demands));
+        // [0,0,0,1] uses 4 of 4 → maximal.
+        let p = Pattern::new(vec![0, 0, 0, 1], 4).unwrap();
+        assert!(p.is_maximal(4, &demands));
+    }
+
+    #[test]
+    fn singleton_pattern() {
+        let p = Pattern::singleton(3, 5);
+        assert_eq!(p.counts(), &[0, 0, 1, 0, 0]);
+        assert_eq!(p.used_capacity(), 3);
+    }
+
+    #[test]
+    fn enumeration_respects_demands() {
+        // Only one item of size 1 demanded; patterns never use two.
+        let pats = enumerate_patterns(3, &[1, 0, 0]);
+        assert_eq!(pats.len(), 1);
+        assert_eq!(pats[0].counts(), &[1, 0, 0]);
+    }
+
+    #[test]
+    fn enumeration_counts_small_case() {
+        // capacity 3, unlimited demands of sizes 1..3:
+        // [1,0,0] [2,0,0] [3,0,0] [0,1,0] [1,1,0] [0,0,1] → 6 patterns.
+        let pats = enumerate_patterns(3, &[10, 10, 10]);
+        assert_eq!(pats.len(), 6);
+    }
+}

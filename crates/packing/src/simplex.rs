@@ -1,0 +1,254 @@
+//! A dense-tableau simplex solver for small linear programs.
+//!
+//! Solves `max cᵀy  s.t.  Ay ≤ b, y ≥ 0` with `b ≥ 0` (the all-slack
+//! basis is then feasible, so no phase-1 is needed). This is exactly the
+//! form of the *dual* of the cutting-stock master LP, which is how the
+//! column-generation loop uses it: the master's primal values are
+//! recovered from the slack columns' reduced costs.
+//!
+//! The implementation uses Dantzig's largest-coefficient rule, falling
+//! back to Bland's rule after a degeneracy threshold to guarantee
+//! termination.
+
+use crowder_types::{Error, Result};
+
+/// Numerical tolerance for pivoting and optimality tests.
+const EPS: f64 = 1e-9;
+
+/// Result of a simplex solve.
+#[derive(Debug, Clone)]
+pub struct SimplexSolution {
+    /// Optimal objective value `cᵀy*`.
+    pub objective: f64,
+    /// Optimal variable values `y*` (length = number of variables).
+    pub primal: Vec<f64>,
+    /// Shadow prices of the `≤` constraints (length = number of rows).
+    /// For the dualized cutting-stock master these are the master's
+    /// pattern-usage values `xᵢ`.
+    pub duals: Vec<f64>,
+}
+
+/// Solve `max cᵀy  s.t.  Ay ≤ b, y ≥ 0` with `b ≥ 0`.
+///
+/// * `a` — row-major constraint matrix, `m × n`,
+/// * `b` — right-hand sides, length `m`, all non-negative,
+/// * `c` — objective coefficients, length `n`.
+///
+/// Errors on dimension mismatch, negative `b`, or an unbounded LP.
+pub fn solve_max(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> Result<SimplexSolution> {
+    let m = a.len();
+    let n = c.len();
+    if b.len() != m {
+        return Err(Error::InvalidData(format!(
+            "b has length {} but A has {m} rows",
+            b.len()
+        )));
+    }
+    for (i, row) in a.iter().enumerate() {
+        if row.len() != n {
+            return Err(Error::InvalidData(format!(
+                "A row {i} has length {} but c has {n} entries",
+                row.len()
+            )));
+        }
+    }
+    if let Some(bad) = b.iter().find(|&&v| v < -EPS) {
+        return Err(Error::InvalidData(format!(
+            "simplex requires b ≥ 0 (found {bad}); dualize or shift the problem"
+        )));
+    }
+
+    // Tableau: m rows × (n vars + m slacks + 1 rhs); objective row kept
+    // separately. Slack j occupies column n + j.
+    let cols = n + m + 1;
+    let rhs = cols - 1;
+    let mut tab: Vec<Vec<f64>> = Vec::with_capacity(m);
+    for (i, row) in a.iter().enumerate() {
+        let mut t = vec![0.0; cols];
+        t[..n].copy_from_slice(row);
+        t[n + i] = 1.0;
+        t[rhs] = b[i];
+        tab.push(t);
+    }
+    // Objective row: reduced costs start at -c for the max problem.
+    let mut obj = vec![0.0; cols];
+    for (j, &cj) in c.iter().enumerate() {
+        obj[j] = -cj;
+    }
+    let mut basis: Vec<usize> = (n..n + m).collect();
+
+    // Iteration cap: generous for the tiny LPs we solve. Switch to
+    // Bland's rule after the first half to break degenerate cycles.
+    let max_iters = 50 * (m + n).max(20);
+    for iter in 0..max_iters {
+        let bland = iter > max_iters / 2;
+        // Entering column: most negative reduced cost (Dantzig) or first
+        // negative (Bland).
+        let mut entering: Option<usize> = None;
+        let mut best = -EPS;
+        for j in 0..rhs {
+            if obj[j] < best {
+                entering = Some(j);
+                if bland {
+                    break;
+                }
+                best = obj[j];
+            }
+        }
+        let Some(e) = entering else {
+            // Optimal. Read out the solution.
+            let mut primal = vec![0.0; n];
+            for (i, &bv) in basis.iter().enumerate() {
+                if bv < n {
+                    primal[bv] = tab[i][rhs];
+                }
+            }
+            let duals: Vec<f64> = (0..m).map(|i| obj[n + i]).collect();
+            return Ok(SimplexSolution { objective: obj[rhs], primal, duals });
+        };
+
+        // Ratio test: smallest b_i / a_ie over a_ie > 0; Bland tiebreak
+        // on basis variable index.
+        let mut leaving: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for (i, row) in tab.iter().enumerate() {
+            if row[e] > EPS {
+                let ratio = row[rhs] / row[e];
+                let better = ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && leaving.is_some_and(|l| basis[i] < basis[l]));
+                if leaving.is_none() || better {
+                    leaving = Some(i);
+                    best_ratio = ratio.min(best_ratio);
+                }
+            }
+        }
+        let Some(l) = leaving else {
+            return Err(Error::Infeasible(
+                "LP is unbounded: no leaving row in ratio test".into(),
+            ));
+        };
+
+        // Pivot on (l, e).
+        let pivot = tab[l][e];
+        for v in tab[l].iter_mut() {
+            *v /= pivot;
+        }
+        for i in 0..m {
+            if i != l && tab[i][e].abs() > EPS {
+                let factor = tab[i][e];
+                for j in 0..cols {
+                    tab[i][j] -= factor * tab[l][j];
+                }
+            }
+        }
+        if obj[e].abs() > EPS {
+            let factor = obj[e];
+            for j in 0..cols {
+                obj[j] -= factor * tab[l][j];
+            }
+        }
+        basis[l] = e;
+    }
+    Err(Error::NoConvergence { routine: "simplex", iterations: max_iters })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_two_variable_lp() {
+        // max 3x + 5y s.t. x ≤ 4; 2y ≤ 12; 3x + 2y ≤ 18 → opt 36 at (2, 6).
+        let a = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 2.0],
+            vec![3.0, 2.0],
+        ];
+        let s = solve_max(&a, &[4.0, 12.0, 18.0], &[3.0, 5.0]).unwrap();
+        assert_close(s.objective, 36.0);
+        assert_close(s.primal[0], 2.0);
+        assert_close(s.primal[1], 6.0);
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality() {
+        let a = vec![vec![1.0, 1.0], vec![1.0, 3.0]];
+        let b = [4.0, 6.0];
+        let c = [2.0, 3.0];
+        let s = solve_max(&a, &b, &c).unwrap();
+        // Strong duality: b·duals == objective.
+        let dual_obj: f64 = b.iter().zip(&s.duals).map(|(x, y)| x * y).sum();
+        assert_close(dual_obj, s.objective);
+        // Dual feasibility: Aᵀ·duals ≥ c.
+        for j in 0..2 {
+            let lhs: f64 = (0..2).map(|i| a[i][j] * s.duals[i]).sum();
+            assert!(lhs >= c[j] - 1e-7);
+        }
+    }
+
+    #[test]
+    fn zero_rhs_is_fine() {
+        // max x s.t. x ≤ 0 → 0.
+        let s = solve_max(&[vec![1.0]], &[0.0], &[1.0]).unwrap();
+        assert_close(s.objective, 0.0);
+    }
+
+    #[test]
+    fn unbounded_is_detected() {
+        // max x with constraint -x ≤ 1 (no upper bound on x).
+        let r = solve_max(&[vec![-1.0]], &[1.0], &[1.0]);
+        assert!(matches!(r, Err(Error::Infeasible(_))));
+    }
+
+    #[test]
+    fn negative_b_rejected() {
+        let r = solve_max(&[vec![1.0]], &[-1.0], &[1.0]);
+        assert!(matches!(r, Err(Error::InvalidData(_))));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        assert!(solve_max(&[vec![1.0, 2.0]], &[1.0], &[1.0]).is_err());
+        assert!(solve_max(&[vec![1.0]], &[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Degenerate constraints sharing a vertex.
+        let a = vec![
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ];
+        let s = solve_max(&a, &[2.0, 2.0, 2.0, 4.0], &[1.0, 1.0]).unwrap();
+        assert_close(s.objective, 4.0);
+    }
+
+    #[test]
+    fn cutting_stock_dual_shape() {
+        // Dual of min x₁+x₂+x₃ s.t. pattern coverage for the paper's
+        // §5.3 instance (patterns [0,0,0,1], [0,2,0,0], [0,1,0,0];
+        // demands c = [0,2,0,2]):
+        //   max 2y₂ + 2y₄ s.t. y₄ ≤ 1; 2y₂ ≤ 1; y₂ ≤ 1; y ≥ 0.
+        let a = vec![
+            vec![0.0, 0.0, 0.0, 1.0],
+            vec![0.0, 2.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0, 0.0],
+        ];
+        let s = solve_max(&a, &[1.0, 1.0, 1.0], &[0.0, 2.0, 0.0, 2.0]).unwrap();
+        // LP optimum: y₂ = 0.5, y₄ = 1 → objective 3 (matches the
+        // paper's optimal 3 HITs: x = [2, 1, 0]).
+        assert_close(s.objective, 3.0);
+        // The duals of this dual are the master's xᵢ: 2 HITs of
+        // [0,0,0,1], 1 HIT of [0,2,0,0], 0 of [0,1,0,0].
+        assert_close(s.duals[0], 2.0);
+        assert_close(s.duals[1], 1.0);
+        assert_close(s.duals[2], 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # crowder-simjoin
+//!
+//! The *machine* half of the hybrid workflow (paper Figure 1): compute,
+//! for every candidate pair, the likelihood that the two records refer to
+//! the same entity, and keep only pairs at or above a likelihood
+//! threshold. The paper instantiates the likelihood with Jaccard
+//! similarity over whole-record token sets and calls the technique
+//! `simjoin` (§7.1).
+//!
+//! Three execution strategies are provided:
+//!
+//! * [`all_pairs_scored`] — exhaustive, parallel (crossbeam scoped
+//!   threads) comparison of every candidate pair; the reference
+//!   implementation,
+//! * [`prefix_join`] — a prefix-filtering + length-filtering inverted
+//!   index join in the style of the similarity-join literature the paper
+//!   cites ([2, 5, 26]); produces identical output to `all_pairs_scored`
+//!   while skipping most of the comparisons,
+//! * [`blocking`] — token blocking, the indexing footnote of §2.2, used
+//!   by ablations.
+//!
+//! [`threshold_sweep`] reproduces Table 2's likelihood-threshold
+//! selection rows.
+
+pub mod allpairs;
+pub mod blocking;
+pub mod prefix;
+pub mod qgram;
+pub mod sweep;
+pub mod tokens;
+
+pub use allpairs::all_pairs_scored;
+pub use blocking::token_blocking_pairs;
+pub use prefix::prefix_join;
+pub use qgram::qgram_blocking_pairs;
+pub use sweep::{threshold_sweep, SweepRow};
+pub use tokens::TokenTable;

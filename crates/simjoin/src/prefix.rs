@@ -1,0 +1,193 @@
+//! Prefix-filtering similarity join.
+//!
+//! The paper's footnote to §2.2 and its related-work pointers ([2, 5,
+//! 26]) note that indexing avoids the all-pairs comparison. This module
+//! implements the standard prefix-filter + length-filter inverted-index
+//! join for Jaccard thresholds:
+//!
+//! * tokens are interned and globally ordered by ascending frequency, so
+//!   each record's *prefix* holds its rarest tokens;
+//! * for threshold `t`, a record `x` can only match records sharing one
+//!   of its first `|x| − ⌈t·|x|⌉ + 1` tokens;
+//! * candidates additionally satisfy the length filter
+//!   `t·|x| ≤ |y| ≤ |x|/t`;
+//! * surviving candidates are verified exactly.
+//!
+//! Output is identical to [`all_pairs_scored`](crate::all_pairs_scored)
+//! for the same threshold — a property-tested invariant.
+
+use crate::tokens::TokenTable;
+use crowder_types::{Dataset, Pair, RecordId, ScoredPair};
+use std::collections::HashMap;
+
+/// Jaccard similarity join via prefix filtering. Returns pairs with
+/// similarity ≥ `threshold` (which must be in `(0, 1]`), sorted by
+/// descending likelihood.
+///
+/// For `threshold ≤ 0` fall back to
+/// [`all_pairs_scored`](crate::all_pairs_scored): a zero threshold keeps
+/// everything and no filter can help.
+pub fn prefix_join(dataset: &Dataset, tokens: &TokenTable, threshold: f64) -> Vec<ScoredPair> {
+    if threshold <= 0.0 {
+        return crate::allpairs::all_pairs_scored(dataset, tokens, threshold, 0);
+    }
+    let n = dataset.len();
+
+    // Intern tokens to ids ordered by (frequency, token) ascending —
+    // rarest first — so prefixes are maximally selective.
+    let mut freq: HashMap<&str, u32> = HashMap::new();
+    for r in dataset.records() {
+        let set = tokens.set(r.id);
+        for tok in set.tokens() {
+            *freq.entry(tok.as_str()).or_insert(0) += 1;
+        }
+    }
+    let mut vocab: Vec<(&str, u32)> = freq.iter().map(|(&t, &f)| (t, f)).collect();
+    vocab.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(b.0)));
+    let token_id: HashMap<&str, u32> = vocab
+        .iter()
+        .enumerate()
+        .map(|(i, &(t, _))| (t, i as u32))
+        .collect();
+
+    // Interned, ascending-id token lists per record.
+    let docs: Vec<Vec<u32>> = dataset
+        .records()
+        .iter()
+        .map(|r| {
+            let mut ids: Vec<u32> = tokens
+                .set(r.id)
+                .tokens()
+                .iter()
+                .map(|t| token_id[t.as_str()])
+                .collect();
+            ids.sort_unstable();
+            ids
+        })
+        .collect();
+
+    // Process records in ascending token-count order; index prefixes as
+    // we go so each pair is generated once with |x| ≥ |y|.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (docs[i].len(), i));
+
+    let mut index: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut out: Vec<ScoredPair> = Vec::new();
+    let mut seen: Vec<u32> = vec![u32::MAX; n]; // per-probe candidate dedup
+    for (probe_round, &x) in order.iter().enumerate() {
+        let doc = &docs[x];
+        if doc.is_empty() {
+            continue;
+        }
+        let len_x = doc.len();
+        let prefix_len = len_x - (threshold * len_x as f64).ceil() as usize + 1;
+        let min_len_y = (threshold * len_x as f64).ceil() as usize;
+        for &tok in &doc[..prefix_len] {
+            if let Some(postings) = index.get(&tok) {
+                for &y in postings {
+                    if seen[y] == probe_round as u32 {
+                        continue;
+                    }
+                    seen[y] = probe_round as u32;
+                    if docs[y].len() < min_len_y {
+                        continue;
+                    }
+                    let pair = Pair::new(RecordId(x as u32), RecordId(y as u32))
+                        .expect("x != y: y was indexed in an earlier round");
+                    if !dataset.is_candidate(&pair) {
+                        continue;
+                    }
+                    let sim = tokens.jaccard_pair(&pair);
+                    if sim >= threshold {
+                        out.push(ScoredPair::new(pair, sim));
+                    }
+                }
+            }
+        }
+        for &tok in &doc[..prefix_len] {
+            index.entry(tok).or_default().push(x);
+        }
+    }
+    crowder_types::pair::sort_ranked(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allpairs::all_pairs_scored;
+    use crowder_types::{PairSpace, SourceId};
+    use proptest::prelude::*;
+
+    fn dataset_from_names(names: &[String], cross: bool) -> Dataset {
+        let space = if cross {
+            PairSpace::CrossSource(SourceId(0), SourceId(1))
+        } else {
+            PairSpace::SelfJoin
+        };
+        let mut d = Dataset::new("t", vec!["name".into()], space);
+        for (i, n) in names.iter().enumerate() {
+            let src = if cross { SourceId((i % 2) as u8) } else { SourceId(0) };
+            d.push_record(src, vec![n.clone()]).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn matches_all_pairs_on_table1() {
+        let names: Vec<String> = [
+            "iPad Two 16GB WiFi White",
+            "iPad 2nd generation 16GB WiFi White",
+            "iPhone 4th generation White 16GB",
+            "Apple iPhone 4 16GB White",
+            "Apple iPhone 3rd generation Black 16GB",
+            "iPhone 4 32GB White",
+            "Apple iPad2 16GB WiFi White",
+            "Apple iPod shuffle 2GB Blue",
+            "Apple iPod shuffle USB Cable",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let d = dataset_from_names(&names, false);
+        let t = TokenTable::build(&d);
+        for thr in [0.1, 0.3, 0.5, 0.9, 1.0] {
+            let brute = all_pairs_scored(&d, &t, thr, 1);
+            let fast = prefix_join(&d, &t, thr);
+            assert_eq!(brute, fast, "threshold {thr}");
+        }
+    }
+
+    #[test]
+    fn empty_token_records_never_match() {
+        let names = vec!["---".to_string(), "!!!".to_string(), "abc".to_string()];
+        let d = dataset_from_names(&names, false);
+        let t = TokenTable::build(&d);
+        assert!(prefix_join(&d, &t, 0.5).is_empty());
+    }
+
+    #[test]
+    fn zero_threshold_falls_back_to_bruteforce() {
+        let names = vec!["a b".to_string(), "b c".to_string()];
+        let d = dataset_from_names(&names, false);
+        let t = TokenTable::build(&d);
+        let res = prefix_join(&d, &t, 0.0);
+        assert_eq!(res.len(), 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn agrees_with_bruteforce(
+            names in proptest::collection::vec("[a-e]{1,3}( [a-e]{1,3}){0,4}", 2..24),
+            thr in 0.05f64..=1.0,
+            cross in proptest::bool::ANY,
+        ) {
+            let d = dataset_from_names(&names, cross);
+            let t = TokenTable::build(&d);
+            let brute = all_pairs_scored(&d, &t, thr, 1);
+            let fast = prefix_join(&d, &t, thr);
+            prop_assert_eq!(brute, fast);
+        }
+    }
+}

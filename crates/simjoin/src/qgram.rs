@@ -1,0 +1,126 @@
+//! Q-gram blocking.
+//!
+//! The second indexing technique of the paper's §2.2 footnote ("blocking
+//! and Q-gram based indexing \[7\]"). Token blocking misses records whose
+//! shared words are *misspelled*; q-gram blocking keys blocks on
+//! character q-grams instead, so `"walkman"` and `"walkmann"` still land
+//! in common blocks. The price is larger candidate sets — q-grams are
+//! far less selective than whole tokens — which the `min_shared_grams`
+//! knob counteracts.
+
+use crate::tokens::TokenTable;
+use crowder_text::tokenize::qgrams;
+use crowder_types::{Dataset, Pair, RecordId, ScoredPair};
+use std::collections::HashMap;
+
+/// Generate candidate pairs by q-gram blocking, then score with
+/// whole-record Jaccard and keep pairs at or above `threshold`.
+///
+/// * `q` — gram length (2 or 3 are the usual choices),
+/// * `min_shared_grams` — candidates must co-occur in at least this many
+///   gram blocks (1 = maximal recall; higher = cheaper),
+/// * `max_block` — skip blocks larger than this (0 = unlimited).
+///
+/// Unlike token blocking, q-gram blocking is *not* lossless for Jaccard
+/// thresholds — it is a recall/cost trade-off tool; the ablation bench
+/// quantifies the difference.
+pub fn qgram_blocking_pairs(
+    dataset: &Dataset,
+    tokens: &TokenTable,
+    threshold: f64,
+    q: usize,
+    min_shared_grams: usize,
+    max_block: usize,
+) -> Vec<ScoredPair> {
+    // Blocks: q-gram -> records containing it.
+    let mut blocks: HashMap<String, Vec<RecordId>> = HashMap::new();
+    for r in dataset.records() {
+        for gram in qgrams(&r.joined_text(), q) {
+            blocks.entry(gram).or_default().push(r.id);
+        }
+    }
+    // Count shared grams per pair.
+    let mut shared: HashMap<Pair, usize> = HashMap::new();
+    for (_gram, members) in blocks {
+        if max_block > 0 && members.len() > max_block {
+            continue;
+        }
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                if let Ok(pair) = Pair::new(members[i], members[j]) {
+                    *shared.entry(pair).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let mut out: Vec<ScoredPair> = shared
+        .into_iter()
+        .filter(|&(_, count)| count >= min_shared_grams)
+        .filter(|(pair, _)| dataset.is_candidate(pair))
+        .filter_map(|(pair, _)| {
+            let sim = tokens.jaccard_pair(&pair);
+            (sim >= threshold).then_some(ScoredPair::new(pair, sim))
+        })
+        .collect();
+    crowder_types::pair::sort_ranked(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allpairs::all_pairs_scored;
+    use crowder_types::{PairSpace, SourceId};
+
+    fn dataset(names: &[&str]) -> (Dataset, TokenTable) {
+        let mut d = Dataset::new("t", vec!["name".into()], PairSpace::SelfJoin);
+        for n in names {
+            d.push_record(SourceId(0), vec![n.to_string()]).unwrap();
+        }
+        let t = TokenTable::build(&d);
+        (d, t)
+    }
+
+    #[test]
+    fn finds_what_token_blocking_finds() {
+        let (d, t) = dataset(&[
+            "apple ipod shuffle",
+            "apple ipod nano",
+            "sony walkman classic",
+        ]);
+        let qg = qgram_blocking_pairs(&d, &t, 0.2, 3, 1, 0);
+        let brute = all_pairs_scored(&d, &t, 0.2, 1);
+        assert_eq!(qg, brute);
+    }
+
+    #[test]
+    fn survives_typos_where_token_blocking_fails() {
+        // The only shared word is misspelled: token blocking finds no
+        // candidates, q-gram blocking still pairs them.
+        let (d, t) = dataset(&["walkman", "walkmann"]);
+        let token_based = crate::blocking::token_blocking_pairs(&d, &t, 0.0, 0);
+        assert!(token_based.is_empty(), "no whole token is shared");
+        let qg = qgram_blocking_pairs(&d, &t, 0.0, 3, 1, 0);
+        assert_eq!(qg.len(), 1, "q-grams of the stem are shared");
+    }
+
+    #[test]
+    fn min_shared_grams_prunes_weak_candidates() {
+        let (d, t) = dataset(&["abcdef xyz", "abcdef qqq", "zzzzz abf"]);
+        let loose = qgram_blocking_pairs(&d, &t, 0.0, 3, 1, 0);
+        let strict = qgram_blocking_pairs(&d, &t, 0.0, 3, 4, 0);
+        assert!(strict.len() <= loose.len());
+        // The records sharing the full "abcdef" token survive the strict
+        // setting.
+        assert!(strict.iter().any(|sp| sp.pair == Pair::of(0, 1)));
+    }
+
+    #[test]
+    fn block_cap_drops_ubiquitous_grams() {
+        let (d, t) = dataset(&["aaa x", "aaa y", "aaa z"]);
+        let capped = qgram_blocking_pairs(&d, &t, 0.0, 3, 1, 2);
+        // The "aaa"-derived blocks hold 3 records and are skipped; only
+        // padding-gram blocks remain, which also hold all three records.
+        assert!(capped.len() <= 3);
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-record token tables.
+//!
+//! §7.1: *"We first generated a token set for each record, which
+//! consisted of the tokens from all attribute values."* The table caches
+//! those sets so the O(n²) likelihood pass never re-tokenizes.
+
+use crowder_text::{jaccard, tokenize, TokenSet};
+use crowder_types::{Dataset, Pair, RecordId};
+
+/// Cached token sets for every record of a dataset, indexed by
+/// [`RecordId`].
+#[derive(Debug, Clone)]
+pub struct TokenTable {
+    sets: Vec<TokenSet>,
+}
+
+impl TokenTable {
+    /// Tokenize every record's concatenated attribute text.
+    pub fn build(dataset: &Dataset) -> Self {
+        let sets = dataset
+            .records()
+            .iter()
+            .map(|r| tokenize(&r.joined_text()))
+            .collect();
+        TokenTable { sets }
+    }
+
+    /// Tokenize only the selected attributes — the CrowdSQL-style
+    /// `p.product_name ~= q.product_name` predicate of the paper's §1
+    /// compares a *column*, not the whole record; Example 1's likelihoods
+    /// are name-only Jaccard.
+    pub fn build_on_attrs(dataset: &Dataset, attrs: &[usize]) -> Self {
+        let sets = dataset
+            .records()
+            .iter()
+            .map(|r| {
+                let text: Vec<&str> =
+                    attrs.iter().filter_map(|&a| r.field(a)).collect();
+                tokenize(&text.join(" "))
+            })
+            .collect();
+        TokenTable { sets }
+    }
+
+    /// Token set of one record.
+    #[inline]
+    pub fn set(&self, id: RecordId) -> &TokenSet {
+        &self.sets[id.index()]
+    }
+
+    /// Number of records covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True iff the table is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Jaccard likelihood of a pair — the paper's `simjoin` score.
+    #[inline]
+    pub fn jaccard_pair(&self, pair: &Pair) -> f64 {
+        jaccard(self.set(pair.lo()), self.set(pair.hi()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowder_types::{PairSpace, SourceId};
+
+    /// The paper's Table 1 products (record r0 is a dummy so that ids
+    /// align with the paper's 1-based names r1..r9).
+    pub fn table1_dataset() -> Dataset {
+        let mut d = Dataset::new(
+            "table1",
+            vec!["product_name".into(), "price".into()],
+            PairSpace::SelfJoin,
+        );
+        let rows: [(&str, &str); 10] = [
+            ("dummy r0 placeholder to align ids", "$0"),
+            ("iPad Two 16GB WiFi White", "$490"),
+            ("iPad 2nd generation 16GB WiFi White", "$469"),
+            ("iPhone 4th generation White 16GB", "$545"),
+            ("Apple iPhone 4 16GB White", "$520"),
+            ("Apple iPhone 3rd generation Black 16GB", "$375"),
+            ("iPhone 4 32GB White", "$599"),
+            ("Apple iPad2 16GB WiFi White", "$499"),
+            ("Apple iPod shuffle 2GB Blue", "$49"),
+            ("Apple iPod shuffle USB Cable", "$19"),
+        ];
+        for (name, price) in rows {
+            d.push_record(SourceId(0), vec![name.into(), price.into()])
+                .unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn table_len_matches_dataset() {
+        let d = table1_dataset();
+        let t = TokenTable::build(&d);
+        assert_eq!(t.len(), 10);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn tokens_include_all_attributes() {
+        let d = table1_dataset();
+        let t = TokenTable::build(&d);
+        // Record r1 tokens include both the name tokens and the price.
+        let s = t.set(RecordId(1));
+        assert!(s.contains("ipad"));
+        assert!(s.contains("490"));
+    }
+
+    #[test]
+    fn jaccard_pair_uses_whole_record() {
+        let d = table1_dataset();
+        let t = TokenTable::build(&d);
+        // Name-only Jaccard of (r1, r2) would be 4/7; adding the distinct
+        // price tokens shifts it to 4/9.
+        let j = t.jaccard_pair(&Pair::of(1, 2));
+        assert!((j - 4.0 / 9.0).abs() < 1e-12, "j = {j}");
+    }
+}

@@ -1,0 +1,86 @@
+//! Cosine similarity over token-frequency vectors.
+//!
+//! The second similarity function of the paper's SVM baseline (§7.3).
+//! Records are short, so we build the term-frequency maps on the fly
+//! rather than maintaining a corpus-wide vector space.
+
+use crowder_types::normalize;
+use std::collections::HashMap;
+
+/// Term-frequency map of the normalized text.
+fn term_freqs(text: &str) -> HashMap<String, f64> {
+    let mut tf: HashMap<String, f64> = HashMap::new();
+    for tok in normalize(text).split_whitespace() {
+        *tf.entry(tok.to_string()).or_insert(0.0) += 1.0;
+    }
+    tf
+}
+
+/// Cosine similarity of the token-frequency vectors of two strings:
+/// `⟨a, b⟩ / (‖a‖·‖b‖)`, in `[0, 1]`.
+///
+/// Empty-vs-anything is 0; this matches the "no shared evidence"
+/// convention used for Jaccard.
+///
+/// ```
+/// use crowder_text::cosine_similarity;
+/// assert!(cosine_similarity("ipad white", "ipad white") > 0.999);
+/// assert_eq!(cosine_similarity("ipad", "iphone"), 0.0);
+/// ```
+pub fn cosine_similarity(a: &str, b: &str) -> f64 {
+    let ta = term_freqs(a);
+    let tb = term_freqs(b);
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    // Iterate the smaller map for the dot product.
+    let (small, large) = if ta.len() <= tb.len() { (&ta, &tb) } else { (&tb, &ta) };
+    let dot: f64 = small
+        .iter()
+        .filter_map(|(tok, &fa)| large.get(tok).map(|&fb| fa * fb))
+        .sum();
+    let na: f64 = ta.values().map(|v| v * v).sum::<f64>().sqrt();
+    let nb: f64 = tb.values().map(|v| v * v).sum::<f64>().sqrt();
+    (dot / (na * nb)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_texts_are_one() {
+        assert!((cosine_similarity("a b c", "a b c") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_tokens_weigh_more() {
+        // "a a b" vs "a": tf_a = (2,1), tf_b = (1,0); cos = 2/√5 ≈ 0.894.
+        let s = cosine_similarity("a a b", "a");
+        assert!((s - 2.0 / 5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_and_empty() {
+        assert_eq!(cosine_similarity("x y", "z w"), 0.0);
+        assert_eq!(cosine_similarity("", "anything"), 0.0);
+        assert_eq!(cosine_similarity("", ""), 0.0);
+    }
+
+    #[test]
+    fn normalization_applies() {
+        // Punctuation and case differences vanish.
+        assert!((cosine_similarity("iPad-2, White!", "ipad 2 white") - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn symmetric_and_bounded(a in "[a-c ]{0,16}", b in "[a-c ]{0,16}") {
+            let ab = cosine_similarity(&a, &b);
+            let ba = cosine_similarity(&b, &a);
+            prop_assert!((ab - ba).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&ab));
+        }
+    }
+}

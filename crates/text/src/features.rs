@@ -1,0 +1,181 @@
+//! Feature-vector extraction for learning-based entity resolution.
+//!
+//! §2.1.2 of the paper: a pair of records is represented as an
+//! `n·m`-dimensional feature vector built from `n` similarity functions
+//! applied to `m` attributes. §7.3 instantiates this with edit distance
+//! and cosine similarity — on all four Restaurant attributes
+//! (8 dimensions) and on the Product `name` attribute (2 dimensions).
+
+use crate::cosine::cosine_similarity;
+use crate::jaccard::jaccard_strs;
+use crate::levenshtein::edit_similarity;
+use crowder_types::{Pair, Record};
+
+/// A named record-attribute similarity function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimilarityFn {
+    /// Normalized Levenshtein similarity (see [`edit_similarity`]).
+    EditSimilarity,
+    /// Token-frequency cosine similarity.
+    Cosine,
+    /// Token-set Jaccard similarity.
+    Jaccard,
+}
+
+impl SimilarityFn {
+    /// Apply the function to two attribute values.
+    pub fn apply(self, a: &str, b: &str) -> f64 {
+        match self {
+            SimilarityFn::EditSimilarity => edit_similarity(a, b),
+            SimilarityFn::Cosine => cosine_similarity(a, b),
+            SimilarityFn::Jaccard => jaccard_strs(a, b),
+        }
+    }
+
+    /// Short display name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimilarityFn::EditSimilarity => "edit",
+            SimilarityFn::Cosine => "cosine",
+            SimilarityFn::Jaccard => "jaccard",
+        }
+    }
+}
+
+/// Extracts per-pair feature vectors: the cross product of the configured
+/// similarity functions and attribute indexes.
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    fns: Vec<SimilarityFn>,
+    attrs: Vec<usize>,
+}
+
+impl FeatureExtractor {
+    /// Build an extractor over `fns × attrs`.
+    pub fn new(fns: Vec<SimilarityFn>, attrs: Vec<usize>) -> Self {
+        FeatureExtractor { fns, attrs }
+    }
+
+    /// The paper's §7.3 configuration: edit distance + cosine similarity
+    /// over the given attributes.
+    pub fn paper_config(attrs: Vec<usize>) -> Self {
+        FeatureExtractor::new(
+            vec![SimilarityFn::EditSimilarity, SimilarityFn::Cosine],
+            attrs,
+        )
+    }
+
+    /// Dimensionality of produced vectors (`n·m`).
+    pub fn dims(&self) -> usize {
+        self.fns.len() * self.attrs.len()
+    }
+
+    /// Feature vector for a pair of records. Missing attributes
+    /// contribute similarity 0.
+    pub fn extract(&self, a: &Record, b: &Record) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.dims());
+        for &attr in &self.attrs {
+            let fa = a.field(attr).unwrap_or("");
+            let fb = b.field(attr).unwrap_or("");
+            for f in &self.fns {
+                v.push(f.apply(fa, fb));
+            }
+        }
+        v
+    }
+
+    /// Feature vector for a [`Pair`] resolved against a record slice
+    /// (`records[i].id == RecordId(i)`).
+    pub fn extract_pair(&self, records: &[Record], pair: &Pair) -> Vec<f64> {
+        self.extract(&records[pair.lo().index()], &records[pair.hi().index()])
+    }
+
+    /// Human-readable names of the feature dimensions, e.g.
+    /// `edit(name)`, `cosine(name)`, ...
+    pub fn dimension_names(&self, schema: &[String]) -> Vec<String> {
+        let mut names = Vec::with_capacity(self.dims());
+        for &attr in &self.attrs {
+            let attr_name = schema.get(attr).map(String::as_str).unwrap_or("?");
+            for f in &self.fns {
+                names.push(format!("{}({})", f.name(), attr_name));
+            }
+        }
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowder_types::{RecordId, SourceId};
+
+    fn rec(id: u32, fields: &[&str]) -> Record {
+        Record::new(
+            RecordId(id),
+            SourceId(0),
+            fields.iter().map(|s| s.to_string()).collect(),
+        )
+    }
+
+    #[test]
+    fn paper_restaurant_config_is_8_dimensional() {
+        // 2 similarity functions × 4 attributes.
+        let fx = FeatureExtractor::paper_config(vec![0, 1, 2, 3]);
+        assert_eq!(fx.dims(), 8);
+    }
+
+    #[test]
+    fn paper_product_config_is_2_dimensional() {
+        let fx = FeatureExtractor::paper_config(vec![0]);
+        assert_eq!(fx.dims(), 2);
+    }
+
+    #[test]
+    fn identical_records_give_all_ones() {
+        let fx = FeatureExtractor::paper_config(vec![0, 1]);
+        let a = rec(0, &["oceana", "new york"]);
+        let v = fx.extract(&a, &a);
+        assert_eq!(v.len(), 4);
+        for x in v {
+            assert!((x - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn disjoint_records_give_low_features() {
+        let fx = FeatureExtractor::paper_config(vec![0]);
+        let a = rec(0, &["aaaa"]);
+        let b = rec(1, &["zzzz"]);
+        let v = fx.extract(&a, &b);
+        assert_eq!(v[0], 0.0); // edit similarity
+        assert_eq!(v[1], 0.0); // cosine
+    }
+
+    #[test]
+    fn missing_attribute_is_zero_not_panic() {
+        let fx = FeatureExtractor::paper_config(vec![5]);
+        let a = rec(0, &["x"]);
+        let b = rec(1, &["x"]);
+        let v = fx.extract(&a, &b);
+        // Both sides missing → edit_similarity("", "") = 1, cosine = 0.
+        assert_eq!(v, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn extract_pair_resolves_ids() {
+        let records = vec![rec(0, &["alpha"]), rec(1, &["alpha"])];
+        let fx = FeatureExtractor::paper_config(vec![0]);
+        let v = fx.extract_pair(&records, &Pair::of(0, 1));
+        assert!((v[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimension_names_enumerate_cross_product() {
+        let fx = FeatureExtractor::paper_config(vec![0, 1]);
+        let names = fx.dimension_names(&["name".into(), "city".into()]);
+        assert_eq!(
+            names,
+            vec!["edit(name)", "cosine(name)", "edit(city)", "cosine(city)"]
+        );
+    }
+}

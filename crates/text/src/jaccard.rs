@@ -1,0 +1,71 @@
+//! Jaccard set similarity — the paper's machine-pass likelihood function.
+
+use crate::tokenize::{tokenize, TokenSet};
+
+/// Jaccard similarity of two token sets: `|A ∩ B| / |A ∪ B|`.
+///
+/// Two empty sets have similarity 0 by convention (they carry no evidence
+/// of referring to the same entity).
+///
+/// ```
+/// use crowder_text::{jaccard, tokenize};
+/// let r1 = tokenize("iPad Two 16GB WiFi White");
+/// let r2 = tokenize("iPad 2nd generation 16GB WiFi White");
+/// // Paper §2.1.1: J(r1, r2) = 4/7 ≈ 0.57.
+/// assert!((jaccard(&r1, &r2) - 4.0 / 7.0).abs() < 1e-12);
+/// ```
+pub fn jaccard(a: &TokenSet, b: &TokenSet) -> f64 {
+    let inter = a.intersection_size(b);
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Convenience wrapper: tokenize both strings then compute [`jaccard`].
+pub fn jaccard_strs(a: &str, b: &str) -> f64 {
+    jaccard(&tokenize(a), &tokenize(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets_have_similarity_one() {
+        let t = tokenize("a b c");
+        assert_eq!(jaccard(&t, &t), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_have_similarity_zero() {
+        assert_eq!(jaccard_strs("a b", "c d"), 0.0);
+    }
+
+    #[test]
+    fn empty_sets_convention() {
+        assert_eq!(jaccard_strs("", ""), 0.0);
+        assert_eq!(jaccard_strs("", "a"), 0.0);
+    }
+
+    #[test]
+    fn paper_section211_examples() {
+        // J(r1, r2) = 0.57 ≥ 0.5 — considered the same entity.
+        let j12 = jaccard_strs("iPad Two 16GB WiFi White", "iPad 2nd generation 16GB WiFi White");
+        assert!((j12 - 4.0 / 7.0).abs() < 1e-12);
+        // J(r1, r3) = 0.25 < 0.5 — not a match at threshold 0.5.
+        let j13 = jaccard_strs("iPad Two 16GB WiFi White", "iPhone 4th generation White 16GB");
+        assert!((j13 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_and_bounded() {
+        let a = tokenize("x y z w");
+        let b = tokenize("y z q");
+        assert_eq!(jaccard(&a, &b), jaccard(&b, &a));
+        let v = jaccard(&a, &b);
+        assert!((0.0..=1.0).contains(&v));
+    }
+}

@@ -1,0 +1,114 @@
+//! Levenshtein edit distance and the derived similarity.
+//!
+//! Edit distance is one of the two similarity functions the paper's SVM
+//! baseline uses (§7.3, following Köpcke et al. \[18\]).
+
+/// Levenshtein edit distance between two strings (unit costs for insert,
+/// delete, substitute), computed over Unicode scalar values with the
+/// classic two-row dynamic program — O(|a|·|b|) time, O(min(|a|,|b|))
+/// space.
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a_chars: Vec<char> = a.chars().collect();
+    let b_chars: Vec<char> = b.chars().collect();
+    // Keep the shorter string as the DP row to minimize memory.
+    let (short, long) = if a_chars.len() <= b_chars.len() {
+        (&a_chars, &b_chars)
+    } else {
+        (&b_chars, &a_chars)
+    };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut curr: Vec<usize> = vec![0; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            curr[j + 1] = (prev[j] + cost) // substitute
+                .min(prev[j + 1] + 1) // delete from long
+                .min(curr[j] + 1); // insert into long
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// Normalized edit similarity: `1 − dist(a, b) / max(|a|, |b|)`.
+///
+/// Two empty strings are defined to have similarity 1 (they are equal).
+/// The result always lies in `[0, 1]`.
+pub fn edit_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - edit_distance(a, b) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn textbook_cases() {
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("flaw", "lawn"), 2);
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("same", "same"), 0);
+    }
+
+    #[test]
+    fn unicode_is_per_scalar() {
+        assert_eq!(edit_distance("café", "cafe"), 1);
+        assert_eq!(edit_distance("日本語", "日本"), 1);
+    }
+
+    #[test]
+    fn similarity_bounds_and_identity() {
+        assert_eq!(edit_similarity("", ""), 1.0);
+        assert_eq!(edit_similarity("abc", "abc"), 1.0);
+        assert_eq!(edit_similarity("abc", "xyz"), 0.0);
+        let s = edit_similarity("ipad 2", "ipad two");
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    proptest! {
+        #[test]
+        fn symmetric(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+        }
+
+        #[test]
+        fn identity_of_indiscernibles(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            let d = edit_distance(&a, &b);
+            prop_assert_eq!(d == 0, a == b);
+        }
+
+        #[test]
+        fn triangle_inequality(
+            a in "[a-z]{0,8}",
+            b in "[a-z]{0,8}",
+            c in "[a-z]{0,8}",
+        ) {
+            prop_assert!(edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c));
+        }
+
+        #[test]
+        fn bounded_by_longer_length(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            let d = edit_distance(&a, &b);
+            let (la, lb) = (a.len(), b.len());
+            prop_assert!(d <= la.max(lb));
+            prop_assert!(d >= la.abs_diff(lb));
+        }
+
+        #[test]
+        fn similarity_in_unit_interval(a in ".{0,12}", b in ".{0,12}") {
+            let s = edit_similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

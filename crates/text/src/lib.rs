@@ -1,0 +1,30 @@
+//! # crowder-text
+//!
+//! The string-similarity substrate of the CrowdER reproduction. The paper
+//! relies on off-the-shelf similarity machinery; we build it from scratch:
+//!
+//! * [`tokenize`](mod@tokenize) — whitespace tokenization into sorted, deduplicated
+//!   [`TokenSet`]s (the unit of the paper's `simjoin` likelihood), plus
+//!   character [`tokenize::qgrams`] for blocking indexes,
+//! * [`jaccard`](mod@jaccard) — Jaccard set similarity (the likelihood function of §2.1.1
+//!   and §7.1),
+//! * [`levenshtein`] — edit distance and its normalized similarity (one of
+//!   the two SVM features, §7.3),
+//! * [`cosine`] — token-frequency cosine similarity (the other SVM feature),
+//! * [`overlap`] — overlap and Dice coefficients (used by ablations),
+//! * [`features`] — per-attribute feature-vector extraction for
+//!   learning-based ER (§2.1.2: *n* similarity functions × *m* attributes).
+
+pub mod cosine;
+pub mod features;
+pub mod jaccard;
+pub mod levenshtein;
+pub mod overlap;
+pub mod tokenize;
+
+pub use cosine::cosine_similarity;
+pub use features::{FeatureExtractor, SimilarityFn};
+pub use jaccard::{jaccard, jaccard_strs};
+pub use levenshtein::{edit_distance, edit_similarity};
+pub use overlap::{dice, overlap_coefficient};
+pub use tokenize::{tokenize, TokenSet};

@@ -1,0 +1,69 @@
+//! Overlap and Dice coefficients.
+//!
+//! Not used by the paper's headline pipeline, but standard members of a
+//! similarity-join toolbox; the ablation benches swap them in for Jaccard
+//! to show the likelihood function is a pluggable component.
+
+use crate::tokenize::TokenSet;
+
+/// Overlap coefficient: `|A ∩ B| / min(|A|, |B|)`; 0 if either set is
+/// empty.
+pub fn overlap_coefficient(a: &TokenSet, b: &TokenSet) -> f64 {
+    let min = a.len().min(b.len());
+    if min == 0 {
+        return 0.0;
+    }
+    a.intersection_size(b) as f64 / min as f64
+}
+
+/// Sørensen–Dice coefficient: `2·|A ∩ B| / (|A| + |B|)`; 0 if both sets
+/// are empty.
+pub fn dice(a: &TokenSet, b: &TokenSet) -> f64 {
+    let total = a.len() + b.len();
+    if total == 0 {
+        return 0.0;
+    }
+    2.0 * a.intersection_size(b) as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+
+    #[test]
+    fn overlap_of_subset_is_one() {
+        let small = tokenize("a b");
+        let big = tokenize("a b c d");
+        assert_eq!(overlap_coefficient(&small, &big), 1.0);
+    }
+
+    #[test]
+    fn dice_relates_to_jaccard() {
+        // D = 2J / (1 + J) for any pair of sets.
+        let a = tokenize("a b c");
+        let b = tokenize("b c d e");
+        let j = crate::jaccard(&a, &b);
+        let d = dice(&a, &b);
+        assert!((d - 2.0 * j / (1.0 + j)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let e = tokenize("");
+        let x = tokenize("a");
+        assert_eq!(overlap_coefficient(&e, &x), 0.0);
+        assert_eq!(dice(&e, &e), 0.0);
+    }
+
+    #[test]
+    fn bounded_and_symmetric() {
+        let a = tokenize("p q r");
+        let b = tokenize("q r s");
+        for f in [overlap_coefficient, dice] {
+            let v = f(&a, &b);
+            assert!((0.0..=1.0).contains(&v));
+            assert_eq!(f(&a, &b), f(&b, &a));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # crowder-types
+//!
+//! The shared data model for the CrowdER reproduction.
+//!
+//! Everything downstream — similarity joins, HIT generation, the crowd
+//! simulator, the hybrid workflow — speaks in terms of the types defined
+//! here:
+//!
+//! * [`Record`] / [`RecordId`] — a row of a table being deduplicated
+//!   (e.g. one product listing),
+//! * [`Dataset`] — a named collection of records together with its
+//!   [`PairSpace`] (self-join or cross-source) and a [`GoldStandard`],
+//! * [`Pair`] — a canonically ordered pair of record ids,
+//! * [`ScoredPair`] — a pair plus a machine-computed match likelihood,
+//! * [`normalize`](mod@normalize) — the paper's preprocessing (§7.1: lowercase, strip
+//!   non-alphanumerics).
+//!
+//! The crate is dependency-light by design: it is the bottom of the
+//! workspace DAG.
+
+pub mod dataset;
+pub mod error;
+pub mod gold;
+pub mod normalize;
+pub mod pair;
+pub mod record;
+
+pub use dataset::{Dataset, PairSpace};
+pub use error::{Error, Result};
+pub use gold::GoldStandard;
+pub use normalize::{normalize, normalize_into};
+pub use pair::{Pair, ScoredPair};
+pub use record::{Record, RecordId, SourceId};

@@ -1,0 +1,83 @@
+//! Record preprocessing.
+//!
+//! The paper (§7.1): *"The two datasets were preprocessed by replacing
+//! non-alphanumeric characters with white spaces, and letters with their
+//! lowercases."* This module implements exactly that transformation.
+
+/// Normalize a string per the paper's preprocessing: every
+/// non-alphanumeric character becomes a space, letters are lowercased,
+/// and runs of whitespace collapse to single spaces (leading/trailing
+/// whitespace is trimmed).
+///
+/// ```
+/// use crowder_types::normalize;
+/// assert_eq!(normalize("Apple iPod-shuffle (2GB, Blue)"), "apple ipod shuffle 2gb blue");
+/// ```
+pub fn normalize(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    normalize_into(input, &mut out);
+    out
+}
+
+/// Allocation-reusing variant of [`normalize`]: clears `out` and writes
+/// the normalized text into it. Useful in dataset-generation loops.
+pub fn normalize_into(input: &str, out: &mut String) {
+    out.clear();
+    let mut pending_space = false;
+    for ch in input.chars() {
+        if ch.is_alphanumeric() {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            for lower in ch.to_lowercase() {
+                out.push(lower);
+            }
+        } else {
+            pending_space = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_strips_punctuation() {
+        assert_eq!(normalize("iPad Two 16GB WiFi White"), "ipad two 16gb wifi white");
+        assert_eq!(normalize("55 e. 54th st."), "55 e 54th st");
+        assert_eq!(normalize("MB528LL/A"), "mb528ll a");
+    }
+
+    #[test]
+    fn collapses_whitespace_runs() {
+        assert_eq!(normalize("  a   b\t\nc  "), "a b c");
+        assert_eq!(normalize("--a--b--"), "a b");
+    }
+
+    #[test]
+    fn empty_and_symbol_only_inputs() {
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("!!! ---"), "");
+    }
+
+    #[test]
+    fn idempotent() {
+        let s = "Apple iPhone 4 16GB (White)";
+        let once = normalize(s);
+        assert_eq!(normalize(&once), once);
+    }
+
+    #[test]
+    fn reuses_buffer() {
+        let mut buf = String::from("old contents");
+        normalize_into("A-B", &mut buf);
+        assert_eq!(buf, "a b");
+    }
+
+    #[test]
+    fn unicode_letters_survive() {
+        assert_eq!(normalize("Café Künstler"), "café künstler");
+    }
+}

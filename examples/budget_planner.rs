@@ -1,0 +1,56 @@
+//! Budget planning: pick a likelihood threshold that fits a dollar
+//! budget (§9's cost/quality/latency trade-off, implemented).
+//!
+//! ```sh
+//! cargo run --release --example budget_planner
+//! ```
+
+use crowder::prelude::*;
+
+fn main() {
+    let dataset = restaurant(&RestaurantConfig::default());
+    let budget = 5.0; // dollars
+    println!(
+        "== Budget planner: {} records, ${budget:.2} budget ==\n",
+        dataset.len()
+    );
+
+    let plan = plan_budget(
+        &dataset,
+        &[0.5, 0.4, 0.35, 0.3, 0.25, 0.2],
+        10,    // cluster size k
+        3,     // assignments per HIT
+        0.025, // $ per assignment (reward + fee)
+        budget,
+    )
+    .unwrap();
+
+    let mut table =
+        AsciiTable::new(["threshold", "pairs", "HITs", "cost", "recall ceiling", ""]);
+    for (i, p) in plan.frontier.iter().enumerate() {
+        let marker = if Some(i) == plan.chosen { "<= chosen" } else { "" };
+        table.row([
+            format!("{:.2}", p.threshold),
+            p.pairs.to_string(),
+            p.hits.to_string(),
+            format!("${:.2}", p.cost_dollars),
+            format!("{:.1}%", p.recall_ceiling * 100.0),
+            marker.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    match plan.chosen {
+        Some(i) => {
+            let p = &plan.frontier[i];
+            println!(
+                "chosen: τ = {:.2} — {} HITs for ${:.2}, recall ceiling {:.1}%",
+                p.threshold,
+                p.hits,
+                p.cost_dollars,
+                p.recall_ceiling * 100.0
+            );
+        }
+        None => println!("no threshold fits the budget; raise it or accept lower recall"),
+    }
+}

@@ -1,0 +1,42 @@
+//! The paper's §1 CrowdSQL query, as a typed API:
+//!
+//! ```sql
+//! SELECT p.id, q.id FROM product p, product q
+//! WHERE p.product_name ~= q.product_name;
+//! ```
+//!
+//! ```sh
+//! cargo run --release --example crowdsql_join
+//! ```
+
+use crowder::prelude::*;
+
+fn main() {
+    let dataset = table1();
+    let crowd = WorkerPopulation::generate(&PopulationConfig::default(), 5);
+
+    println!("SELECT p.id, q.id FROM product p, product q");
+    println!("WHERE  p.product_name ~= q.product_name;\n");
+
+    let result = CrowdJoin::new()
+        .on_attribute("product_name")
+        .threshold(0.3)
+        .cluster_size(4)
+        .run(&dataset, &crowd)
+        .expect("query executes");
+
+    println!(
+        "-- machine pass kept {} of {} pairs; {} HITs; ${:.2} crowd cost\n",
+        result.candidates,
+        dataset.candidate_pair_count(),
+        result.hits,
+        result.cost_dollars
+    );
+    println!(" p.id | q.id | product_name (p)");
+    println!("------+------+------------------");
+    for pair in &result.matches {
+        let name = dataset.records()[pair.lo().index()].field(0).unwrap_or("?");
+        println!("  {:>3} | {:>4} | {}", pair.lo(), pair.hi(), name);
+    }
+    println!("\n({} rows)", result.matches.len());
+}

@@ -1,0 +1,61 @@
+//! Quickstart: the paper's Example 1 walk-through on the Table 1
+//! products.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Stages printed: machine-pass pruning (36 → ~10 pairs), cluster-based
+//! HIT generation (3 HITs at k = 4, Figure 2(b) / §5.1), simulated
+//! crowdsourcing with 3 assignments per HIT, and the final matching
+//! pairs (Figure 2(c)).
+
+use crowder::prelude::*;
+
+fn main() {
+    let dataset = table1();
+    println!("== CrowdER quickstart: Table 1 ({} records) ==\n", dataset.len());
+    println!(
+        "naive crowdsourcing would need {} pair verifications",
+        dataset.candidate_pair_count()
+    );
+
+    // Stage 1: machine pass at likelihood threshold 0.3.
+    let tokens = TokenTable::build(&dataset);
+    let scored = all_pairs_scored(&dataset, &tokens, 0.3, 0);
+    println!("machine pass (Jaccard ≥ 0.3) keeps {} pairs:", scored.len());
+    for sp in &scored {
+        println!("  {}  likelihood {:.2}", sp.pair, sp.likelihood);
+    }
+
+    // Stage 2: two-tiered cluster-based HIT generation, k = 4.
+    let pairs: Vec<Pair> = scored.iter().map(|s| s.pair).collect();
+    let hits = TwoTieredGenerator::new().generate(&pairs, 4).unwrap();
+    println!("\ntwo-tiered HIT generation (k = 4) → {} cluster-based HITs:", hits.len());
+    for (i, hit) in hits.iter().enumerate() {
+        let names: Vec<String> = hit.records().iter().map(|r| r.to_string()).collect();
+        println!("  HIT {}: {{{}}}", i + 1, names.join(", "));
+    }
+
+    // Stages 3-4: simulated crowd + EM aggregation via the workflow.
+    let crowd = WorkerPopulation::generate(&PopulationConfig::default(), 7);
+    let config = HybridConfig {
+        likelihood_threshold: 0.3,
+        cluster_size: 4,
+        ..HybridConfig::default()
+    };
+    let outcome = run_hybrid(&dataset, &crowd, &config).unwrap();
+    println!(
+        "\ncrowd: {} assignments by {} workers, {:.1} simulated minutes, ${:.3}",
+        outcome.sim.assignments.len(),
+        outcome.sim.workers_participated,
+        outcome.sim.elapsed_minutes,
+        outcome.sim.cost_dollars
+    );
+
+    println!("\nfinal matching pairs (posterior > 0.5):");
+    for pair in outcome.matching_pairs() {
+        let ok = if dataset.gold.is_match(&pair) { "correct" } else { "WRONG" };
+        println!("  {pair}  [{ok}]");
+    }
+}

@@ -1,0 +1,110 @@
+//! Structural invariants of the crowd marketplace simulation, checked on
+//! realistic HIT batches from the actual pipeline.
+
+use crowder::prelude::*;
+use crowder_crowd::simulate;
+use std::collections::{HashMap, HashSet};
+
+fn batch() -> (Vec<Hit>, Dataset) {
+    let dataset = restaurant(&RestaurantConfig {
+        unique_entities: 120,
+        duplicated_entities: 50,
+        seed: 77,
+    });
+    let tokens = TokenTable::build(&dataset);
+    let pairs: Vec<Pair> = all_pairs_scored(&dataset, &tokens, 0.3, 0)
+        .iter()
+        .map(|s| s.pair)
+        .collect();
+    let hits = TwoTieredGenerator::new().generate(&pairs, 10).unwrap();
+    (hits, dataset)
+}
+
+#[test]
+fn every_hit_gets_exactly_the_replication_factor() {
+    let (hits, dataset) = batch();
+    let pool = WorkerPopulation::generate(&PopulationConfig::default(), 5);
+    for assignments in [1usize, 3, 5] {
+        let config = CrowdConfig { assignments_per_hit: assignments, ..Default::default() };
+        let out = simulate(&hits, &dataset.gold, &pool, &config).unwrap();
+        let mut per_hit: HashMap<usize, usize> = HashMap::new();
+        for a in &out.assignments {
+            *per_hit.entry(a.hit_index).or_insert(0) += 1;
+        }
+        assert_eq!(per_hit.len(), hits.len());
+        assert!(per_hit.values().all(|&c| c == assignments));
+    }
+}
+
+#[test]
+fn distinct_workers_per_hit_and_consistent_timestamps() {
+    let (hits, dataset) = batch();
+    let pool = WorkerPopulation::generate(&PopulationConfig::default(), 6);
+    let out = simulate(&hits, &dataset.gold, &pool, &CrowdConfig::default()).unwrap();
+    let mut per_hit: HashMap<usize, HashSet<_>> = HashMap::new();
+    for a in &out.assignments {
+        // AMT's guarantee: one worker never does two assignments of the
+        // same HIT.
+        assert!(
+            per_hit.entry(a.hit_index).or_default().insert(a.worker),
+            "worker {} repeated HIT {}",
+            a.worker,
+            a.hit_index
+        );
+        assert!(a.completed_at_min > a.accepted_at_min);
+        assert!(a.answer.duration_secs > 0.0);
+        assert!(a.completed_at_min <= out.elapsed_minutes + 1e-9);
+    }
+}
+
+#[test]
+fn a_workers_personal_timeline_never_overlaps() {
+    let (hits, dataset) = batch();
+    let pool = WorkerPopulation::generate(&PopulationConfig::default(), 7);
+    let out = simulate(&hits, &dataset.gold, &pool, &CrowdConfig::default()).unwrap();
+    let mut per_worker: HashMap<_, Vec<(f64, f64)>> = HashMap::new();
+    for a in &out.assignments {
+        per_worker
+            .entry(a.worker)
+            .or_default()
+            .push((a.accepted_at_min, a.completed_at_min));
+    }
+    for (worker, mut spans) in per_worker {
+        spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in spans.windows(2) {
+            assert!(
+                w[1].0 >= w[0].1 - 1e-9,
+                "worker {worker} accepted a HIT before finishing the previous one"
+            );
+        }
+    }
+}
+
+#[test]
+fn verdict_universe_matches_hit_coverage() {
+    let (hits, dataset) = batch();
+    let pool = WorkerPopulation::generate(&PopulationConfig::default(), 8);
+    let out = simulate(&hits, &dataset.gold, &pool, &CrowdConfig::default()).unwrap();
+    for a in &out.assignments {
+        let coverable: HashSet<Pair> =
+            hits[a.hit_index].coverable_pairs().into_iter().collect();
+        let answered: HashSet<Pair> =
+            a.answer.verdicts.iter().map(|(p, _)| *p).collect();
+        assert_eq!(coverable, answered, "HIT {} verdicts mismatch", a.hit_index);
+    }
+}
+
+#[test]
+fn cost_scales_linearly_with_replication() {
+    let (hits, dataset) = batch();
+    let pool = WorkerPopulation::generate(&PopulationConfig::default(), 9);
+    let cost_at = |assignments: usize| {
+        let config = CrowdConfig { assignments_per_hit: assignments, ..Default::default() };
+        simulate(&hits, &dataset.gold, &pool, &config)
+            .unwrap()
+            .cost_dollars
+    };
+    let c1 = cost_at(1);
+    let c3 = cost_at(3);
+    assert!((c3 - 3.0 * c1).abs() < 1e-9);
+}

@@ -1,0 +1,85 @@
+//! Cross-crate integration: the full hybrid workflow, end to end.
+
+use crowder::prelude::*;
+
+#[test]
+fn table1_pipeline_finds_the_four_gold_pairs() {
+    let dataset = table1();
+    let crowd = WorkerPopulation::generate(&PopulationConfig::default(), 7);
+    let config = HybridConfig {
+        likelihood_threshold: 0.3,
+        cluster_size: 4,
+        ..HybridConfig::default()
+    };
+    let outcome = run_hybrid(&dataset, &crowd, &config).unwrap();
+
+    // Figure 2 staging: ~10 candidate pairs, 3-4 cluster HITs at k=4.
+    assert!(outcome.candidate_pairs.len() >= 8);
+    assert!(outcome.candidate_pairs.len() <= 14);
+    assert!(outcome.hits.len() <= 5, "{} HITs for the toy graph", outcome.hits.len());
+
+    // Every gold pair must be verifiable by some HIT (they all clear the
+    // 0.3 threshold in this fixture).
+    for gold_pair in dataset.gold.iter() {
+        assert!(
+            outcome.hits.iter().any(|h| h.covers(gold_pair)),
+            "gold pair {gold_pair} is not covered"
+        );
+    }
+
+    // The declared matches are mostly correct.
+    let declared = outcome.matching_pairs();
+    let correct = declared.iter().filter(|p| dataset.gold.is_match(p)).count();
+    assert!(correct >= 3, "only {correct} correct of {}", declared.len());
+}
+
+#[test]
+fn restaurant_small_scale_quality() {
+    let dataset = restaurant(&RestaurantConfig {
+        unique_entities: 150,
+        duplicated_entities: 50,
+        seed: 3,
+    });
+    let crowd = WorkerPopulation::generate(&PopulationConfig::default(), 11);
+    let config = HybridConfig {
+        likelihood_threshold: 0.35,
+        cluster_size: 10,
+        ..HybridConfig::default()
+    };
+    let outcome = run_hybrid(&dataset, &crowd, &config).unwrap();
+    let curve = pr_curve(&outcome.ranked, &dataset.gold);
+
+    // The hybrid result must be high-precision at moderate recall.
+    let p_at_half = precision_at_recall(&curve, 0.5);
+    assert!(p_at_half > 0.8, "precision@recall=0.5 is only {p_at_half}");
+
+    // Cost accounting matches the paper's arithmetic.
+    let expected = outcome.hits.len() as f64 * 3.0 * 0.025;
+    assert!((outcome.sim.cost_dollars - expected).abs() < 1e-9);
+}
+
+#[test]
+fn pair_and_cluster_strategies_agree_on_quality() {
+    // Figure 15's conclusion: similar result quality for both HIT shapes.
+    let dataset = restaurant(&RestaurantConfig {
+        unique_entities: 100,
+        duplicated_entities: 40,
+        seed: 21,
+    });
+    let crowd = WorkerPopulation::generate(&PopulationConfig::default(), 5);
+    let run = |strategy: HitStrategy| {
+        let config = HybridConfig {
+            likelihood_threshold: 0.35,
+            cluster_size: 10,
+            strategy,
+            ..HybridConfig::default()
+        };
+        let outcome = run_hybrid(&dataset, &crowd, &config).unwrap();
+        let curve = pr_curve(&outcome.ranked, &dataset.gold);
+        curve.max_f1()
+    };
+    let cluster_f1 = run(HitStrategy::ClusterBased { config: Default::default() });
+    let pair_f1 = run(HitStrategy::PairBased { per_hit: 16 });
+    assert!((cluster_f1 - pair_f1).abs() < 0.2, "cluster {cluster_f1} vs pair {pair_f1}");
+    assert!(cluster_f1 > 0.7 && pair_f1 > 0.7);
+}

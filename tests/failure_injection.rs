@@ -1,0 +1,141 @@
+//! Failure injection and degenerate inputs across the whole stack.
+
+use crowder::prelude::*;
+use crowder_crowd::simulate;
+
+#[test]
+fn empty_dataset_flows_through_cleanly() {
+    let dataset = Dataset::new("empty", vec!["x".into()], PairSpace::SelfJoin);
+    let crowd = WorkerPopulation::generate(&PopulationConfig::default(), 0);
+    let outcome = run_hybrid(&dataset, &crowd, &HybridConfig::default()).unwrap();
+    assert!(outcome.candidate_pairs.is_empty());
+    assert!(outcome.hits.is_empty());
+    assert!(outcome.ranked.is_empty());
+}
+
+#[test]
+fn single_record_dataset() {
+    let mut dataset = Dataset::new("one", vec!["x".into()], PairSpace::SelfJoin);
+    dataset
+        .push_record(SourceId(0), vec!["lonely record".into()])
+        .unwrap();
+    let crowd = WorkerPopulation::generate(&PopulationConfig::default(), 0);
+    let outcome = run_hybrid(&dataset, &crowd, &HybridConfig::default()).unwrap();
+    assert!(outcome.hits.is_empty());
+}
+
+#[test]
+fn cluster_size_two_is_the_degenerate_minimum() {
+    let dataset = table1();
+    let crowd = WorkerPopulation::generate(&PopulationConfig::default(), 4);
+    let config = HybridConfig {
+        likelihood_threshold: 0.3,
+        cluster_size: 2,
+        ..HybridConfig::default()
+    };
+    let outcome = run_hybrid(&dataset, &crowd, &config).unwrap();
+    // k = 2 degenerates to one cluster HIT per pair.
+    assert_eq!(outcome.hits.len(), outcome.candidate_pairs.len());
+}
+
+#[test]
+fn cluster_size_below_two_errors() {
+    let dataset = table1();
+    let crowd = WorkerPopulation::generate(&PopulationConfig::default(), 4);
+    let config = HybridConfig {
+        likelihood_threshold: 0.3,
+        cluster_size: 1,
+        ..HybridConfig::default()
+    };
+    assert!(run_hybrid(&dataset, &crowd, &config).is_err());
+}
+
+#[test]
+fn all_spammer_crowd_destroys_quality_but_not_the_pipeline() {
+    let dataset = restaurant(&RestaurantConfig {
+        unique_entities: 60,
+        duplicated_entities: 25,
+        seed: 8,
+    });
+    let crowd = WorkerPopulation::generate(
+        &PopulationConfig { spammer_fraction: 1.0, ..Default::default() },
+        1,
+    );
+    let config = HybridConfig {
+        likelihood_threshold: 0.35,
+        cluster_size: 10,
+        // No qualification test: spammers flood in.
+        ..HybridConfig::default()
+    };
+    let outcome = run_hybrid(&dataset, &crowd, &config).unwrap();
+    // The pipeline completes and produces *some* ranking…
+    assert!(!outcome.ranked.is_empty());
+    // …whose quality collapses relative to an honest crowd.
+    let honest = WorkerPopulation::generate(
+        &PopulationConfig { spammer_fraction: 0.0, ..Default::default() },
+        1,
+    );
+    let honest_out = run_hybrid(&dataset, &honest, &config).unwrap();
+    let spam_f1 = pr_curve(&outcome.ranked, &dataset.gold).max_f1();
+    let honest_f1 = pr_curve(&honest_out.ranked, &dataset.gold).max_f1();
+    assert!(
+        honest_f1 > spam_f1,
+        "honest {honest_f1:.3} must beat all-spam {spam_f1:.3}"
+    );
+}
+
+#[test]
+fn qualification_test_blocks_an_all_spammer_crowd() {
+    // With a QT, an all-always-yes crowd can never complete the batch
+    // (the non-matching test question fails them all), which surfaces as
+    // a convergence error rather than silent garbage.
+    use crowder_crowd::{WorkerId, WorkerKind, WorkerProfile};
+    let dataset = table1();
+    let crowd = WorkerPopulation::from_workers(
+        (0..50)
+            .map(|i| WorkerProfile {
+                id: WorkerId(i),
+                kind: WorkerKind::AlwaysYesSpammer,
+                sensitivity: 1.0,
+                specificity: 0.0,
+                seconds_per_comparison: 2.0,
+                cluster_affinity: 0.5,
+            })
+            .collect(),
+    );
+    let tokens = TokenTable::build(&dataset);
+    let pairs: Vec<Pair> = all_pairs_scored(&dataset, &tokens, 0.3, 0)
+        .iter()
+        .map(|s| s.pair)
+        .collect();
+    let hits = TwoTieredGenerator::new().generate(&pairs, 4).unwrap();
+    let config = CrowdConfig {
+        qualification: Some(QualificationConfig::default()),
+        ..CrowdConfig::default()
+    };
+    let result = simulate(&hits, &dataset.gold, &crowd, &config);
+    assert!(result.is_err(), "an unpassable QT must starve the batch");
+}
+
+#[test]
+fn cross_source_dataset_never_pairs_within_a_source() {
+    let dataset = product(&ProductConfig {
+        one_to_one: 40,
+        one_to_two: 0,
+        two_to_two: 0,
+        unmatched_a: 5,
+        unmatched_b: 5,
+        family_probability: 0.45,
+        seed: 50,
+    });
+    let crowd = WorkerPopulation::generate(&PopulationConfig::default(), 6);
+    let config = HybridConfig {
+        likelihood_threshold: 0.2,
+        cluster_size: 10,
+        ..HybridConfig::default()
+    };
+    let outcome = run_hybrid(&dataset, &crowd, &config).unwrap();
+    for sp in &outcome.candidate_pairs {
+        assert!(dataset.is_candidate(&sp.pair));
+    }
+}

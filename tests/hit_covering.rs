@@ -1,0 +1,109 @@
+//! Definition 1 invariants on realistic pair sets: every generator, on
+//! pair graphs produced by the actual machine pass over the synthetic
+//! datasets, covers every pair within the size bound.
+
+use crowder::prelude::*;
+use crowder_hitgen::{validate_cluster_hits, validate_pair_hits};
+
+fn restaurant_pairs(threshold: f64) -> Vec<Pair> {
+    let dataset = restaurant(&RestaurantConfig {
+        unique_entities: 200,
+        duplicated_entities: 60,
+        seed: 1,
+    });
+    let tokens = TokenTable::build(&dataset);
+    all_pairs_scored(&dataset, &tokens, threshold, 0)
+        .iter()
+        .map(|s| s.pair)
+        .collect()
+}
+
+#[test]
+fn all_five_generators_cover_restaurant_pairs() {
+    let pairs = restaurant_pairs(0.3);
+    assert!(pairs.len() > 50, "fixture should be non-trivial: {}", pairs.len());
+    let generators: Vec<Box<dyn ClusterGenerator>> = vec![
+        Box::new(RandomGenerator::new(5)),
+        Box::new(BfsGenerator),
+        Box::new(DfsGenerator),
+        Box::new(ApproxGenerator::new(5)),
+        Box::new(TwoTieredGenerator::new()),
+    ];
+    for generator in &generators {
+        for k in [4usize, 10, 17] {
+            let hits = generator.generate(&pairs, k).unwrap();
+            validate_cluster_hits(&hits, &pairs, k)
+                .unwrap_or_else(|e| panic!("{} (k={k}): {e}", generator.name()));
+        }
+    }
+}
+
+#[test]
+fn two_tiered_wins_on_every_k() {
+    // The paper's Figure 11 ordering: two-tiered ≤ every baseline.
+    let pairs = restaurant_pairs(0.25);
+    let two_tiered = TwoTieredGenerator::new();
+    let baselines: Vec<Box<dyn ClusterGenerator>> = vec![
+        Box::new(RandomGenerator::new(5)),
+        Box::new(BfsGenerator),
+        Box::new(DfsGenerator),
+        Box::new(ApproxGenerator::new(5)),
+    ];
+    for k in [5usize, 10, 15, 20] {
+        let ours = two_tiered.generate(&pairs, k).unwrap().len();
+        for baseline in &baselines {
+            let theirs = baseline.generate(&pairs, k).unwrap().len();
+            assert!(
+                ours <= theirs,
+                "k={k}: Two-tiered {ours} > {} {theirs}",
+                baseline.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn pair_hits_cover_and_bound() {
+    let pairs = restaurant_pairs(0.3);
+    for per_hit in [2usize, 16, 28] {
+        let hits = generate_pair_hits(&pairs, per_hit).unwrap();
+        validate_pair_hits(&hits, &pairs, per_hit).unwrap();
+        assert_eq!(hits.len(), pairs.len().div_ceil(per_hit));
+    }
+}
+
+#[test]
+fn generators_handle_duplicate_heavy_graphs() {
+    // Product+Dup-like structure: big near-clique components.
+    let product_ds = product(&ProductConfig {
+        one_to_one: 30,
+        one_to_two: 2,
+        two_to_two: 1,
+        unmatched_a: 5,
+        unmatched_b: 5,
+        family_probability: 0.45,
+        seed: 2,
+    });
+    let dup = product_dup(
+        &product_ds,
+        &ProductDupConfig { base_records: 20, max_duplicates: 9, seed: 3 },
+    );
+    let tokens = TokenTable::build(&dup);
+    let pairs: Vec<Pair> = all_pairs_scored(&dup, &tokens, 0.2, 0)
+        .iter()
+        .map(|s| s.pair)
+        .collect();
+    assert!(!pairs.is_empty());
+    let generators: Vec<Box<dyn ClusterGenerator>> = vec![
+        Box::new(RandomGenerator::new(0)),
+        Box::new(BfsGenerator),
+        Box::new(DfsGenerator),
+        Box::new(ApproxGenerator::new(0)),
+        Box::new(TwoTieredGenerator::new()),
+    ];
+    for generator in &generators {
+        let hits = generator.generate(&pairs, 10).unwrap();
+        validate_cluster_hits(&hits, &pairs, 10)
+            .unwrap_or_else(|e| panic!("{}: {e}", generator.name()));
+    }
+}

@@ -1,0 +1,140 @@
+//! The paper's headline quality claims: hybrid ≫ machine-only on
+//! Product; EM ≥ majority vote under spam; QT improves quality at a
+//! latency price.
+
+use crowder::prelude::*;
+
+/// A scaled-down Product with the same rewrite statistics (used where
+/// full scale is unnecessary).
+fn small_product() -> Dataset {
+    product(&ProductConfig {
+        one_to_one: 150,
+        one_to_two: 4,
+        two_to_two: 1,
+        unmatched_a: 5,
+        unmatched_b: 3,
+        family_probability: 0.45,
+        seed: 77,
+    })
+}
+
+#[test]
+fn hybrid_beats_simjoin_on_product() {
+    // Full-size Product: hard negatives scale with n², so machine-only
+    // precision collapses at depth exactly as in Figure 12(b). A
+    // scaled-down dataset would be too easy for simjoin.
+    let dataset = product(&ProductConfig::default());
+    let machine = simjoin_ranking(&dataset, 0.1);
+    let machine_curve = pr_curve(&machine, &dataset.gold);
+
+    let crowd = WorkerPopulation::generate(&PopulationConfig::default(), 31);
+    let config = HybridConfig {
+        likelihood_threshold: 0.2,
+        cluster_size: 10,
+        ..HybridConfig::default()
+    };
+    let outcome = run_hybrid(&dataset, &crowd, &config).unwrap();
+    let hybrid_curve = pr_curve(&outcome.ranked, &dataset.gold);
+
+    for recall in [0.5, 0.7, 0.85] {
+        let hybrid_p = precision_at_recall(&hybrid_curve, recall);
+        let machine_p = precision_at_recall(&machine_curve, recall);
+        assert!(
+            hybrid_p > machine_p + 0.1,
+            "recall {recall}: hybrid {hybrid_p:.3} vs simjoin {machine_p:.3}"
+        );
+    }
+    // Cost sanity: paper §7.3 spends ~$38 on ~508 Product HITs.
+    assert!(outcome.sim.cost_dollars > 5.0 && outcome.sim.cost_dollars < 200.0);
+}
+
+#[test]
+fn em_aggregation_is_at_least_as_good_as_majority_under_spam() {
+    let dataset = small_product();
+    // A nasty crowd: one third spammers.
+    let crowd = WorkerPopulation::generate(
+        &PopulationConfig { spammer_fraction: 0.33, ..Default::default() },
+        13,
+    );
+    let run = |aggregation: Aggregation| {
+        let config = HybridConfig {
+            likelihood_threshold: 0.2,
+            cluster_size: 10,
+            aggregation,
+            ..HybridConfig::default()
+        };
+        let outcome = run_hybrid(&dataset, &crowd, &config).unwrap();
+        pr_curve(&outcome.ranked, &dataset.gold).max_f1()
+    };
+    let em_f1 = run(Aggregation::DawidSkene);
+    let mv_f1 = run(Aggregation::MajorityVote);
+    assert!(
+        em_f1 >= mv_f1 - 0.02,
+        "EM F1 {em_f1:.3} should not trail majority {mv_f1:.3}"
+    );
+    assert!(em_f1 > 0.6, "EM F1 {em_f1:.3} too low even for a spammy crowd");
+}
+
+#[test]
+fn qualification_test_improves_quality_with_spammers() {
+    // §7.3's two findings — QT improves quality and inflates latency —
+    // are statistical, so average over several simulation seeds.
+    let dataset = small_product();
+    let crowd = WorkerPopulation::generate(
+        &PopulationConfig { spammer_fraction: 0.35, ..Default::default() },
+        17,
+    );
+    let run = |qt: Option<QualificationConfig>, seed: u64| {
+        let config = HybridConfig {
+            likelihood_threshold: 0.2,
+            cluster_size: 10,
+            crowd: CrowdConfig { qualification: qt, seed, ..CrowdConfig::default() },
+            ..HybridConfig::default()
+        };
+        let outcome = run_hybrid(&dataset, &crowd, &config).unwrap();
+        (
+            pr_curve(&outcome.ranked, &dataset.gold).max_f1(),
+            outcome.sim.elapsed_minutes,
+        )
+    };
+    let seeds = [1u64, 2, 3, 4, 5];
+    let (mut qt_f1, mut qt_min, mut raw_f1, mut raw_min) = (0.0, 0.0, 0.0, 0.0);
+    for &seed in &seeds {
+        let (f1, minutes) = run(Some(QualificationConfig::default()), seed);
+        qt_f1 += f1;
+        qt_min += minutes;
+        let (f1, minutes) = run(None, seed);
+        raw_f1 += f1;
+        raw_min += minutes;
+    }
+    let n = seeds.len() as f64;
+    let (qt_f1, qt_min, raw_f1, raw_min) =
+        (qt_f1 / n, qt_min / n, raw_f1 / n, raw_min / n);
+    assert!(
+        qt_f1 >= raw_f1 - 0.01,
+        "mean QT F1 {qt_f1:.3} vs no-QT {raw_f1:.3}"
+    );
+    assert!(
+        qt_min > raw_min,
+        "mean QT latency {qt_min:.1} should exceed no-QT {raw_min:.1}"
+    );
+}
+
+#[test]
+fn recall_ceiling_is_respected() {
+    // The crowd can only verify pairs that survive the machine pass:
+    // final recall never exceeds the machine pass's recall ceiling.
+    let dataset = small_product();
+    let crowd = WorkerPopulation::generate(&PopulationConfig::default(), 3);
+    let config = HybridConfig {
+        likelihood_threshold: 0.4,
+        cluster_size: 10,
+        ..HybridConfig::default()
+    };
+    let outcome = run_hybrid(&dataset, &crowd, &config).unwrap();
+    let ceiling = dataset
+        .gold
+        .recall(outcome.candidate_pairs.iter().map(|sp| &sp.pair));
+    let curve = pr_curve(&outcome.ranked, &dataset.gold);
+    assert!(curve.max_recall() <= ceiling + 1e-9);
+}

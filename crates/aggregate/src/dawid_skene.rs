@@ -56,7 +56,11 @@ pub struct DawidSkene {
 
 impl Default for DawidSkene {
     fn default() -> Self {
-        DawidSkene { max_iterations: 100, tolerance: 1e-6, smoothing: 0.5 }
+        DawidSkene {
+            max_iterations: 100,
+            tolerance: 1e-6,
+            smoothing: 0.5,
+        }
     }
 }
 
@@ -160,10 +164,22 @@ impl DawidSkene {
         let worker_quality: BTreeMap<usize, WorkerQuality> = worker_ids
             .iter()
             .map(|(&orig, &dense)| {
-                (orig, WorkerQuality { sensitivity: sens[dense], specificity: spec[dense] })
+                (
+                    orig,
+                    WorkerQuality {
+                        sensitivity: sens[dense],
+                        specificity: spec[dense],
+                    },
+                )
             })
             .collect();
-        Ok(DawidSkeneOutcome { ranked, worker_quality, prior, iterations, converged })
+        Ok(DawidSkeneOutcome {
+            ranked,
+            worker_quality,
+            prior,
+            iterations,
+            converged,
+        })
     }
 }
 
@@ -197,8 +213,7 @@ mod tests {
     }
 
     fn accuracy(ranked: &[ScoredPair], truth: &[(Pair, bool)]) -> f64 {
-        let truth_map: std::collections::HashMap<Pair, bool> =
-            truth.iter().copied().collect();
+        let truth_map: std::collections::HashMap<Pair, bool> = truth.iter().copied().collect();
         let correct = ranked
             .iter()
             .filter(|sp| (sp.likelihood >= 0.5) == truth_map[&sp.pair])
@@ -219,13 +234,22 @@ mod tests {
     fn downweights_spammers_beating_majority() {
         // 2 spammers + 3 good workers: majority can flip when both
         // spammers collude with one error; EM learns to ignore them.
-        let workers = [(0.95, 0.95), (0.95, 0.95), (0.95, 0.95), (0.5, 0.5), (0.5, 0.5)];
+        let workers = [
+            (0.95, 0.95),
+            (0.95, 0.95),
+            (0.95, 0.95),
+            (0.5, 0.5),
+            (0.5, 0.5),
+        ];
         let (votes, truth) = synth_votes(60, 60, &workers, 7);
         let em = DawidSkene::default().run(&votes).unwrap();
         let mv = crate::majority::majority_vote(&votes);
         let em_acc = accuracy(&em.ranked, &truth);
         let mv_acc = accuracy(&mv, &truth);
-        assert!(em_acc >= mv_acc, "EM {em_acc} should be ≥ majority {mv_acc}");
+        assert!(
+            em_acc >= mv_acc,
+            "EM {em_acc} should be ≥ majority {mv_acc}"
+        );
         // Spammer quality estimates hover near chance.
         let spam_q = em.worker_quality[&3];
         assert!(

@@ -1,8 +1,12 @@
 //! Criterion micro-benchmarks of the machine-pass strategies: exhaustive
-//! parallel all-pairs vs prefix-filter join vs token blocking.
+//! parallel all-pairs vs prefix-filter join vs token blocking — each in
+//! its interned-id form and, for the first two, the pre-interning
+//! string-based baseline (`crowder_bench::baseline`) for before/after
+//! comparison of the rewrite.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crowder::prelude::*;
+use crowder_bench::baseline::{all_pairs_scored_strings, prefix_join_strings};
 use crowder_simjoin::{prefix_join, token_blocking_pairs};
 use std::hint::black_box;
 
@@ -23,16 +27,27 @@ fn simjoin_bench(c: &mut Criterion) {
             &thr,
             |b, &thr| b.iter(|| black_box(all_pairs_scored(&dataset, &tokens, thr, 1))),
         );
+        group.bench_with_input(
+            BenchmarkId::new("all_pairs_strings_baseline", thr),
+            &thr,
+            |b, &thr| b.iter(|| black_box(all_pairs_scored_strings(&dataset, &tokens, thr, 0))),
+        );
         group.bench_with_input(BenchmarkId::new("prefix_join", thr), &thr, |b, &thr| {
-            b.iter(|| black_box(prefix_join(&dataset, &tokens, thr)))
+            b.iter(|| black_box(prefix_join(&dataset, &tokens, thr, 0)))
         });
         group.bench_with_input(
-            BenchmarkId::new("token_blocking", thr),
+            BenchmarkId::new("prefix_join_single_thread", thr),
             &thr,
-            |b, &thr| {
-                b.iter(|| black_box(token_blocking_pairs(&dataset, &tokens, thr, 0)))
-            },
+            |b, &thr| b.iter(|| black_box(prefix_join(&dataset, &tokens, thr, 1))),
         );
+        group.bench_with_input(
+            BenchmarkId::new("prefix_join_strings_baseline", thr),
+            &thr,
+            |b, &thr| b.iter(|| black_box(prefix_join_strings(&dataset, &tokens, thr))),
+        );
+        group.bench_with_input(BenchmarkId::new("token_blocking", thr), &thr, |b, &thr| {
+            b.iter(|| black_box(token_blocking_pairs(&dataset, &tokens, thr, 0)))
+        });
     }
     group.finish();
 }

@@ -1,0 +1,212 @@
+//! Pre-interning baseline implementations of the machine pass.
+//!
+//! These replicate the seed's string-based similarity join — `String`
+//! comparisons in the inner merge, a shared `Mutex` for result
+//! collection, and per-call vocabulary derivation in the prefix join —
+//! so `cargo bench -p crowder-bench --bench simjoin` can report the
+//! interned rewrite's speedup against its true predecessor. They are
+//! benchmarks-only: production code paths live in `crowder-simjoin`.
+
+use crowder_simjoin::TokenTable;
+use crowder_types::{Dataset, Pair, PairSpace, RecordId, ScoredPair};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Seed-style exhaustive join: string-set Jaccard per pair, worker
+/// threads appending into one shared mutex-guarded buffer.
+pub fn all_pairs_scored_strings(
+    dataset: &Dataset,
+    tokens: &TokenTable,
+    threshold: f64,
+    threads: usize,
+) -> Vec<ScoredPair> {
+    let threads = if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    };
+    let results: Mutex<Vec<ScoredPair>> = Mutex::new(Vec::new());
+    match dataset.pair_space {
+        PairSpace::SelfJoin => {
+            let n = dataset.len() as u32;
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let results = &results;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        let mut i = t as u32;
+                        while i < n {
+                            let a = tokens.set(RecordId(i));
+                            for j in (i + 1)..n {
+                                let b = tokens.set(RecordId(j));
+                                let sim = crowder_text::jaccard(a, b);
+                                if sim >= threshold {
+                                    let pair = Pair::new(RecordId(i), RecordId(j)).expect("i < j");
+                                    local.push(ScoredPair::new(pair, sim));
+                                }
+                            }
+                            i += threads as u32;
+                        }
+                        results.lock().unwrap().append(&mut local);
+                    });
+                }
+            });
+        }
+        PairSpace::CrossSource(sa, sb) => {
+            let a_ids = dataset.source_records(sa);
+            let b_ids = dataset.source_records(sb);
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let results = &results;
+                    let (a_ids, b_ids) = (&a_ids, &b_ids);
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        let mut i = t;
+                        while i < a_ids.len() {
+                            let a = tokens.set(a_ids[i]);
+                            for &b_id in b_ids.iter() {
+                                let b = tokens.set(b_id);
+                                let sim = crowder_text::jaccard(a, b);
+                                if sim >= threshold {
+                                    let pair = Pair::new(a_ids[i], b_id)
+                                        .expect("distinct sources imply distinct ids");
+                                    local.push(ScoredPair::new(pair, sim));
+                                }
+                            }
+                            i += threads;
+                        }
+                        results.lock().unwrap().append(&mut local);
+                    });
+                }
+            });
+        }
+    }
+    let mut out = results.into_inner().unwrap();
+    crowder_types::pair::sort_ranked(&mut out);
+    out
+}
+
+/// Seed-style prefix join: re-derives the frequency-ordered vocabulary
+/// and re-interns every record on *each call*, then runs a
+/// single-threaded probe loop with prefix + length filters only (no
+/// positional filter).
+pub fn prefix_join_strings(
+    dataset: &Dataset,
+    tokens: &TokenTable,
+    threshold: f64,
+) -> Vec<ScoredPair> {
+    if threshold <= 0.0 {
+        return all_pairs_scored_strings(dataset, tokens, threshold, 0);
+    }
+    let n = dataset.len();
+
+    let mut freq: HashMap<&str, u32> = HashMap::new();
+    for r in dataset.records() {
+        for tok in tokens.set(r.id).tokens() {
+            *freq.entry(tok.as_str()).or_insert(0) += 1;
+        }
+    }
+    let mut vocab: Vec<(&str, u32)> = freq.iter().map(|(&t, &f)| (t, f)).collect();
+    vocab.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(b.0)));
+    let token_id: HashMap<&str, u32> = vocab
+        .iter()
+        .enumerate()
+        .map(|(i, &(t, _))| (t, i as u32))
+        .collect();
+
+    let docs: Vec<Vec<u32>> = dataset
+        .records()
+        .iter()
+        .map(|r| {
+            let mut ids: Vec<u32> = tokens
+                .set(r.id)
+                .tokens()
+                .iter()
+                .map(|t| token_id[t.as_str()])
+                .collect();
+            ids.sort_unstable();
+            ids
+        })
+        .collect();
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (docs[i].len(), i));
+
+    let mut index: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut out: Vec<ScoredPair> = Vec::new();
+    let mut seen: Vec<u32> = vec![u32::MAX; n];
+    for (probe_round, &x) in order.iter().enumerate() {
+        let doc = &docs[x];
+        if doc.is_empty() {
+            continue;
+        }
+        let len_x = doc.len();
+        let prefix_len = len_x - (threshold * len_x as f64).ceil() as usize + 1;
+        let min_len_y = (threshold * len_x as f64).ceil() as usize;
+        for &tok in &doc[..prefix_len] {
+            if let Some(postings) = index.get(&tok) {
+                for &y in postings {
+                    if seen[y] == probe_round as u32 {
+                        continue;
+                    }
+                    seen[y] = probe_round as u32;
+                    if docs[y].len() < min_len_y {
+                        continue;
+                    }
+                    let pair = Pair::new(RecordId(x as u32), RecordId(y as u32))
+                        .expect("x != y: y was indexed in an earlier round");
+                    if !dataset.is_candidate(&pair) {
+                        continue;
+                    }
+                    let sim = crowder_text::jaccard(tokens.set(pair.lo()), tokens.set(pair.hi()));
+                    if sim >= threshold {
+                        out.push(ScoredPair::new(pair, sim));
+                    }
+                }
+            }
+        }
+        for &tok in &doc[..prefix_len] {
+            index.entry(tok).or_default().push(x);
+        }
+    }
+    crowder_types::pair::sort_ranked(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowder_simjoin::{all_pairs_scored, prefix_join};
+    use crowder_types::SourceId;
+
+    /// The baselines must produce the same output as the interned
+    /// rewrite, otherwise bench comparisons are apples to oranges.
+    #[test]
+    fn baselines_agree_with_interned_implementations() {
+        let mut d = Dataset::new("t", vec!["name".into()], PairSpace::SelfJoin);
+        for name in [
+            "iPad Two 16GB WiFi White",
+            "iPad 2nd generation 16GB WiFi White",
+            "iPhone 4th generation White 16GB",
+            "Apple iPhone 4 16GB White",
+            "Apple iPhone 3rd generation Black 16GB",
+            "iPhone 4 32GB White",
+            "Apple iPad2 16GB WiFi White",
+            "Apple iPod shuffle 2GB Blue",
+            "Apple iPod shuffle USB Cable",
+        ] {
+            d.push_record(SourceId(0), vec![name.into()]).unwrap();
+        }
+        let t = TokenTable::build(&d);
+        for thr in [0.1, 0.3, 0.5, 0.9] {
+            let interned = all_pairs_scored(&d, &t, thr, 2);
+            assert_eq!(
+                interned,
+                all_pairs_scored_strings(&d, &t, thr, 2),
+                "thr {thr}"
+            );
+            assert_eq!(interned, prefix_join_strings(&d, &t, thr), "thr {thr}");
+            assert_eq!(interned, prefix_join(&d, &t, thr, 2), "thr {thr}");
+        }
+    }
+}

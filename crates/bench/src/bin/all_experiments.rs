@@ -4,8 +4,11 @@
 
 use std::time::Instant;
 
+/// A named experiment: label plus its report-producing entry point.
+type Experiment = (&'static str, fn() -> String);
+
 fn main() {
-    let experiments: Vec<(&str, fn() -> String)> = vec![
+    let experiments: Vec<Experiment> = vec![
         ("table2", crowder_bench::experiments::table2::run),
         ("fig10", crowder_bench::experiments::fig10::run),
         ("fig11", crowder_bench::experiments::fig11::run),

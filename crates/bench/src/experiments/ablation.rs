@@ -12,7 +12,12 @@ use crowder_hitgen::TwoTieredConfig;
 use crowder_packing::PackingConfig;
 
 fn tiebreak_and_packing(dataset: &Dataset) -> AsciiTable {
-    let mut table = AsciiTable::new(["tau", "full two-tiered", "no outdegree tie-break", "FFD-only packing"]);
+    let mut table = AsciiTable::new([
+        "tau",
+        "full two-tiered",
+        "no outdegree tie-break",
+        "FFD-only packing",
+    ]);
     for tau in [0.3, 0.2, 0.1] {
         let pairs = harness::pairs_at(dataset, tau);
         let count = |config: TwoTieredConfig| {
@@ -24,10 +29,16 @@ fn tiebreak_and_packing(dataset: &Dataset) -> AsciiTable {
         table.row([
             format!("{tau:.1}"),
             count(TwoTieredConfig::default()).to_string(),
-            count(TwoTieredConfig { disable_outdegree_tiebreak: true, ..Default::default() })
-                .to_string(),
             count(TwoTieredConfig {
-                packing: PackingConfig { ffd_only: true, ..Default::default() },
+                disable_outdegree_tiebreak: true,
+                ..Default::default()
+            })
+            .to_string(),
+            count(TwoTieredConfig {
+                packing: PackingConfig {
+                    ffd_only: true,
+                    ..Default::default()
+                },
                 ..Default::default()
             })
             .to_string(),
@@ -40,7 +51,10 @@ fn aggregation_vs_spam(dataset: &Dataset) -> AsciiTable {
     let mut table = AsciiTable::new(["spammer fraction", "majority-vote F1", "Dawid-Skene F1"]);
     for spam in [0.0, 0.2, 0.4] {
         let pool = WorkerPopulation::generate(
-            &PopulationConfig { spammer_fraction: spam, ..Default::default() },
+            &PopulationConfig {
+                spammer_fraction: spam,
+                ..Default::default()
+            },
             harness::CROWD_SEED,
         );
         let f1 = |aggregation: Aggregation| {

@@ -48,9 +48,7 @@ pub fn run() -> String {
 
     // Cross-check the model against the simulated worker on Table 1.
     let toy = table1();
-    let hit = crowder_hitgen::Hit::cluster(
-        [1u32, 2, 3, 7].map(crowder_types::RecordId),
-    );
+    let hit = crowder_hitgen::Hit::cluster([1u32, 2, 3, 7].map(crowder_types::RecordId));
     let mut rng = StdRng::seed_from_u64(0);
     let answer = answer_hit(&perfect_worker(), &hit, &toy.gold, &mut rng);
     out.push_str(&format!(

@@ -32,8 +32,7 @@ fn run_dataset(dataset: &Dataset, cfg: &DatasetRun) -> String {
     // SVM: the paper's protocol, 10 trials averaged.
     let candidates: Vec<Pair> = machine.iter().map(|s| s.pair).collect();
     let protocol = SvmProtocol::default();
-    let svm_points = match svm_rankings(dataset, &candidates, cfg.svm_attrs.clone(), &protocol)
-    {
+    let svm_points = match svm_rankings(dataset, &candidates, cfg.svm_attrs.clone(), &protocol) {
         Ok(trials) => svm_average_curve(dataset, &trials, &RECALL_GRID),
         Err(e) => {
             out.push_str(&format!("SVM protocol unavailable: {e}\n"));

@@ -47,7 +47,10 @@ fn run_dataset(dataset: &Dataset, label: &str) -> String {
         .into_iter()
         .enumerate()
         .map(|(i, (name, hits, qt))| {
-            (name, quality_curve(dataset, hits, qt, harness::CROWD_SEED + i as u64))
+            (
+                name,
+                quality_curve(dataset, hits, qt, harness::CROWD_SEED + i as u64),
+            )
         })
         .collect();
 

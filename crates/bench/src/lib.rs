@@ -12,5 +12,6 @@
 //! Criterion micro-benchmarks of the algorithmic substrates live in
 //! `benches/`.
 
+pub mod baseline;
 pub mod experiments;
 pub mod harness;

@@ -75,9 +75,12 @@ mod tests {
     #[test]
     fn svm_trials_and_average_curve() {
         let d = small_restaurant();
-        let candidates: Vec<Pair> =
-            simjoin_ranking(&d, 0.1).iter().map(|sp| sp.pair).collect();
-        let protocol = SvmProtocol { training_size: 80, trials: 3, ..Default::default() };
+        let candidates: Vec<Pair> = simjoin_ranking(&d, 0.1).iter().map(|sp| sp.pair).collect();
+        let protocol = SvmProtocol {
+            training_size: 80,
+            trials: 3,
+            ..Default::default()
+        };
         let trials = svm_rankings(&d, &candidates, vec![0, 1, 2, 3], &protocol).unwrap();
         assert_eq!(trials.len(), 3);
         let grid = [0.1, 0.3, 0.5];

@@ -60,8 +60,7 @@ pub fn plan_budget(
         let scored = all_pairs_scored(dataset, &tokens, threshold, 0);
         let pairs: Vec<Pair> = scored.iter().map(|sp| sp.pair).collect();
         let hits = generator.generate(&pairs, k)?;
-        let cost =
-            hits.len() as f64 * assignments_per_hit as f64 * dollars_per_assignment;
+        let cost = hits.len() as f64 * assignments_per_hit as f64 * dollars_per_assignment;
         let recall_ceiling = dataset.gold.recall(pairs.iter());
         frontier.push(BudgetPoint {
             threshold,
@@ -106,8 +105,7 @@ mod tests {
     #[test]
     fn frontier_is_monotone_in_threshold() {
         let d = dataset();
-        let plan =
-            plan_budget(&d, &[0.5, 0.4, 0.3, 0.2], 10, 3, 0.025, 1000.0).unwrap();
+        let plan = plan_budget(&d, &[0.5, 0.4, 0.3, 0.2], 10, 3, 0.025, 1000.0).unwrap();
         for w in plan.frontier.windows(2) {
             assert!(w[0].pairs <= w[1].pairs);
             assert!(w[0].recall_ceiling <= w[1].recall_ceiling + 1e-12);

@@ -1,44 +1,13 @@
-//! # crowder
+//! # crowder-core
 //!
-//! A from-scratch Rust reproduction of **CrowdER: Crowdsourcing Entity
-//! Resolution** (Wang, Kraska, Franklin, Feng — PVLDB 5(11), 2012).
+//! The hybrid human–machine workflow of the CrowdER reproduction (paper
+//! Figure 1): machine pass → HIT generation → simulated crowd →
+//! aggregation, plus budget planning and CrowdSQL-style joins.
 //!
-//! CrowdER resolves duplicate records with a *hybrid human–machine
-//! workflow* (paper Figure 1):
-//!
-//! 1. a cheap **machine pass** scores every candidate pair with a match
-//!    likelihood (Jaccard over record token sets) and prunes pairs below
-//!    a threshold;
-//! 2. the surviving pairs are compiled into **HITs** — either pair-based
-//!    batches or *cluster-based* record groups, whose minimum-count
-//!    generation is NP-Hard and solved by the paper's two-tiered
-//!    heuristic (greedy graph partitioning + cutting-stock ILP);
-//! 3. the **crowd** verifies the HITs (simulated here — see
-//!    `crowder-crowd`), with each HIT replicated across 3 workers;
-//! 4. answers are **aggregated** by Dawid–Skene EM into a final ranked
-//!    list of matching pairs.
-//!
-//! ## Quick start
-//!
-//! ```
-//! use crowder::prelude::*;
-//!
-//! // The paper's Table 1 products.
-//! let dataset = crowder_datagen::table1();
-//! let crowd = WorkerPopulation::generate(&PopulationConfig::default(), 7);
-//! let config = HybridConfig {
-//!     likelihood_threshold: 0.3,
-//!     cluster_size: 4,
-//!     ..HybridConfig::default()
-//! };
-//! let outcome = run_hybrid(&dataset, &crowd, &config).unwrap();
-//! // The four true matching pairs of Figure 2(c) rank at the top.
-//! let top: Vec<_> = outcome.ranked.iter().take(4).map(|s| s.pair).collect();
-//! assert!(top.iter().all(|p| dataset.gold.is_match(p)));
-//! ```
-//!
-//! The workspace crates are re-exported under [`prelude`] so downstream
-//! users need a single dependency.
+//! Applications normally depend on the `crowder` facade crate, which
+//! re-exports everything here (see its crate docs for a quick-start
+//! example); the workspace crates are re-exported under [`prelude`] so
+//! downstream users need a single dependency.
 
 pub mod baselines;
 pub mod budget;
@@ -48,29 +17,22 @@ pub mod workflow;
 pub use baselines::{simjoin_ranking, svm_average_curve, svm_rankings};
 pub use budget::{plan_budget, BudgetPlan, BudgetPoint};
 pub use query::{CrowdJoin, CrowdJoinResult};
-pub use workflow::{
-    run_hybrid, Aggregation, HitStrategy, HybridConfig, HybridOutcome,
-};
+pub use workflow::{run_hybrid, Aggregation, HitStrategy, HybridConfig, HybridOutcome};
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::baselines::{simjoin_ranking, svm_average_curve, svm_rankings};
     pub use crate::budget::{plan_budget, BudgetPlan, BudgetPoint};
     pub use crate::query::{CrowdJoin, CrowdJoinResult};
-    pub use crate::workflow::{
-        run_hybrid, Aggregation, HitStrategy, HybridConfig, HybridOutcome,
-    };
+    pub use crate::workflow::{run_hybrid, Aggregation, HitStrategy, HybridConfig, HybridOutcome};
     pub use crowder_aggregate::{majority_vote, DawidSkene};
-    pub use crowder_crowd::{
-        CrowdConfig, PopulationConfig, QualificationConfig, WorkerPopulation,
-    };
+    pub use crowder_crowd::{CrowdConfig, PopulationConfig, QualificationConfig, WorkerPopulation};
     pub use crowder_datagen::{
-        product, product_dup, restaurant, table1, ProductConfig, ProductDupConfig,
-        RestaurantConfig,
+        product, product_dup, restaurant, table1, ProductConfig, ProductDupConfig, RestaurantConfig,
     };
     pub use crowder_hitgen::{
-        generate_pair_hits, ApproxGenerator, BfsGenerator, ClusterGenerator,
-        DfsGenerator, Hit, RandomGenerator, TwoTieredConfig, TwoTieredGenerator,
+        generate_pair_hits, ApproxGenerator, BfsGenerator, ClusterGenerator, DfsGenerator, Hit,
+        RandomGenerator, TwoTieredConfig, TwoTieredGenerator,
     };
     pub use crowder_metrics::{pr_curve, precision_at_recall, AsciiTable, PrCurve};
     pub use crowder_simjoin::{all_pairs_scored, threshold_sweep, TokenTable};

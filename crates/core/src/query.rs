@@ -17,9 +17,7 @@
 use crate::workflow::Aggregation;
 use crowder_aggregate::{majority_vote, DawidSkene, Vote};
 use crowder_crowd::{simulate, CrowdConfig, WorkerPopulation};
-use crowder_hitgen::{
-    generate_pair_hits, ClusterGenerator, Hit, TwoTieredGenerator,
-};
+use crowder_hitgen::{generate_pair_hits, ClusterGenerator, Hit, TwoTieredGenerator};
 use crowder_simjoin::{all_pairs_scored, TokenTable};
 use crowder_types::{Dataset, Error, Pair, Result, ScoredPair};
 
@@ -110,11 +108,7 @@ impl CrowdJoin {
     }
 
     /// Execute against a dataset and a (simulated) worker population.
-    pub fn run(
-        &self,
-        dataset: &Dataset,
-        population: &WorkerPopulation,
-    ) -> Result<CrowdJoinResult> {
+    pub fn run(&self, dataset: &Dataset, population: &WorkerPopulation) -> Result<CrowdJoinResult> {
         // Resolve attribute names to schema positions.
         let attr_idx: Vec<usize> = self
             .attrs
@@ -126,10 +120,7 @@ impl CrowdJoin {
                     .position(|a| a == name)
                     .ok_or_else(|| Error::InvalidConfig {
                         param: "on_attribute",
-                        message: format!(
-                            "attribute `{name}` not in schema {:?}",
-                            dataset.schema
-                        ),
+                        message: format!("attribute `{name}` not in schema {:?}", dataset.schema),
                     })
             })
             .collect::<Result<_>>()?;

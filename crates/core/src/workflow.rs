@@ -57,7 +57,9 @@ impl Default for HybridConfig {
         HybridConfig {
             likelihood_threshold: 0.2,
             cluster_size: 10,
-            strategy: HitStrategy::ClusterBased { config: TwoTieredConfig::default() },
+            strategy: HitStrategy::ClusterBased {
+                config: TwoTieredConfig::default(),
+            },
             crowd: CrowdConfig::default(),
             aggregation: Aggregation::DawidSkene,
             similarity_threads: 0,
@@ -117,8 +119,7 @@ pub fn run_hybrid(
     let hits = match &config.strategy {
         HitStrategy::PairBased { per_hit } => generate_pair_hits(&pairs, *per_hit)?,
         HitStrategy::ClusterBased { config: tt } => {
-            TwoTieredGenerator::with_config(tt.clone())
-                .generate(&pairs, config.cluster_size)?
+            TwoTieredGenerator::with_config(tt.clone()).generate(&pairs, config.cluster_size)?
         }
     };
 
@@ -140,7 +141,12 @@ pub fn run_hybrid(
         }
     };
 
-    Ok(HybridOutcome { candidate_pairs, hits, sim, ranked })
+    Ok(HybridOutcome {
+        candidate_pairs,
+        hits,
+        sim,
+        ranked,
+    })
 }
 
 #[cfg(test)]
@@ -202,7 +208,10 @@ mod tests {
     #[test]
     fn threshold_one_yields_empty_everything() {
         let dataset = table1();
-        let config = HybridConfig { likelihood_threshold: 1.0, ..Default::default() };
+        let config = HybridConfig {
+            likelihood_threshold: 1.0,
+            ..Default::default()
+        };
         let out = run_hybrid(&dataset, &crowd(), &config).unwrap();
         assert!(out.candidate_pairs.is_empty());
         assert!(out.hits.is_empty());
@@ -213,7 +222,10 @@ mod tests {
     #[test]
     fn invalid_threshold_rejected() {
         let dataset = table1();
-        let config = HybridConfig { likelihood_threshold: 1.5, ..Default::default() };
+        let config = HybridConfig {
+            likelihood_threshold: 1.5,
+            ..Default::default()
+        };
         assert!(run_hybrid(&dataset, &crowd(), &config).is_err());
     }
 }

@@ -82,9 +82,12 @@ fn answer_pair_hit(
         })
         .collect();
     let comparisons = pairs.len();
-    let duration_secs =
-        PAIR_HIT_OVERHEAD_SECS + comparisons as f64 * worker.seconds_per_comparison;
-    HitAnswer { verdicts, comparisons, duration_secs }
+    let duration_secs = PAIR_HIT_OVERHEAD_SECS + comparisons as f64 * worker.seconds_per_comparison;
+    HitAnswer {
+        verdicts,
+        comparisons,
+        duration_secs,
+    }
 }
 
 fn answer_cluster_hit(
@@ -111,7 +114,9 @@ fn answer_cluster_hit(
                 continue;
             }
             comparisons += 1;
-            let truth = Pair::new(seed, other).map(|p| gold.is_match(&p)).unwrap_or(false);
+            let truth = Pair::new(seed, other)
+                .map(|p| gold.is_match(&p))
+                .unwrap_or(false);
             let p_merge = if truth {
                 worker.p_yes(true)
             } else {
@@ -134,7 +139,11 @@ fn answer_cluster_hit(
     let duration_secs = CLUSTER_HIT_OVERHEAD_SECS
         + records.len() as f64 * CLUSTER_READ_SECS_PER_RECORD
         + comparisons as f64 * worker.seconds_per_comparison * CLUSTER_COMPARISON_DISCOUNT;
-    HitAnswer { verdicts, comparisons, duration_secs }
+    HitAnswer {
+        verdicts,
+        comparisons,
+        duration_secs,
+    }
 }
 
 #[cfg(test)]
@@ -165,7 +174,10 @@ mod tests {
         let hit = Hit::pairs(vec![Pair::of(1, 2), Pair::of(4, 6)]);
         let mut rng = StdRng::seed_from_u64(0);
         let ans = answer_hit(&perfect_worker(), &hit, &gold, &mut rng);
-        assert_eq!(ans.verdicts, vec![(Pair::of(1, 2), true), (Pair::of(4, 6), false)]);
+        assert_eq!(
+            ans.verdicts,
+            vec![(Pair::of(1, 2), true), (Pair::of(4, 6), false)]
+        );
         assert_eq!(ans.comparisons, 2);
     }
 

@@ -106,8 +106,11 @@ impl SimOutcome {
         if self.assignments.is_empty() {
             return 0.0;
         }
-        let mut durations: Vec<f64> =
-            self.assignments.iter().map(|a| a.answer.duration_secs).collect();
+        let mut durations: Vec<f64> = self
+            .assignments
+            .iter()
+            .map(|a| a.answer.duration_secs)
+            .collect();
         durations.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
         let mid = durations.len() / 2;
         if durations.len() % 2 == 1 {
@@ -200,6 +203,9 @@ pub fn simulate(
     let mut qual_state: HashMap<WorkerId, QualificationState> = HashMap::new();
     let mut assignments: Vec<AssignmentRecord> = Vec::new();
     let mut participants: HashSet<WorkerId> = HashSet::new();
+    // A worker who re-arrives before finishing an earlier session picks
+    // up work only after it — personal timelines never overlap.
+    let mut busy_until: HashMap<WorkerId, f64> = HashMap::new();
 
     let mut clock_min = 0.0f64;
     let total_needed = hits.len() * config.assignments_per_hit;
@@ -222,9 +228,7 @@ pub fn simulate(
         // workers from engaging with the batch at all — the paper's
         // "steep cost in terms of latency" (4.5 h → 19.9 h on Product)
         // comes from this thinning of the effective arrival rate.
-        if config.qualification.is_some()
-            && rng.random::<f64>() >= config.qualification_friction
-        {
+        if config.qualification.is_some() && rng.random::<f64>() >= config.qualification_friction {
             continue;
         }
 
@@ -252,7 +256,7 @@ pub fn simulate(
         // Session: browse up to `browse_limit` random open HITs, accept
         // each with the effort model, stop after the geometric budget.
         let session_budget = geometric(config.mean_session_hits, &mut rng);
-        let mut worker_time = clock_min;
+        let mut worker_time = clock_min.max(busy_until.get(&effective.id).copied().unwrap_or(0.0));
         let mut completed_this_session = 0usize;
         let mut browse: Vec<usize> = open.clone();
         browse.shuffle(&mut rng);
@@ -282,8 +286,9 @@ pub fn simulate(
             });
             completed_this_session += 1;
         }
+        busy_until.insert(effective.id, worker_time);
         // Prune fully-assigned HITs from the open list occasionally.
-        if assignments.len() % 64 == 0 {
+        if assignments.len().is_multiple_of(64) {
             open.retain(|&h| remaining[h] > 0);
         }
     }
@@ -299,8 +304,8 @@ pub fn simulate(
         .iter()
         .map(|a| a.completed_at_min)
         .fold(0.0, f64::max);
-    let cost_dollars = assignments.len() as f64
-        * (config.reward_per_assignment + config.fee_per_assignment);
+    let cost_dollars =
+        assignments.len() as f64 * (config.reward_per_assignment + config.fee_per_assignment);
     Ok(SimOutcome {
         workers_participated: participants.len(),
         assignments,
@@ -333,7 +338,10 @@ mod tests {
         ];
         let gold = GoldStandard::from_pairs(vec![Pair::of(0, 1)]);
         let pop = WorkerPopulation::generate(
-            &PopulationConfig { size: 60, ..Default::default() },
+            &PopulationConfig {
+                size: 60,
+                ..Default::default()
+            },
             11,
         );
         (hits, gold, pop)
@@ -358,6 +366,44 @@ mod tests {
     }
 
     #[test]
+    fn personal_timelines_never_overlap() {
+        // Pins the `busy_until` behavior: a worker who re-arrives while
+        // an earlier session is still running picks up work only after
+        // it. A tiny population over a large batch maximizes re-arrival
+        // pressure.
+        let hits: Vec<Hit> = (0..40)
+            .map(|i| Hit::pairs(vec![Pair::of(2 * i, 2 * i + 1)]))
+            .collect();
+        let gold = GoldStandard::new();
+        let pop = WorkerPopulation::generate(
+            &PopulationConfig {
+                size: 5,
+                ..Default::default()
+            },
+            23,
+        );
+        let out = simulate(&hits, &gold, &pop, &CrowdConfig::default()).unwrap();
+        let mut spans: HashMap<WorkerId, Vec<(f64, f64)>> = HashMap::new();
+        for a in &out.assignments {
+            spans
+                .entry(a.worker)
+                .or_default()
+                .push((a.accepted_at_min, a.completed_at_min));
+        }
+        for (worker, mut intervals) in spans {
+            intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in intervals.windows(2) {
+                assert!(
+                    w[1].0 >= w[0].1 - 1e-9,
+                    "worker {worker:?} accepted at {} before finishing at {}",
+                    w[1].0,
+                    w[0].1
+                );
+            }
+        }
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let (hits, gold, pop) = small_world();
         let cfg = CrowdConfig::default();
@@ -376,7 +422,10 @@ mod tests {
             .collect();
         let gold = GoldStandard::new();
         let pop = WorkerPopulation::generate(
-            &PopulationConfig { size: 300, ..Default::default() },
+            &PopulationConfig {
+                size: 300,
+                ..Default::default()
+            },
             1,
         );
         let out = simulate(&hits, &gold, &pop, &CrowdConfig::default()).unwrap();
@@ -395,7 +444,10 @@ mod tests {
     fn rejects_insufficient_population() {
         let (hits, gold, _) = small_world();
         let tiny = WorkerPopulation::generate(
-            &PopulationConfig { size: 2, ..Default::default() },
+            &PopulationConfig {
+                size: 2,
+                ..Default::default()
+            },
             0,
         );
         let err = simulate(&hits, &gold, &tiny, &CrowdConfig::default());

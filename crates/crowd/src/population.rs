@@ -101,8 +101,7 @@ impl WorkerPopulation {
                 0.5,
                 20.0,
             );
-            let affinity =
-                truncated_normal(&mut rng, config.mean_cluster_affinity, 0.2, 0.02, 1.0);
+            let affinity = truncated_normal(&mut rng, config.mean_cluster_affinity, 0.2, 0.02, 1.0);
             workers.push(WorkerProfile {
                 id: WorkerId(i as u32),
                 kind,
@@ -166,7 +165,10 @@ mod tests {
 
     #[test]
     fn spammer_fraction_roughly_respected() {
-        let cfg = PopulationConfig { size: 2000, ..Default::default() };
+        let cfg = PopulationConfig {
+            size: 2000,
+            ..Default::default()
+        };
         let pop = WorkerPopulation::generate(&cfg, 3);
         let spammers = pop
             .workers()
@@ -174,7 +176,10 @@ mod tests {
             .filter(|w| !matches!(w.kind, WorkerKind::Diligent))
             .count();
         let frac = spammers as f64 / pop.len() as f64;
-        assert!((frac - cfg.spammer_fraction).abs() < 0.03, "fraction {frac}");
+        assert!(
+            (frac - cfg.spammer_fraction).abs() < 0.03,
+            "fraction {frac}"
+        );
     }
 
     #[test]
@@ -192,7 +197,10 @@ mod tests {
 
     #[test]
     fn zero_sized_pool() {
-        let cfg = PopulationConfig { size: 0, ..Default::default() };
+        let cfg = PopulationConfig {
+            size: 0,
+            ..Default::default()
+        };
         let pop = WorkerPopulation::generate(&cfg, 0);
         assert!(pop.is_empty());
     }

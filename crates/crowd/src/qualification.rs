@@ -110,7 +110,10 @@ mod tests {
             .count();
         let empirical = passes as f64 / trials as f64;
         let expected = cfg.pass_probability(&w); // 0.81 · 0.8 = 0.648
-        assert!((empirical - expected).abs() < 0.02, "{empirical} vs {expected}");
+        assert!(
+            (empirical - expected).abs() < 0.02,
+            "{empirical} vs {expected}"
+        );
     }
 
     #[test]

@@ -135,7 +135,11 @@ mod tests {
     fn kind_names() {
         assert_eq!(diligent().kind_name(), "diligent");
         assert_eq!(
-            WorkerProfile { kind: WorkerKind::AlwaysYesSpammer, ..diligent() }.kind_name(),
+            WorkerProfile {
+                kind: WorkerKind::AlwaysYesSpammer,
+                ..diligent()
+            }
+            .kind_name(),
             "always-yes"
         );
     }

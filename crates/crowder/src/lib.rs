@@ -1,0 +1,43 @@
+//! # crowder
+//!
+//! A from-scratch Rust reproduction of **CrowdER: Crowdsourcing Entity
+//! Resolution** (Wang, Kraska, Franklin, Feng — PVLDB 5(11), 2012).
+//!
+//! CrowdER resolves duplicate records with a *hybrid human–machine
+//! workflow* (paper Figure 1):
+//!
+//! 1. a cheap **machine pass** scores every candidate pair with a match
+//!    likelihood (Jaccard over record token sets) and prunes pairs below
+//!    a threshold;
+//! 2. the surviving pairs are compiled into **HITs** — either pair-based
+//!    batches or *cluster-based* record groups, whose minimum-count
+//!    generation is NP-Hard and solved by the paper's two-tiered
+//!    heuristic (greedy graph partitioning + cutting-stock ILP);
+//! 3. the **crowd** verifies the HITs (simulated here — see
+//!    `crowder-crowd`), with each HIT replicated across 3 workers;
+//! 4. answers are **aggregated** by Dawid–Skene EM into a final ranked
+//!    list of matching pairs.
+//!
+//! This facade crate re-exports the whole workspace; depend on it alone
+//! and import [`prelude`].
+//!
+//! ## Quick start
+//!
+//! ```
+//! use crowder::prelude::*;
+//!
+//! // The paper's Table 1 products.
+//! let dataset = crowder_datagen::table1();
+//! let crowd = WorkerPopulation::generate(&PopulationConfig::default(), 7);
+//! let config = HybridConfig {
+//!     likelihood_threshold: 0.3,
+//!     cluster_size: 4,
+//!     ..HybridConfig::default()
+//! };
+//! let outcome = run_hybrid(&dataset, &crowd, &config).unwrap();
+//! // The four true matching pairs of Figure 2(c) rank at the top.
+//! let top: Vec<_> = outcome.ranked.iter().take(4).map(|s| s.pair).collect();
+//! assert!(top.iter().all(|p| dataset.gold.is_match(p)));
+//! ```
+
+pub use crowder_core::*;

@@ -57,8 +57,7 @@ pub fn apply_op(tokens: &mut Vec<String>, op: EditOp, rng: &mut StdRng, fresh: &
             }
             let chars: Vec<char> = tok.chars().collect();
             let pos = rng.random_range(0..chars.len());
-            let replacement =
-                (b'a' + rng.random_range(0..26u8)) as char;
+            let replacement = (b'a' + rng.random_range(0..26u8)) as char;
             let mutated: String = chars
                 .iter()
                 .enumerate()
@@ -164,7 +163,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut fresh = 0;
         let base = toks(&["t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9"]);
-        let mut mean_j = |ops: usize, rng: &mut StdRng, fresh: &mut u32| -> f64 {
+        let mean_j = |ops: usize, rng: &mut StdRng, fresh: &mut u32| -> f64 {
             let mut total = 0.0;
             for _ in 0..200 {
                 let p = perturb(&base, ops, rng, fresh);
@@ -187,7 +186,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let mut counts = std::collections::HashMap::new();
         for _ in 0..10_000 {
-            *counts.entry(draw_op_count(&tiers, &mut rng)).or_insert(0usize) += 1;
+            *counts
+                .entry(draw_op_count(&tiers, &mut rng))
+                .or_insert(0usize) += 1;
         }
         assert!((counts[&1] as f64 / 10_000.0 - 0.5).abs() < 0.03);
         assert!((counts[&3] as f64 / 10_000.0 - 0.3).abs() < 0.03);

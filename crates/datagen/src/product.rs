@@ -58,8 +58,14 @@ impl Default for ProductConfig {
 /// Perturbation tiers for the cross-source rewrite, calibrated to Table
 /// 2(b)'s slow recall climb: ≈30 % of matches at J ≥ 0.5, ≈52 % at ≥0.4,
 /// ≈73 % at ≥ 0.3, ≈92 % at ≥ 0.2, ≈99 % at ≥ 0.1.
-const REWRITE_TIERS: [(usize, f64); 6] =
-    [(1, 0.18), (3, 0.42), (4, 0.62), (6, 0.82), (8, 0.95), (11, 1.00)];
+const REWRITE_TIERS: [(usize, f64); 6] = [
+    (1, 0.18),
+    (3, 0.42),
+    (4, 0.62),
+    (6, 0.82),
+    (8, 0.95),
+    (11, 1.00),
+];
 
 /// A base product as a token vector plus price.
 struct BaseProduct {
@@ -85,7 +91,10 @@ impl BaseProduct {
         for _ in 0..n_marketing {
             toks.push(vocab::pick(rng, vocab::MARKETING).to_string());
         }
-        BaseProduct { name_tokens: toks, price_cents: rng.random_range(999..99_999) }
+        BaseProduct {
+            name_tokens: toks,
+            price_cents: rng.random_range(999..99_999),
+        }
     }
 
     /// A *sibling*: a DIFFERENT product of the same line ("iPhone 4
@@ -105,7 +114,10 @@ impl BaseProduct {
             let idx = rng.random_range(4..toks.len());
             toks[idx] = vocab::pick(rng, vocab::SIZES).to_string();
         }
-        BaseProduct { name_tokens: toks, price_cents: rng.random_range(999..99_999) }
+        BaseProduct {
+            name_tokens: toks,
+            price_cents: rng.random_range(999..99_999),
+        }
     }
 
     fn fields(&self) -> Vec<String> {
@@ -127,7 +139,10 @@ impl BaseProduct {
         } else {
             self.price_cents + drift
         };
-        BaseProduct { name_tokens, price_cents }
+        BaseProduct {
+            name_tokens,
+            price_cents,
+        }
     }
 }
 
@@ -160,7 +175,9 @@ pub fn product(config: &ProductConfig) -> Dataset {
         for copy in 0..a_copies {
             // Extra same-source copies get a light touch-up so records
             // stay non-identical.
-            let variant = if copy == 0 { base.fields() } else {
+            let variant = if copy == 0 {
+                base.fields()
+            } else {
                 base.rewrite(1, rng, fresh).fields()
             };
             a_ids.push(dataset.push_record(SourceId(0), variant).expect("arity"));
@@ -169,7 +186,11 @@ pub fn product(config: &ProductConfig) -> Dataset {
         for _ in 0..b_copies {
             let ops = draw_op_count(&REWRITE_TIERS, rng);
             let variant = base.rewrite(ops, rng, fresh);
-            b_ids.push(dataset.push_record(SourceId(1), variant.fields()).expect("arity"));
+            b_ids.push(
+                dataset
+                    .push_record(SourceId(1), variant.fields())
+                    .expect("arity"),
+            );
         }
         for &a in &a_ids {
             for &b in &b_ids {
@@ -190,11 +211,15 @@ pub fn product(config: &ProductConfig) -> Dataset {
     }
     for _ in 0..config.unmatched_a {
         let base = BaseProduct::sample(&mut rng);
-        dataset.push_record(SourceId(0), base.fields()).expect("arity");
+        dataset
+            .push_record(SourceId(0), base.fields())
+            .expect("arity");
     }
     for _ in 0..config.unmatched_b {
         let base = BaseProduct::sample(&mut rng);
-        dataset.push_record(SourceId(1), base.fields()).expect("arity");
+        dataset
+            .push_record(SourceId(1), base.fields())
+            .expect("arity");
     }
     dataset.gold = GoldStandard::from_pairs(gold_pairs);
     dataset
@@ -233,15 +258,37 @@ mod tests {
         let rows = threshold_sweep(&d, &tokens, &[0.5, 0.4, 0.3, 0.2, 0.1]);
         let recall: Vec<f64> = rows.iter().map(|r| r.recall).collect();
         // Paper: 30.5%, 52.1%, 73.4%, 92.2%, 99.4%.
-        assert!((0.18..=0.45).contains(&recall[0]), "recall@0.5 = {}", recall[0]);
-        assert!((0.38..=0.65).contains(&recall[1]), "recall@0.4 = {}", recall[1]);
-        assert!((0.60..=0.85).contains(&recall[2]), "recall@0.3 = {}", recall[2]);
-        assert!((0.85..=0.97).contains(&recall[3]), "recall@0.2 = {}", recall[3]);
+        assert!(
+            (0.18..=0.45).contains(&recall[0]),
+            "recall@0.5 = {}",
+            recall[0]
+        );
+        assert!(
+            (0.38..=0.65).contains(&recall[1]),
+            "recall@0.4 = {}",
+            recall[1]
+        );
+        assert!(
+            (0.60..=0.85).contains(&recall[2]),
+            "recall@0.3 = {}",
+            recall[2]
+        );
+        assert!(
+            (0.85..=0.97).contains(&recall[3]),
+            "recall@0.2 = {}",
+            recall[3]
+        );
         assert!(recall[4] >= 0.96, "recall@0.1 = {}", recall[4]);
         // Pair fractions: the machine pass prunes Product hard.
         let total = d.candidate_pair_count() as f64;
-        assert!(rows[3].total_pairs as f64 / total < 0.03, "τ=0.2 keeps too many");
-        assert!(rows[4].total_pairs as f64 / total < 0.10, "τ=0.1 keeps too many");
+        assert!(
+            rows[3].total_pairs as f64 / total < 0.03,
+            "τ=0.2 keeps too many"
+        );
+        assert!(
+            rows[4].total_pairs as f64 / total < 0.10,
+            "τ=0.1 keeps too many"
+        );
         // Restaurant-vs-Product contrast (the paper's core motivation):
         // recall at 0.5 here is far below Restaurant's ≈78 %.
         assert!(recall[0] < 0.5);
@@ -264,7 +311,7 @@ mod tests {
             unmatched_a: 2,
             unmatched_b: 3,
             family_probability: 0.45,
-        seed: 1,
+            seed: 1,
         };
         let d = product(&cfg);
         assert_eq!(d.gold.len(), 5 + 2 + 4);

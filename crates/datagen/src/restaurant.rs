@@ -31,7 +31,11 @@ pub struct RestaurantConfig {
 impl Default for RestaurantConfig {
     /// 646 + 2·106 = 858 records, 106 matching pairs.
     fn default() -> Self {
-        RestaurantConfig { unique_entities: 646, duplicated_entities: 106, seed: 0xC0FFEE }
+        RestaurantConfig {
+            unique_entities: 646,
+            duplicated_entities: 106,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
@@ -130,7 +134,12 @@ impl BaseRestaurant {
 /// Generate the Restaurant dataset.
 pub fn restaurant(config: &RestaurantConfig) -> Dataset {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let schema = vec!["name".into(), "address".into(), "city".into(), "type".into()];
+    let schema = vec![
+        "name".into(),
+        "address".into(),
+        "city".into(),
+        "type".into(),
+    ];
     let mut dataset = Dataset::new("Restaurant", schema, PairSpace::SelfJoin);
     let mut gold_pairs: Vec<Pair> = Vec::with_capacity(config.duplicated_entities);
     let mut fresh = 0u32;
@@ -199,13 +208,17 @@ mod tests {
     fn records_are_non_identical() {
         // The paper stresses "858 (non-identical) restaurant records".
         let d = restaurant(&RestaurantConfig::default());
-        let mut texts: Vec<String> =
-            d.records().iter().map(|r| r.joined_text()).collect();
+        let mut texts: Vec<String> = d.records().iter().map(|r| r.joined_text()).collect();
         texts.sort();
         texts.dedup();
         // Allow a tiny number of coincidental collisions among
         // *non-matching* records; duplicates must differ from originals.
-        assert!(texts.len() >= d.len() - 3, "{} distinct of {}", texts.len(), d.len());
+        assert!(
+            texts.len() >= d.len() - 3,
+            "{} distinct of {}",
+            texts.len(),
+            d.len()
+        );
     }
 
     /// The headline calibration test: the threshold→recall profile of the
@@ -222,14 +235,24 @@ mod tests {
             "recall@0.5 = {} outside Table 2(a) band",
             recall[0]
         );
-        assert!((0.85..=0.99).contains(&recall[1]), "recall@0.4 = {}", recall[1]);
+        assert!(
+            (0.85..=0.99).contains(&recall[1]),
+            "recall@0.4 = {}",
+            recall[1]
+        );
         assert!(recall[2] >= 0.95, "recall@0.3 = {}", recall[2]);
         assert!(recall[3] >= 0.99, "recall@0.2 = {}", recall[3]);
         assert!(recall[4] >= 0.999, "recall@0.1 = {}", recall[4]);
         // Pair-count shape: pruning is drastic at high thresholds.
         let total = d.candidate_pair_count() as f64;
-        assert!(rows[0].total_pairs as f64 / total < 0.005, "τ=0.5 keeps too many");
-        assert!(rows[2].total_pairs as f64 / total < 0.05, "τ=0.3 keeps too many");
+        assert!(
+            rows[0].total_pairs as f64 / total < 0.005,
+            "τ=0.5 keeps too many"
+        );
+        assert!(
+            rows[2].total_pairs as f64 / total < 0.05,
+            "τ=0.3 keeps too many"
+        );
         assert!(
             rows[4].total_pairs as f64 / total < 0.45,
             "τ=0.1 keeps {} of {}",
@@ -244,7 +267,11 @@ mod tests {
 
     #[test]
     fn custom_scale() {
-        let cfg = RestaurantConfig { unique_entities: 10, duplicated_entities: 5, seed: 7 };
+        let cfg = RestaurantConfig {
+            unique_entities: 10,
+            duplicated_entities: 5,
+            seed: 7,
+        };
         let d = restaurant(&cfg);
         assert_eq!(d.len(), 20);
         assert_eq!(d.gold.len(), 5);

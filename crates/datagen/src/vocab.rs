@@ -11,41 +11,145 @@ use rand::Rng;
 
 /// Restaurant name adjectives.
 pub const NAME_ADJECTIVES: &[&str] = &[
-    "golden", "blue", "royal", "little", "grand", "silver", "lucky", "happy", "olive",
-    "red", "green", "ancient", "sunny", "rustic", "urban", "velvet", "copper", "ivory",
-    "crystal", "hidden", "twin", "wild", "quiet", "brave", "noble", "amber", "coral",
-    "misty", "iron", "stone", "maple", "cedar", "willow", "jade", "pearl", "scarlet",
-    "indigo", "crimson", "cobalt", "saffron",
+    "golden", "blue", "royal", "little", "grand", "silver", "lucky", "happy", "olive", "red",
+    "green", "ancient", "sunny", "rustic", "urban", "velvet", "copper", "ivory", "crystal",
+    "hidden", "twin", "wild", "quiet", "brave", "noble", "amber", "coral", "misty", "iron",
+    "stone", "maple", "cedar", "willow", "jade", "pearl", "scarlet", "indigo", "crimson", "cobalt",
+    "saffron",
 ];
 
 /// Restaurant name nouns.
 pub const NAME_NOUNS: &[&str] = &[
-    "dragon", "garden", "palace", "bistro", "table", "fork", "spoon", "kettle", "hearth",
-    "lantern", "harbor", "terrace", "vineyard", "orchard", "pavilion", "courtyard",
-    "parlor", "cellar", "attic", "veranda", "galley", "pantry", "larder", "griddle",
-    "skillet", "oven", "ember", "flame", "smoke", "spice", "pepper", "ginger", "basil",
-    "thyme", "sage", "rosemary", "clove", "anise", "cumin", "fennel", "sesame", "walnut",
-    "chestnut", "almond", "cashew", "pistachio", "apricot", "quince", "plum", "cherry",
-    "peach", "melon", "citron", "lemon", "lime", "papaya", "mango", "guava", "fig",
+    "dragon",
+    "garden",
+    "palace",
+    "bistro",
+    "table",
+    "fork",
+    "spoon",
+    "kettle",
+    "hearth",
+    "lantern",
+    "harbor",
+    "terrace",
+    "vineyard",
+    "orchard",
+    "pavilion",
+    "courtyard",
+    "parlor",
+    "cellar",
+    "attic",
+    "veranda",
+    "galley",
+    "pantry",
+    "larder",
+    "griddle",
+    "skillet",
+    "oven",
+    "ember",
+    "flame",
+    "smoke",
+    "spice",
+    "pepper",
+    "ginger",
+    "basil",
+    "thyme",
+    "sage",
+    "rosemary",
+    "clove",
+    "anise",
+    "cumin",
+    "fennel",
+    "sesame",
+    "walnut",
+    "chestnut",
+    "almond",
+    "cashew",
+    "pistachio",
+    "apricot",
+    "quince",
+    "plum",
+    "cherry",
+    "peach",
+    "melon",
+    "citron",
+    "lemon",
+    "lime",
+    "papaya",
+    "mango",
+    "guava",
+    "fig",
     "olivetree",
 ];
 
 /// Restaurant name suffix words (common across many restaurants — a
 /// deliberate source of background overlap).
-pub const NAME_SUFFIXES: &[&str] =
-    &["cafe", "grill", "house", "kitchen", "diner", "tavern", "bar", "room"];
+pub const NAME_SUFFIXES: &[&str] = &[
+    "cafe", "grill", "house", "kitchen", "diner", "tavern", "bar", "room",
+];
 
 /// Street base names.
 pub const STREET_NAMES: &[&str] = &[
-    "main", "oak", "pine", "maple", "cedar", "elm", "washington", "lake", "hill",
-    "park", "river", "spring", "church", "center", "union", "prospect", "highland",
-    "forest", "jackson", "lincoln", "adams", "jefferson", "madison", "monroe",
-    "franklin", "clinton", "marshall", "grant", "sherman", "sheridan", "delancey",
-    "houston", "bleecker", "mercer", "spruce", "walnut", "chestnut", "locust",
-    "sycamore", "magnolia", "juniper", "laurel", "colorado", "ventura", "sunset",
-    "melrose", "wilshire", "pico", "olympic", "figueroa", "broadway", "lexington",
-    "amsterdam", "columbus", "riverside", "morningside", "vermont", "normandie",
-    "fairfax", "labrea",
+    "main",
+    "oak",
+    "pine",
+    "maple",
+    "cedar",
+    "elm",
+    "washington",
+    "lake",
+    "hill",
+    "park",
+    "river",
+    "spring",
+    "church",
+    "center",
+    "union",
+    "prospect",
+    "highland",
+    "forest",
+    "jackson",
+    "lincoln",
+    "adams",
+    "jefferson",
+    "madison",
+    "monroe",
+    "franklin",
+    "clinton",
+    "marshall",
+    "grant",
+    "sherman",
+    "sheridan",
+    "delancey",
+    "houston",
+    "bleecker",
+    "mercer",
+    "spruce",
+    "walnut",
+    "chestnut",
+    "locust",
+    "sycamore",
+    "magnolia",
+    "juniper",
+    "laurel",
+    "colorado",
+    "ventura",
+    "sunset",
+    "melrose",
+    "wilshire",
+    "pico",
+    "olympic",
+    "figueroa",
+    "broadway",
+    "lexington",
+    "amsterdam",
+    "columbus",
+    "riverside",
+    "morningside",
+    "vermont",
+    "normandie",
+    "fairfax",
+    "labrea",
 ];
 
 /// Street suffixes (small pool: heavy overlap source).
@@ -57,39 +161,100 @@ pub const DIRECTIONS: &[&str] = &["e", "w", "n", "s"];
 /// Cities — two tokens each, small pool (the dominant non-match overlap
 /// source for Restaurant, matching Table 2(a)'s fat tail at τ = 0.1).
 pub const CITIES: &[&str] = &[
-    "new york", "los angeles", "san francisco", "las vegas", "new orleans",
-    "santa monica", "long beach", "palo alto",
+    "new york",
+    "los angeles",
+    "san francisco",
+    "las vegas",
+    "new orleans",
+    "santa monica",
+    "long beach",
+    "palo alto",
 ];
 
 /// Cuisine types.
 pub const CUISINES: &[&str] = &[
-    "seafood", "italian", "french", "chinese", "mexican", "japanese", "indian",
-    "american", "thai", "greek",
+    "seafood", "italian", "french", "chinese", "mexican", "japanese", "indian", "american", "thai",
+    "greek",
 ];
 
 /// Product brands.
 pub const BRANDS: &[&str] = &[
-    "apple", "sony", "samsung", "canon", "nikon", "panasonic", "toshiba", "philips",
-    "sharp", "sanyo", "jvc", "pioneer", "kenwood", "garmin", "logitech", "netgear",
-    "linksys", "belkin", "brother", "epson", "lexmark", "olympus", "casio", "yamaha",
-    "denon", "onkyo", "bose", "klipsch", "polk", "sennheiser",
+    "apple",
+    "sony",
+    "samsung",
+    "canon",
+    "nikon",
+    "panasonic",
+    "toshiba",
+    "philips",
+    "sharp",
+    "sanyo",
+    "jvc",
+    "pioneer",
+    "kenwood",
+    "garmin",
+    "logitech",
+    "netgear",
+    "linksys",
+    "belkin",
+    "brother",
+    "epson",
+    "lexmark",
+    "olympus",
+    "casio",
+    "yamaha",
+    "denon",
+    "onkyo",
+    "bose",
+    "klipsch",
+    "polk",
+    "sennheiser",
 ];
 
 /// Product categories.
 pub const CATEGORIES: &[&str] = &[
-    "camera", "camcorder", "tv", "receiver", "speaker", "headphones", "printer",
-    "router", "phone", "player", "keyboard", "monitor",
+    "camera",
+    "camcorder",
+    "tv",
+    "receiver",
+    "speaker",
+    "headphones",
+    "printer",
+    "router",
+    "phone",
+    "player",
+    "keyboard",
+    "monitor",
 ];
 
 /// Product series names (mid-size pool).
 pub const SERIES: &[&str] = &[
-    "powershot", "coolpix", "cybershot", "bravia", "viera", "aquos", "lumix",
-    "stylus", "exilim", "handycam", "walkman", "diamante", "vaio", "pavilion",
-    "inspiron", "satellite", "travelmate", "thinkpad", "ideapad", "chromebook",
+    "powershot",
+    "coolpix",
+    "cybershot",
+    "bravia",
+    "viera",
+    "aquos",
+    "lumix",
+    "stylus",
+    "exilim",
+    "handycam",
+    "walkman",
+    "diamante",
+    "vaio",
+    "pavilion",
+    "inspiron",
+    "satellite",
+    "travelmate",
+    "thinkpad",
+    "ideapad",
+    "chromebook",
 ];
 
 /// Colors (small pool: overlap source).
-pub const COLORS: &[&str] = &["black", "white", "silver", "blue", "red", "gray", "pink", "green"];
+pub const COLORS: &[&str] = &[
+    "black", "white", "silver", "blue", "red", "gray", "pink", "green",
+];
 
 /// Capacity / size tokens (small pool: overlap source).
 pub const SIZES: &[&str] = &[
@@ -99,9 +264,8 @@ pub const SIZES: &[&str] = &[
 /// Marketing filler words (small pool, several per record: the dominant
 /// Product background-overlap source).
 pub const MARKETING: &[&str] = &[
-    "digital", "wireless", "portable", "compact", "hd", "stereo", "dual", "pro",
-    "series", "edition", "kit", "bundle", "pack", "new", "slim", "mini", "ultra",
-    "plus", "premium", "home",
+    "digital", "wireless", "portable", "compact", "hd", "stereo", "dual", "pro", "series",
+    "edition", "kit", "bundle", "pack", "new", "slim", "mini", "ultra", "plus", "premium", "home",
 ];
 
 /// Pick one element of a slice uniformly.

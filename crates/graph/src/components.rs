@@ -23,7 +23,10 @@ pub fn connected_components(graph: &PairGraph) -> Vec<Vec<RecordId>> {
     let mut groups: std::collections::HashMap<usize, Vec<RecordId>> =
         std::collections::HashMap::new();
     for v in 0..n {
-        groups.entry(uf.find(v)).or_default().push(graph.record(v as u32));
+        groups
+            .entry(uf.find(v))
+            .or_default()
+            .push(graph.record(v as u32));
     }
     let mut out: Vec<Vec<RecordId>> = groups
         .into_values()
@@ -43,8 +46,7 @@ pub fn pairs_by_component(pairs: &[Pair]) -> Vec<Vec<Pair>> {
     let graph = PairGraph::from_pairs(pairs);
     let comps = connected_components(&graph);
     // Map record -> component index.
-    let mut comp_of: std::collections::HashMap<RecordId, usize> =
-        std::collections::HashMap::new();
+    let mut comp_of: std::collections::HashMap<RecordId, usize> = std::collections::HashMap::new();
     for (ci, comp) in comps.iter().enumerate() {
         for &r in comp {
             comp_of.insert(r, ci);

@@ -43,7 +43,12 @@ impl PairGraph {
         for list in &mut adj {
             list.sort_unstable();
         }
-        PairGraph { verts, index, adj, edge_count: edges.len() }
+        PairGraph {
+            verts,
+            index,
+            adj,
+            edge_count: edges.len(),
+        }
     }
 
     /// Number of vertices.
@@ -85,15 +90,17 @@ impl PairGraph {
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         self.adj.iter().enumerate().flat_map(|(u, list)| {
             let u = u as u32;
-            list.iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+            list.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 
     /// Iterate all edges as record [`Pair`]s.
     pub fn edge_pairs(&self) -> impl Iterator<Item = Pair> + '_ {
-        self.edges().map(|(u, v)| {
-            Pair::new(self.record(u), self.record(v)).expect("distinct vertices")
-        })
+        self.edges()
+            .map(|(u, v)| Pair::new(self.record(u), self.record(v)).expect("distinct vertices"))
     }
 
     /// All record ids in dense-vertex order.

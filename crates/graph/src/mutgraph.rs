@@ -63,7 +63,9 @@ impl MutGraph {
     /// isolated are removed from the vertex set.
     pub fn remove_edge(&mut self, pair: Pair) -> bool {
         let (a, b) = pair.endpoints();
-        let Some(na) = self.adj.get_mut(&a) else { return false };
+        let Some(na) = self.adj.get_mut(&a) else {
+            return false;
+        };
         if !na.remove(&b) {
             return false;
         }
@@ -289,12 +291,7 @@ mod tests {
     fn remove_covered_edges_matches_paper_partition() {
         // Covering {r3, r4, r5, r6} removes edges (3,4), (3,5), (4,5), (4,6).
         let mut g = figure5();
-        let removed = g.remove_covered_edges(&[
-            RecordId(3),
-            RecordId(4),
-            RecordId(5),
-            RecordId(6),
-        ]);
+        let removed = g.remove_covered_edges(&[RecordId(3), RecordId(4), RecordId(5), RecordId(6)]);
         assert_eq!(removed, 4);
         assert_eq!(g.edge_count(), 6);
         assert!(g.has_edge(&Pair::of(4, 7))); // r7 not in the cover

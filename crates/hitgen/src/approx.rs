@@ -92,8 +92,7 @@ impl ClusterGenerator for ApproxGenerator {
         // faithful to the paper's count of 7 for the Figure 5 example.
         let mut hits = Vec::new();
         for window in seq.chunks(k - 1) {
-            let verts: BTreeSet<RecordId> =
-                window.iter().flat_map(SeqElem::vertices).collect();
+            let verts: BTreeSet<RecordId> = window.iter().flat_map(SeqElem::vertices).collect();
             debug_assert!(
                 verts.len() <= k,
                 "Goldschmidt window property violated: {} vertices for k = {k}",
@@ -130,22 +129,30 @@ mod tests {
     fn paper_example2_produces_seven_hits() {
         // §4 Example 2: 9 vertices + 10 edges = 19 SEQ elements; k = 4
         // → ⌈19/3⌉ = 7 cluster-based HITs (vs the optimal 3).
-        let hits = ApproxGenerator::new(1).generate(&figure2a_pairs(), 4).unwrap();
+        let hits = ApproxGenerator::new(1)
+            .generate(&figure2a_pairs(), 4)
+            .unwrap();
         assert_eq!(hits.len(), 7);
         validate_cluster_hits(&hits, &figure2a_pairs(), 4).unwrap();
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let a = ApproxGenerator::new(5).generate(&figure2a_pairs(), 4).unwrap();
-        let b = ApproxGenerator::new(5).generate(&figure2a_pairs(), 4).unwrap();
+        let a = ApproxGenerator::new(5)
+            .generate(&figure2a_pairs(), 4)
+            .unwrap();
+        let b = ApproxGenerator::new(5)
+            .generate(&figure2a_pairs(), 4)
+            .unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn hit_count_formula_holds_regardless_of_seed() {
         for seed in 0..20 {
-            let hits = ApproxGenerator::new(seed).generate(&figure2a_pairs(), 4).unwrap();
+            let hits = ApproxGenerator::new(seed)
+                .generate(&figure2a_pairs(), 4)
+                .unwrap();
             assert_eq!(hits.len(), 7, "seed {seed}");
         }
     }

@@ -20,7 +20,11 @@ fn traversal_generate(pairs: &[Pair], k: usize, bfs: bool) -> Result<Vec<Hit>> {
     while !graph.is_edgeless() {
         // Only the first k vertices of the traversal are consumed, so the
         // prefix walk stops early instead of ordering the whole graph.
-        let prefix = if bfs { graph.bfs_prefix(k) } else { graph.dfs_prefix(k) };
+        let prefix = if bfs {
+            graph.bfs_prefix(k)
+        } else {
+            graph.dfs_prefix(k)
+        };
         let hit = Hit::cluster(prefix.iter().copied());
         let removed = graph.remove_covered_edges(&prefix);
         debug_assert!(

@@ -25,7 +25,9 @@ impl Hit {
     /// Build a cluster-based HIT, deduplicating and sorting records.
     pub fn cluster<I: IntoIterator<Item = RecordId>>(records: I) -> Self {
         let set: BTreeSet<RecordId> = records.into_iter().collect();
-        Hit::ClusterBased { records: set.into_iter().collect() }
+        Hit::ClusterBased {
+            records: set.into_iter().collect(),
+        }
     }
 
     /// Build a pair-based HIT.
@@ -77,10 +79,7 @@ impl Hit {
     pub fn records(&self) -> Vec<RecordId> {
         match self {
             Hit::PairBased { pairs } => {
-                let set: BTreeSet<RecordId> = pairs
-                    .iter()
-                    .flat_map(|p| [p.lo(), p.hi()])
-                    .collect();
+                let set: BTreeSet<RecordId> = pairs.iter().flat_map(|p| [p.lo(), p.hi()]).collect();
                 set.into_iter().collect()
             }
             Hit::ClusterBased { records } => records.clone(),
@@ -126,7 +125,10 @@ mod tests {
         // (2, 4): both records appear in the HIT but the pair is not
         // listed, so a pair-based HIT does NOT verify it.
         assert!(!h.covers(&Pair::of(2, 4)));
-        assert_eq!(h.records(), vec![RecordId(1), RecordId(2), RecordId(4), RecordId(6)]);
+        assert_eq!(
+            h.records(),
+            vec![RecordId(1), RecordId(2), RecordId(4), RecordId(6)]
+        );
     }
 
     #[test]

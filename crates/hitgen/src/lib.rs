@@ -33,9 +33,7 @@ pub mod validate;
 
 pub use approx::ApproxGenerator;
 pub use bfsdfs::{BfsGenerator, DfsGenerator};
-pub use comparisons::{
-    best_order_comparisons, cluster_comparisons, worst_order_comparisons,
-};
+pub use comparisons::{best_order_comparisons, cluster_comparisons, worst_order_comparisons};
 pub use hit::{ClusterGenerator, Hit};
 pub use pairhits::generate_pair_hits;
 pub use random::RandomGenerator;

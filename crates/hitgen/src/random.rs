@@ -114,16 +114,24 @@ mod tests {
 
     #[test]
     fn covers_all_pairs_within_size_bound() {
-        let hits = RandomGenerator::new(7).generate(&figure2a_pairs(), 4).unwrap();
+        let hits = RandomGenerator::new(7)
+            .generate(&figure2a_pairs(), 4)
+            .unwrap();
         validate_cluster_hits(&hits, &figure2a_pairs(), 4).unwrap();
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let a = RandomGenerator::new(42).generate(&figure2a_pairs(), 4).unwrap();
-        let b = RandomGenerator::new(42).generate(&figure2a_pairs(), 4).unwrap();
+        let a = RandomGenerator::new(42)
+            .generate(&figure2a_pairs(), 4)
+            .unwrap();
+        let b = RandomGenerator::new(42)
+            .generate(&figure2a_pairs(), 4)
+            .unwrap();
         assert_eq!(a, b);
-        let c = RandomGenerator::new(43).generate(&figure2a_pairs(), 4).unwrap();
+        let c = RandomGenerator::new(43)
+            .generate(&figure2a_pairs(), 4)
+            .unwrap();
         // Different seeds usually give different batches (not guaranteed,
         // but it holds for this fixture).
         assert_ne!(a, c);
@@ -131,7 +139,9 @@ mod tests {
 
     #[test]
     fn rejects_k_below_two() {
-        assert!(RandomGenerator::new(0).generate(&figure2a_pairs(), 1).is_err());
+        assert!(RandomGenerator::new(0)
+            .generate(&figure2a_pairs(), 1)
+            .is_err());
     }
 
     #[test]

@@ -62,10 +62,8 @@ impl ClusterGenerator for TwoTieredGenerator {
         // Lines 3-5: SCCs pass through; LCCs are partitioned.
         let mut sccs: Vec<Vec<RecordId>> = Vec::new();
         for group in component_pairs {
-            let vertices: BTreeSet<RecordId> = group
-                .iter()
-                .flat_map(|p| [p.lo(), p.hi()])
-                .collect();
+            let vertices: BTreeSet<RecordId> =
+                group.iter().flat_map(|p| [p.lo(), p.hi()]).collect();
             if vertices.len() <= k {
                 sccs.push(vertices.into_iter().collect());
             } else {
@@ -96,11 +94,7 @@ impl ClusterGenerator for TwoTieredGenerator {
 /// `lcc` is consumed (edges are removed as they are covered).
 /// `outdegree_tiebreak` enables the paper's min-outdegree rule for
 /// indegree ties; when disabled, ties fall to the smallest record id.
-pub fn partition_lcc(
-    lcc: &mut MutGraph,
-    k: usize,
-    outdegree_tiebreak: bool,
-) -> Vec<Vec<RecordId>> {
+pub fn partition_lcc(lcc: &mut MutGraph, k: usize, outdegree_tiebreak: bool) -> Vec<Vec<RecordId>> {
     let mut sccs = Vec::new();
     // Line 3: while the component still has uncovered edges.
     while !lcc.is_edgeless() {
@@ -233,21 +227,34 @@ mod tests {
     fn ablation_variants_still_cover() {
         let pairs = figure2a_pairs();
         for config in [
-            TwoTieredConfig { disable_outdegree_tiebreak: true, ..Default::default() },
             TwoTieredConfig {
-                packing: crowder_packing::PackingConfig { ffd_only: true, ..Default::default() },
+                disable_outdegree_tiebreak: true,
+                ..Default::default()
+            },
+            TwoTieredConfig {
+                packing: crowder_packing::PackingConfig {
+                    ffd_only: true,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         ] {
-            let hits = TwoTieredGenerator::with_config(config).generate(&pairs, 4).unwrap();
+            let hits = TwoTieredGenerator::with_config(config)
+                .generate(&pairs, 4)
+                .unwrap();
             validate_cluster_hits(&hits, &pairs, 4).unwrap();
         }
     }
 
     #[test]
     fn rejects_k_below_two_and_handles_empty() {
-        assert!(TwoTieredGenerator::new().generate(&[Pair::of(0, 1)], 1).is_err());
-        assert!(TwoTieredGenerator::new().generate(&[], 6).unwrap().is_empty());
+        assert!(TwoTieredGenerator::new()
+            .generate(&[Pair::of(0, 1)], 1)
+            .is_err());
+        assert!(TwoTieredGenerator::new()
+            .generate(&[], 6)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -38,10 +38,7 @@ pub fn validate_cluster_hits(hits: &[Hit], pairs: &[Pair], k: usize) -> Result<(
         }
     }
     // Coverage via a hash of all coverable pairs — O(Σ|H|²) total.
-    let covered: HashSet<Pair> = hits
-        .iter()
-        .flat_map(Hit::coverable_pairs)
-        .collect();
+    let covered: HashSet<Pair> = hits.iter().flat_map(Hit::coverable_pairs).collect();
     for pair in pairs {
         if !covered.contains(pair) {
             return Err(Error::InvalidData(format!(

@@ -29,7 +29,11 @@ pub struct SvmProtocol {
 
 impl Default for SvmProtocol {
     fn default() -> Self {
-        SvmProtocol { training_size: 500, trials: 10, svm: SvmConfig::default() }
+        SvmProtocol {
+            training_size: 500,
+            trials: 10,
+            svm: SvmConfig::default(),
+        }
     }
 }
 
@@ -70,8 +74,10 @@ impl SvmProtocol {
         // a synthetic corner case can hit).
         let records = dataset.records();
         let mut train_pairs: Vec<Pair> = shuffled[..self.training_size].to_vec();
-        let mut labels: Vec<bool> =
-            train_pairs.iter().map(|p| dataset.gold.is_match(p)).collect();
+        let mut labels: Vec<bool> = train_pairs
+            .iter()
+            .map(|p| dataset.gold.is_match(p))
+            .collect();
         if labels.iter().all(|&l| l) || labels.iter().all(|&l| !l) {
             // Force one example of the missing class if any exists.
             let need_positive = labels.iter().all(|&l| !l);
@@ -93,8 +99,7 @@ impl SvmProtocol {
             .map(|p| extractor.extract_pair(records, p))
             .collect();
         let scaler = StandardScaler::fit(&train_x)?;
-        let train_x: Vec<Vec<f64>> =
-            train_x.iter().map(|r| scaler.transform(r)).collect();
+        let train_x: Vec<Vec<f64>> = train_x.iter().map(|r| scaler.transform(r)).collect();
         let svm = LinearSvm::train(&train_x, &labels, &self.svm)?;
 
         let train_set: HashSet<Pair> = train_pairs.iter().copied().collect();
@@ -107,7 +112,10 @@ impl SvmProtocol {
             })
             .collect();
         crowder_types::pair::sort_ranked(&mut ranked);
-        Ok(SvmTrialOutput { ranked, training_pairs: train_pairs })
+        Ok(SvmTrialOutput {
+            ranked,
+            training_pairs: train_pairs,
+        })
     }
 }
 
@@ -152,12 +160,19 @@ mod tests {
     fn svm_ranks_matches_above_non_matches() {
         let (d, candidates) = learnable_dataset();
         let extractor = FeatureExtractor::paper_config(vec![0]);
-        let protocol = SvmProtocol { training_size: 200, trials: 1, ..Default::default() };
+        let protocol = SvmProtocol {
+            training_size: 200,
+            trials: 1,
+            ..Default::default()
+        };
         let out = protocol.run_trial(&d, &extractor, &candidates, 3).unwrap();
         // Precision at the top of the ranking should be high.
         let top = &out.ranked[..50];
         let hits = top.iter().filter(|sp| d.gold.is_match(&sp.pair)).count();
-        assert!(hits >= 40, "only {hits}/50 of the top-ranked pairs are matches");
+        assert!(
+            hits >= 40,
+            "only {hits}/50 of the top-ranked pairs are matches"
+        );
         // Training pairs are excluded from the ranking.
         let ranked_pairs: HashSet<Pair> = out.ranked.iter().map(|s| s.pair).collect();
         for tp in &out.training_pairs {
@@ -169,7 +184,10 @@ mod tests {
     fn too_few_candidates_is_an_error() {
         let (d, candidates) = learnable_dataset();
         let extractor = FeatureExtractor::paper_config(vec![0]);
-        let protocol = SvmProtocol { training_size: 10_000, ..Default::default() };
+        let protocol = SvmProtocol {
+            training_size: 10_000,
+            ..Default::default()
+        };
         assert!(protocol.run_trial(&d, &extractor, &candidates, 0).is_err());
     }
 
@@ -177,7 +195,11 @@ mod tests {
     fn different_seeds_give_different_training_sets() {
         let (d, candidates) = learnable_dataset();
         let extractor = FeatureExtractor::paper_config(vec![0]);
-        let protocol = SvmProtocol { training_size: 100, trials: 1, ..Default::default() };
+        let protocol = SvmProtocol {
+            training_size: 100,
+            trials: 1,
+            ..Default::default()
+        };
         let a = protocol.run_trial(&d, &extractor, &candidates, 1).unwrap();
         let b = protocol.run_trial(&d, &extractor, &candidates, 2).unwrap();
         assert_ne!(a.training_pairs, b.training_pairs);

@@ -15,7 +15,9 @@ impl StandardScaler {
     /// matrix or ragged rows.
     pub fn fit(rows: &[Vec<f64>]) -> Result<Self> {
         let Some(first) = rows.first() else {
-            return Err(Error::InvalidData("cannot fit scaler on zero samples".into()));
+            return Err(Error::InvalidData(
+                "cannot fit scaler on zero samples".into(),
+            ));
         };
         let dims = first.len();
         if rows.iter().any(|r| r.len() != dims) {
@@ -79,12 +81,14 @@ mod tests {
     fn standardizes_to_zero_mean_unit_variance() {
         let rows = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]];
         let scaler = StandardScaler::fit(&rows).unwrap();
-        let transformed: Vec<Vec<f64>> =
-            rows.iter().map(|r| scaler.transform(r)).collect();
+        let transformed: Vec<Vec<f64>> = rows.iter().map(|r| scaler.transform(r)).collect();
         for d in 0..2 {
             let mean: f64 = transformed.iter().map(|r| r[d]).sum::<f64>() / 3.0;
-            let var: f64 =
-                transformed.iter().map(|r| (r[d] - mean).powi(2)).sum::<f64>() / 3.0;
+            let var: f64 = transformed
+                .iter()
+                .map(|r| (r[d] - mean).powi(2))
+                .sum::<f64>()
+                / 3.0;
             assert!(mean.abs() < 1e-12);
             assert!((var - 1.0).abs() < 1e-9);
         }

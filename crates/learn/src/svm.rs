@@ -77,9 +77,7 @@ impl LinearSvm {
         let mut b = 0.0f64;
         let mut rng = StdRng::seed_from_u64(config.seed);
 
-        let dot = |a: &[f64], c: &[f64]| -> f64 {
-            a.iter().zip(c).map(|(p, q)| p * q).sum()
-        };
+        let dot = |a: &[f64], c: &[f64]| -> f64 { a.iter().zip(c).map(|(p, q)| p * q).sum() };
 
         let mut passes = 0usize;
         let mut iterations = 0usize;
@@ -130,8 +128,7 @@ impl LinearSvm {
                 if (alpha_j_new - alpha_j_old).abs() < 1e-7 {
                     continue;
                 }
-                let alpha_i_new =
-                    alpha_i_old + labels[i] * labels[j] * (alpha_j_old - alpha_j_new);
+                let alpha_i_new = alpha_i_old + labels[i] * labels[j] * (alpha_j_old - alpha_j_new);
                 // Incremental weight update (linear kernel only).
                 let di = labels[i] * (alpha_i_new - alpha_i_old);
                 let dj = labels[j] * (alpha_j_new - alpha_j_old);
@@ -158,7 +155,10 @@ impl LinearSvm {
                 passes = 0;
             }
         }
-        Ok(LinearSvm { weights: w, bias: b })
+        Ok(LinearSvm {
+            weights: w,
+            bias: b,
+        })
     }
 
     /// Signed decision value `⟨w, x⟩ + b`; positive ⇒ predicted match.
@@ -197,7 +197,11 @@ mod tests {
             .zip(&y)
             .filter(|(xi, &yi)| svm.predict(xi) == yi)
             .count();
-        assert_eq!(correct, x.len(), "perfectly separable data must be separated");
+        assert_eq!(
+            correct,
+            x.len(),
+            "perfectly separable data must be separated"
+        );
         // The separating dimension dominates the weight vector.
         assert!(svm.weights[0].abs() > svm.weights[1].abs());
     }
@@ -212,7 +216,11 @@ mod tests {
             let center = if is_pos { 1.0 } else { -1.0 };
             x.push(vec![center + 0.5 * (rng.random::<f64>() - 0.5)]);
             // 5% label noise.
-            let label = if rng.random::<f64>() < 0.05 { !is_pos } else { is_pos };
+            let label = if rng.random::<f64>() < 0.05 {
+                !is_pos
+            } else {
+                is_pos
+            };
             y.push(label);
         }
         let svm = LinearSvm::train(&x, &y, &SvmConfig::default()).unwrap();
@@ -239,15 +247,18 @@ mod tests {
         let cfg = SvmConfig::default();
         assert!(LinearSvm::train(&[], &[], &cfg).is_err());
         assert!(LinearSvm::train(&[vec![1.0]], &[true], &cfg).is_err()); // one class
-        assert!(
-            LinearSvm::train(&[vec![1.0], vec![2.0, 3.0]], &[true, false], &cfg).is_err()
-        );
+        assert!(LinearSvm::train(&[vec![1.0], vec![2.0, 3.0]], &[true, false], &cfg).is_err());
         assert!(LinearSvm::train(&[vec![1.0]], &[true, false], &cfg).is_err());
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let x = vec![vec![1.0, 0.0], vec![-1.0, 0.1], vec![0.9, 0.2], vec![-1.1, 0.0]];
+        let x = vec![
+            vec![1.0, 0.0],
+            vec![-1.0, 0.1],
+            vec![0.9, 0.2],
+            vec![-1.1, 0.0],
+        ];
         let y = vec![true, false, true, false];
         let a = LinearSvm::train(&x, &y, &SvmConfig::default()).unwrap();
         let b = LinearSvm::train(&x, &y, &SvmConfig::default()).unwrap();

@@ -15,5 +15,5 @@
 pub mod pr;
 pub mod table;
 
-pub use pr::{average_precision, precision_at_recall, pr_curve, PrCurve, PrPoint};
+pub use pr::{average_precision, pr_curve, precision_at_recall, PrCurve, PrPoint};
 pub use table::AsciiTable;

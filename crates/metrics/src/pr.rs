@@ -92,10 +92,17 @@ pub fn average_precision(curves: &[PrCurve], recall_grid: &[f64]) -> Vec<PrPoint
             let mean = if curves.is_empty() {
                 0.0
             } else {
-                curves.iter().map(|c| precision_at_recall(c, r)).sum::<f64>()
+                curves
+                    .iter()
+                    .map(|c| precision_at_recall(c, r))
+                    .sum::<f64>()
                     / curves.len() as f64
             };
-            PrPoint { n: i, precision: mean, recall: r }
+            PrPoint {
+                n: i,
+                precision: mean,
+                recall: r,
+            }
         })
         .collect()
 }
@@ -122,8 +129,22 @@ mod tests {
     fn perfect_ranking() {
         let list = ranked(&[(0, 1), (2, 3), (4, 5)]);
         let curve = pr_curve(&list, &gold());
-        assert_eq!(curve.points[0], PrPoint { n: 1, precision: 1.0, recall: 0.5 });
-        assert_eq!(curve.points[1], PrPoint { n: 2, precision: 1.0, recall: 1.0 });
+        assert_eq!(
+            curve.points[0],
+            PrPoint {
+                n: 1,
+                precision: 1.0,
+                recall: 0.5
+            }
+        );
+        assert_eq!(
+            curve.points[1],
+            PrPoint {
+                n: 2,
+                precision: 1.0,
+                recall: 1.0
+            }
+        );
         assert!((curve.points[2].precision - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(curve.max_recall(), 1.0);
         assert!((curve.max_f1() - 1.0).abs() < 1e-12);

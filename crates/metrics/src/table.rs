@@ -57,9 +57,9 @@ impl AsciiTable {
         let mut out = String::new();
         let render_row = |cells: &[String], widths: &[usize]| -> String {
             let mut line = String::from("|");
-            for i in 0..cols {
+            for (i, &width) in widths.iter().enumerate().take(cols) {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
-                line.push_str(&format!(" {:>width$} |", cell, width = widths[i]));
+                line.push_str(&format!(" {cell:>width$} |"));
             }
             line.push('\n');
             line
@@ -96,7 +96,7 @@ mod tests {
         let s = t.render();
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4); // header + rule + 2 rows
-        // All lines equal width.
+                                    // All lines equal width.
         assert!(lines.iter().all(|l| l.len() == lines[0].len()));
         assert!(s.contains("83,117"));
     }

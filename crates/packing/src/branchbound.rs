@@ -64,8 +64,7 @@ impl Searcher {
         out: &mut Vec<Pattern>,
     ) {
         if max_size == 0 {
-            let p = Pattern::new(counts.clone(), self.capacity)
-                .expect("search respects capacity");
+            let p = Pattern::new(counts.clone(), self.capacity).expect("search respects capacity");
             if p.is_maximal(self.capacity, demands) {
                 out.push(p);
             }
@@ -166,8 +165,7 @@ pub fn branch_and_bound(
     let mut work = demands.to_vec();
     let mut used = Vec::new();
     searcher.search(&mut work, &mut used);
-    let optimal =
-        !searcher.exhausted_budget || searcher.best.len() <= searcher.lower_bound;
+    let optimal = !searcher.exhausted_budget || searcher.best.len() <= searcher.lower_bound;
     BbOutcome {
         bins: searcher.best,
         proven_optimal: optimal,
@@ -206,7 +204,13 @@ mod tests {
     fn solve(demands: &[u64], capacity: usize) -> BbOutcome {
         let incumbent = ffd_patterns(demands, capacity);
         let lp = solve_lp_relaxation(demands, capacity).unwrap();
-        branch_and_bound(demands, capacity, incumbent, lp.integer_lower_bound(), 1_000_000)
+        branch_and_bound(
+            demands,
+            capacity,
+            incumbent,
+            lp.integer_lower_bound(),
+            1_000_000,
+        )
     }
 
     #[test]

@@ -131,7 +131,11 @@ mod tests {
         // k = 4. The paper's optimal integer packing is 3 HITs; the LP
         // bound here is exactly 3.0.
         let lp = solve_lp_relaxation(&[0, 2, 0, 2], 4).unwrap();
-        assert!((lp.objective - 3.0).abs() < 1e-6, "objective {}", lp.objective);
+        assert!(
+            (lp.objective - 3.0).abs() < 1e-6,
+            "objective {}",
+            lp.objective
+        );
         assert_eq!(lp.integer_lower_bound(), 3);
     }
 

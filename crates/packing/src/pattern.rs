@@ -103,7 +103,9 @@ pub fn enumerate_patterns(capacity: usize, demands: &[u64]) -> Vec<Pattern> {
     ) {
         if size == 0 {
             if counts.iter().any(|&c| c > 0) {
-                out.push(Pattern { counts: counts.clone() });
+                out.push(Pattern {
+                    counts: counts.clone(),
+                });
             }
             return;
         }
@@ -111,7 +113,13 @@ pub fn enumerate_patterns(capacity: usize, demands: &[u64]) -> Vec<Pattern> {
         let max_count = max_fit.min(demands[size - 1]) as u32;
         for c in 0..=max_count {
             counts[size - 1] = c;
-            rec(size - 1, remaining - size * c as usize, counts, demands, out);
+            rec(
+                size - 1,
+                remaining - size * c as usize,
+                counts,
+                demands,
+                out,
+            );
         }
         counts[size - 1] = 0;
     }
@@ -148,8 +156,7 @@ mod tests {
         let demands = vec![0u64, 2, 0, 2];
         let mut pats = enumerate_patterns(4, &demands);
         pats.sort_by_key(|p| p.counts().to_vec());
-        let expect: Vec<Vec<u32>> =
-            vec![vec![0, 0, 0, 1], vec![0, 1, 0, 0], vec![0, 2, 0, 0]];
+        let expect: Vec<Vec<u32>> = vec![vec![0, 0, 0, 1], vec![0, 1, 0, 0], vec![0, 2, 0, 0]];
         let got: Vec<Vec<u32>> = pats.iter().map(|p| p.counts().to_vec()).collect();
         assert_eq!(got, expect);
     }

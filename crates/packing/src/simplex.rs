@@ -86,13 +86,13 @@ pub fn solve_max(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> Result<SimplexSolution
         // negative (Bland).
         let mut entering: Option<usize> = None;
         let mut best = -EPS;
-        for j in 0..rhs {
-            if obj[j] < best {
+        for (j, &cost) in obj.iter().enumerate().take(rhs) {
+            if cost < best {
                 entering = Some(j);
                 if bland {
                     break;
                 }
-                best = obj[j];
+                best = cost;
             }
         }
         let Some(e) = entering else {
@@ -104,7 +104,11 @@ pub fn solve_max(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> Result<SimplexSolution
                 }
             }
             let duals: Vec<f64> = (0..m).map(|i| obj[n + i]).collect();
-            return Ok(SimplexSolution { objective: obj[rhs], primal, duals });
+            return Ok(SimplexSolution {
+                objective: obj[rhs],
+                primal,
+                duals,
+            });
         };
 
         // Ratio test: smallest b_i / a_ie over a_ie > 0; Bland tiebreak
@@ -115,8 +119,7 @@ pub fn solve_max(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> Result<SimplexSolution
             if row[e] > EPS {
                 let ratio = row[rhs] / row[e];
                 let better = ratio < best_ratio - EPS
-                    || (ratio < best_ratio + EPS
-                        && leaving.is_some_and(|l| basis[i] < basis[l]));
+                    || (ratio < best_ratio + EPS && leaving.is_some_and(|l| basis[i] < basis[l]));
                 if leaving.is_none() || better {
                     leaving = Some(i);
                     best_ratio = ratio.min(best_ratio);
@@ -137,8 +140,15 @@ pub fn solve_max(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> Result<SimplexSolution
         for i in 0..m {
             if i != l && tab[i][e].abs() > EPS {
                 let factor = tab[i][e];
-                for j in 0..cols {
-                    tab[i][j] -= factor * tab[l][j];
+                let (row_l, row_i) = if i < l {
+                    let (a, b) = tab.split_at_mut(l);
+                    (&b[0], &mut a[i])
+                } else {
+                    let (a, b) = tab.split_at_mut(i);
+                    (&a[l], &mut b[0])
+                };
+                for (cell, &base) in row_i.iter_mut().zip(row_l).take(cols) {
+                    *cell -= factor * base;
                 }
             }
         }
@@ -150,7 +160,10 @@ pub fn solve_max(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> Result<SimplexSolution
         }
         basis[l] = e;
     }
-    Err(Error::NoConvergence { routine: "simplex", iterations: max_iters })
+    Err(Error::NoConvergence {
+        routine: "simplex",
+        iterations: max_iters,
+    })
 }
 
 #[cfg(test)]
@@ -164,11 +177,7 @@ mod tests {
     #[test]
     fn textbook_two_variable_lp() {
         // max 3x + 5y s.t. x ≤ 4; 2y ≤ 12; 3x + 2y ≤ 18 → opt 36 at (2, 6).
-        let a = vec![
-            vec![1.0, 0.0],
-            vec![0.0, 2.0],
-            vec![3.0, 2.0],
-        ];
+        let a = vec![vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]];
         let s = solve_max(&a, &[4.0, 12.0, 18.0], &[3.0, 5.0]).unwrap();
         assert_close(s.objective, 36.0);
         assert_close(s.primal[0], 2.0);

@@ -26,7 +26,10 @@ pub struct PackingConfig {
 
 impl Default for PackingConfig {
     fn default() -> Self {
-        PackingConfig { node_budget: 200_000, ffd_only: false }
+        PackingConfig {
+            node_budget: 200_000,
+            ffd_only: false,
+        }
     }
 }
 
@@ -60,8 +63,10 @@ pub fn pack_items(
             message: "cluster-size threshold must be positive".into(),
         });
     }
-    if sizes.iter().any(|&s| s == 0) {
-        return Err(Error::InvalidData("zero-sized item in packing input".into()));
+    if sizes.contains(&0) {
+        return Err(Error::InvalidData(
+            "zero-sized item in packing input".into(),
+        ));
     }
     if sizes.is_empty() {
         return Ok(PackingSolution {
@@ -109,8 +114,13 @@ pub fn pack_items(
     }
 
     let incumbent = bins_to_patterns(&ffd_bins, sizes, capacity);
-    let outcome =
-        branch_and_bound(&demands, capacity, incumbent, lower_bound, config.node_budget);
+    let outcome = branch_and_bound(
+        &demands,
+        capacity,
+        incumbent,
+        lower_bound,
+        config.node_budget,
+    );
     let bins = patterns_to_bins(&outcome.bins, sizes);
     Ok(PackingSolution {
         optimal: outcome.proven_optimal || bins.len() == lower_bound,
@@ -194,7 +204,10 @@ mod tests {
         let cfg = PackingConfig::default();
         assert!(pack_items(&[1], 0, &cfg).is_err());
         assert!(pack_items(&[0], 4, &cfg).is_err());
-        assert!(matches!(pack_items(&[9], 4, &cfg), Err(Error::Infeasible(_))));
+        assert!(matches!(
+            pack_items(&[9], 4, &cfg),
+            Err(Error::Infeasible(_))
+        ));
     }
 
     #[test]
@@ -202,7 +215,10 @@ mod tests {
         let sol = pack_items(
             &[4, 4, 2, 2],
             4,
-            &PackingConfig { ffd_only: true, ..Default::default() },
+            &PackingConfig {
+                ffd_only: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(sol.bins.len(), 3); // FFD happens to be optimal here

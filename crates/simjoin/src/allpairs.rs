@@ -2,13 +2,16 @@
 //!
 //! Compares every candidate pair of the dataset's [`PairSpace`] and keeps
 //! those with Jaccard likelihood ≥ threshold. The Product dataset's
-//! 1.18M pairs × several runs motivate the crossbeam fan-out: record
-//! ranges are strided across worker threads and local result buffers are
-//! merged at the end, so the hot loop is lock-free.
+//! 1.18M pairs × several runs motivate the fan-out: record rows are
+//! strided across scoped worker threads, each thread appends into its
+//! own local buffer, and the buffers are concatenated in thread order
+//! after the scope joins — the hot loop takes no lock and touches no
+//! shared state. Scoring merges the records' interned `u32` id lists
+//! (see [`TokenTable`]), not strings.
 
 use crate::tokens::TokenTable;
+use crowder_text::jaccard_ids;
 use crowder_types::{Dataset, Pair, PairSpace, RecordId, ScoredPair};
-use parking_lot::Mutex;
 
 /// Compare all candidate pairs in parallel; return pairs with likelihood
 /// ≥ `threshold` sorted by descending likelihood (deterministic order).
@@ -21,54 +24,66 @@ pub fn all_pairs_scored(
     threads: usize,
 ) -> Vec<ScoredPair> {
     let threads = effective_threads(threads);
-    let results: Mutex<Vec<ScoredPair>> = Mutex::new(Vec::new());
-    match dataset.pair_space {
+    let locals: Vec<Vec<ScoredPair>> = match dataset.pair_space {
         PairSpace::SelfJoin => {
             let n = dataset.len() as u32;
-            crossbeam::scope(|scope| {
-                for t in 0..threads {
-                    let results = &results;
-                    scope.spawn(move |_| {
-                        let mut local = Vec::new();
-                        // Strided rows balance the triangular workload.
-                        let mut i = t as u32;
-                        while i < n {
-                            score_row_self(tokens, i, n, threshold, &mut local);
-                            i += threads as u32;
-                        }
-                        results.lock().append(&mut local);
-                    });
-                }
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            // Strided rows balance the triangular workload.
+                            let mut i = t as u32;
+                            while i < n {
+                                score_row_self(tokens, i, n, threshold, &mut local);
+                                i += threads as u32;
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("similarity workers do not panic"))
+                    .collect()
             })
-            .expect("similarity workers do not panic");
         }
         PairSpace::CrossSource(sa, sb) => {
             let a_ids = dataset.source_records(sa);
             let b_ids = dataset.source_records(sb);
-            crossbeam::scope(|scope| {
-                for t in 0..threads {
-                    let results = &results;
-                    let (a_ids, b_ids) = (&a_ids, &b_ids);
-                    scope.spawn(move |_| {
-                        let mut local = Vec::new();
-                        let mut i = t;
-                        while i < a_ids.len() {
-                            score_row_cross(tokens, a_ids[i], b_ids, threshold, &mut local);
-                            i += threads;
-                        }
-                        results.lock().append(&mut local);
-                    });
-                }
+            std::thread::scope(|scope| {
+                let (a_ids, b_ids) = (&a_ids, &b_ids);
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            let mut i = t;
+                            while i < a_ids.len() {
+                                score_row_cross(tokens, a_ids[i], b_ids, threshold, &mut local);
+                                i += threads;
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("similarity workers do not panic"))
+                    .collect()
             })
-            .expect("similarity workers do not panic");
         }
+    };
+    // Deterministic merge: buffers concatenate in thread order, then the
+    // ranked sort fixes the final order independently of scheduling.
+    let mut out: Vec<ScoredPair> = Vec::with_capacity(locals.iter().map(Vec::len).sum());
+    for mut local in locals {
+        out.append(&mut local);
     }
-    let mut out = results.into_inner();
     crowder_types::pair::sort_ranked(&mut out);
     out
 }
 
-fn effective_threads(requested: usize) -> usize {
+pub(crate) fn effective_threads(requested: usize) -> usize {
     if requested > 0 {
         requested
     } else {
@@ -76,17 +91,11 @@ fn effective_threads(requested: usize) -> usize {
     }
 }
 
-fn score_row_self(
-    tokens: &TokenTable,
-    i: u32,
-    n: u32,
-    threshold: f64,
-    out: &mut Vec<ScoredPair>,
-) {
-    let a = tokens.set(RecordId(i));
+fn score_row_self(tokens: &TokenTable, i: u32, n: u32, threshold: f64, out: &mut Vec<ScoredPair>) {
+    let a = tokens.ids(RecordId(i));
     for j in (i + 1)..n {
-        let b = tokens.set(RecordId(j));
-        let sim = crowder_text::jaccard(a, b);
+        let b = tokens.ids(RecordId(j));
+        let sim = jaccard_ids(a, b);
         if sim >= threshold {
             let pair = Pair::new(RecordId(i), RecordId(j)).expect("i < j");
             out.push(ScoredPair::new(pair, sim));
@@ -101,10 +110,10 @@ fn score_row_cross(
     threshold: f64,
     out: &mut Vec<ScoredPair>,
 ) {
-    let a = tokens.set(a_id);
+    let a = tokens.ids(a_id);
     for &b_id in b_ids {
-        let b = tokens.set(b_id);
-        let sim = crowder_text::jaccard(a, b);
+        let b = tokens.ids(b_id);
+        let sim = jaccard_ids(a, b);
         if sim >= threshold {
             let pair = Pair::new(a_id, b_id).expect("distinct sources imply distinct ids");
             out.push(ScoredPair::new(pair, sim));
@@ -118,11 +127,7 @@ mod tests {
     use crowder_types::SourceId;
 
     fn table1() -> (Dataset, TokenTable) {
-        let mut d = Dataset::new(
-            "table1",
-            vec!["product_name".into()],
-            PairSpace::SelfJoin,
-        );
+        let mut d = Dataset::new("table1", vec!["product_name".into()], PairSpace::SelfJoin);
         let rows = [
             "dummy r0 placeholder to align ids",
             "iPad Two 16GB WiFi White",
@@ -148,8 +153,7 @@ mod tests {
         // Table 1 survive (the r0 dummy shares no real tokens).
         let (d, t) = table1();
         let scored = all_pairs_scored(&d, &t, 0.3, 2);
-        let pairs: std::collections::BTreeSet<Pair> =
-            scored.iter().map(|s| s.pair).collect();
+        let pairs: std::collections::BTreeSet<Pair> = scored.iter().map(|s| s.pair).collect();
         let expected: std::collections::BTreeSet<Pair> = [
             Pair::of(1, 2),
             Pair::of(2, 3),
@@ -181,8 +185,17 @@ mod tests {
         let one = all_pairs_scored(&d, &t, 0.2, 1);
         let four = all_pairs_scored(&d, &t, 0.2, 4);
         let zero = all_pairs_scored(&d, &t, 0.2, 0);
+        let many = all_pairs_scored(&d, &t, 0.2, 16);
         assert_eq!(one, four);
         assert_eq!(one, zero);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn more_threads_than_records_is_fine() {
+        let (d, t) = table1();
+        let scored = all_pairs_scored(&d, &t, 0.3, 64);
+        assert_eq!(scored.len(), 10);
     }
 
     #[test]
@@ -192,9 +205,12 @@ mod tests {
             vec!["name".into()],
             PairSpace::CrossSource(SourceId(0), SourceId(1)),
         );
-        d.push_record(SourceId(0), vec!["alpha beta".into()]).unwrap(); // r0
-        d.push_record(SourceId(0), vec!["alpha beta".into()]).unwrap(); // r1
-        d.push_record(SourceId(1), vec!["alpha beta".into()]).unwrap(); // r2
+        d.push_record(SourceId(0), vec!["alpha beta".into()])
+            .unwrap(); // r0
+        d.push_record(SourceId(0), vec!["alpha beta".into()])
+            .unwrap(); // r1
+        d.push_record(SourceId(1), vec!["alpha beta".into()])
+            .unwrap(); // r2
         let t = TokenTable::build(&d);
         let scored = all_pairs_scored(&d, &t, 0.5, 2);
         let pairs: Vec<Pair> = scored.iter().map(|s| s.pair).collect();

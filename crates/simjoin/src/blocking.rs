@@ -9,10 +9,15 @@
 
 use crate::tokens::TokenTable;
 use crowder_types::{Dataset, Pair, RecordId, ScoredPair};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// Generate candidate pairs by token blocking, then score and filter at
 /// `threshold` (must be > 0 for the pruning to be lossless).
+///
+/// Blocks are keyed by interned token id — the same postings the
+/// prefix join uses — so building them is integer pushes into a dense
+/// table instead of string hashing, and iteration order is
+/// deterministic (ascending token id, i.e. rarest blocks first).
 ///
 /// `max_block` skips blocks larger than the limit (0 = unlimited):
 /// high-frequency tokens create huge, useless blocks; skipping them
@@ -23,15 +28,15 @@ pub fn token_blocking_pairs(
     threshold: f64,
     max_block: usize,
 ) -> Vec<ScoredPair> {
-    let mut blocks: HashMap<&str, Vec<RecordId>> = HashMap::new();
+    let mut blocks: Vec<Vec<RecordId>> = vec![Vec::new(); tokens.dict().len()];
     for r in dataset.records() {
-        for tok in tokens.set(r.id).tokens() {
-            blocks.entry(tok.as_str()).or_default().push(r.id);
+        for &tok in tokens.ids(r.id) {
+            blocks[tok as usize].push(r.id);
         }
     }
     let mut seen: HashSet<Pair> = HashSet::new();
     let mut out: Vec<ScoredPair> = Vec::new();
-    for (_tok, members) in blocks {
+    for members in blocks {
         if max_block > 0 && members.len() > max_block {
             continue;
         }

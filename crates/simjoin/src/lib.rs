@@ -7,18 +7,50 @@
 //! similarity over whole-record token sets and calls the technique
 //! `simjoin` (§7.1).
 //!
-//! Three execution strategies are provided:
+//! All strategies share one substrate: [`TokenTable`] interns the
+//! corpus tokens to `u32` ids ordered by ascending corpus frequency
+//! (via [`crowder_text::TokenDict`]) and caches each record's sorted id
+//! list at construction. Scoring a pair is then an integer-slice merge;
+//! the global rarest-first id order doubles as the prefix-filtering
+//! token order, so no strategy re-derives a vocabulary per call.
 //!
-//! * [`all_pairs_scored`] — exhaustive, parallel (crossbeam scoped
-//!   threads) comparison of every candidate pair; the reference
-//!   implementation,
-//! * [`prefix_join`] — a prefix-filtering + length-filtering inverted
-//!   index join in the style of the similarity-join literature the paper
-//!   cites ([2, 5, 26]); produces identical output to `all_pairs_scored`
-//!   while skipping most of the comparisons,
-//! * [`blocking`] — token blocking, the indexing footnote of §2.2, used
-//!   by ablations.
+//! ## Execution strategies
 //!
+//! * [`all_pairs_scored`] — exhaustive comparison of every candidate
+//!   pair, parallelized with scoped threads over strided rows; each
+//!   thread fills a local buffer and buffers concatenate in thread
+//!   order (lock-free, deterministic). No filtering: `O(n²)` merges.
+//!   **Wins** when the threshold is very low (little to prune), when
+//!   record token sets are tiny, or as the trusted reference — the
+//!   other strategies are property-tested against it.
+//!
+//! * [`prefix_join`] — inverted-index join applying three lossless
+//!   filters before any verification:
+//!   1. *prefix filter*: records match only if they share a token in
+//!      their `|x| − ⌈t·|x|⌉ + 1` rarest tokens;
+//!   2. *length filter*: `|y| ≥ t·|x|`, applied by binary search on the
+//!      length-ordered posting lists;
+//!   3. *positional filter* (PPJoin): from the first shared prefix
+//!      token's positions, the achievable overlap
+//!      `1 + min(|x|−i−1, |y|−j−1)` must reach `⌈t/(1+t)·(|x|+|y|)⌉`.
+//!
+//!   Probing is parallelized by partitioning the length-sorted record
+//!   order across threads against the shared one-shot index.
+//!   **Wins** — usually by a wide margin — at moderate-to-high
+//!   thresholds on realistic data, where the filters eliminate the vast
+//!   majority of the `O(n²)` verifications. Output is bit-identical to
+//!   [`all_pairs_scored`].
+//!
+//! * [`token_blocking_pairs`] ([`blocking`]) — token blocking, the
+//!   indexing footnote of §2.2: records sharing any token land in a
+//!   common block (keyed by interned id) and only within-block pairs
+//!   are scored. Lossless for any threshold > 0 but generates far more
+//!   candidates than prefix filtering; its `max_block` cap trades
+//!   recall for speed. **Wins** for ablations and when a recall/cost
+//!   knob is wanted rather than exact thresholds.
+//!
+//! [`qgram_blocking_pairs`] ([`qgram`]) keys blocks on character
+//! q-grams instead of whole tokens — lossy, but robust to misspellings.
 //! [`threshold_sweep`] reproduces Table 2's likelihood-threshold
 //! selection rows.
 

@@ -1,115 +1,212 @@
-//! Prefix-filtering similarity join.
+//! Prefix-filtering similarity join with positional filtering.
 //!
 //! The paper's footnote to §2.2 and its related-work pointers ([2, 5,
 //! 26]) note that indexing avoids the all-pairs comparison. This module
-//! implements the standard prefix-filter + length-filter inverted-index
-//! join for Jaccard thresholds:
+//! implements the prefix-filter + length-filter + positional-filter
+//! (PPJoin-style) inverted-index join for Jaccard thresholds, on top of
+//! the interned, frequency-ordered id lists that [`TokenTable`] builds
+//! once per corpus:
 //!
-//! * tokens are interned and globally ordered by ascending frequency, so
-//!   each record's *prefix* holds its rarest tokens;
+//! * record id lists are sorted by ascending corpus frequency (rarest
+//!   first), so each record's *prefix* holds its rarest tokens;
 //! * for threshold `t`, a record `x` can only match records sharing one
-//!   of its first `|x| − ⌈t·|x|⌉ + 1` tokens;
-//! * candidates additionally satisfy the length filter
-//!   `t·|x| ≤ |y| ≤ |x|/t`;
-//! * surviving candidates are verified exactly.
+//!   of its first `|x| − ⌈t·|x|⌉ + 1` tokens (**prefix filter**);
+//! * candidates additionally satisfy `|y| ≥ t·|x|` (**length filter**,
+//!   applied by binary-searching the length-sorted postings);
+//! * when the first shared prefix token sits at position `i` of `x` and
+//!   `j` of `y`, the total overlap is at most
+//!   `1 + min(|x|−i−1, |y|−j−1)`; if that cannot reach the required
+//!   overlap `⌈t/(1+t)·(|x|+|y|)⌉`, verification is skipped
+//!   (**positional filter**);
+//! * surviving candidates are verified exactly by an integer merge.
+//!
+//! The index over the shorter records is built once, sequentially (it
+//! is cheap: prefixes only); probing is parallelized by partitioning
+//! the length-sorted record order across scoped threads, each probing
+//! the full index of records earlier in the order, with local result
+//! buffers concatenated in thread order.
 //!
 //! Output is identical to [`all_pairs_scored`](crate::all_pairs_scored)
 //! for the same threshold — a property-tested invariant.
 
+use crate::allpairs::effective_threads;
 use crate::tokens::TokenTable;
+use crowder_text::jaccard_ids;
 use crowder_types::{Dataset, Pair, RecordId, ScoredPair};
-use std::collections::HashMap;
 
-/// Jaccard similarity join via prefix filtering. Returns pairs with
-/// similarity ≥ `threshold` (which must be in `(0, 1]`), sorted by
-/// descending likelihood.
+/// One index entry: which record (by position in the length-sorted
+/// order) carries the token, and where in its id list the token sits.
+#[derive(Debug, Clone, Copy)]
+struct Posting {
+    rank: u32,
+    pos: u32,
+}
+
+/// Jaccard similarity join via prefix + length + positional filtering.
+/// Returns pairs with similarity ≥ `threshold` (which must be in
+/// `(0, 1]`), sorted by descending likelihood.
+///
+/// `threads = 0` selects the available parallelism.
 ///
 /// For `threshold ≤ 0` fall back to
 /// [`all_pairs_scored`](crate::all_pairs_scored): a zero threshold keeps
 /// everything and no filter can help.
-pub fn prefix_join(dataset: &Dataset, tokens: &TokenTable, threshold: f64) -> Vec<ScoredPair> {
+pub fn prefix_join(
+    dataset: &Dataset,
+    tokens: &TokenTable,
+    threshold: f64,
+    threads: usize,
+) -> Vec<ScoredPair> {
     if threshold <= 0.0 {
-        return crate::allpairs::all_pairs_scored(dataset, tokens, threshold, 0);
+        return crate::allpairs::all_pairs_scored(dataset, tokens, threshold, threads);
     }
     let n = dataset.len();
+    let docs: Vec<&[u32]> = (0..n).map(|i| tokens.ids(RecordId(i as u32))).collect();
 
-    // Intern tokens to ids ordered by (frequency, token) ascending —
-    // rarest first — so prefixes are maximally selective.
-    let mut freq: HashMap<&str, u32> = HashMap::new();
-    for r in dataset.records() {
-        let set = tokens.set(r.id);
-        for tok in set.tokens() {
-            *freq.entry(tok.as_str()).or_insert(0) += 1;
-        }
-    }
-    let mut vocab: Vec<(&str, u32)> = freq.iter().map(|(&t, &f)| (t, f)).collect();
-    vocab.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(b.0)));
-    let token_id: HashMap<&str, u32> = vocab
+    // Probe records in ascending (token count, id) order so every pair
+    // is generated exactly once, with the probing side the longer one.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&i| (docs[i as usize].len(), i));
+    let lens: Vec<u32> = order
         .iter()
-        .enumerate()
-        .map(|(i, &(t, _))| (t, i as u32))
+        .map(|&i| docs[i as usize].len() as u32)
         .collect();
 
-    // Interned, ascending-id token lists per record.
-    let docs: Vec<Vec<u32>> = dataset
-        .records()
-        .iter()
-        .map(|r| {
-            let mut ids: Vec<u32> = tokens
-                .set(r.id)
-                .tokens()
-                .iter()
-                .map(|t| token_id[t.as_str()])
-                .collect();
-            ids.sort_unstable();
-            ids
-        })
-        .collect();
-
-    // Process records in ascending token-count order; index prefixes as
-    // we go so each pair is generated once with |x| ≥ |y|.
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by_key(|&i| (docs[i].len(), i));
-
-    let mut index: HashMap<u32, Vec<usize>> = HashMap::new();
-    let mut out: Vec<ScoredPair> = Vec::new();
-    let mut seen: Vec<u32> = vec![u32::MAX; n]; // per-probe candidate dedup
-    for (probe_round, &x) in order.iter().enumerate() {
-        let doc = &docs[x];
+    // Inverted index over prefixes, in rank order: each posting list is
+    // ascending in rank and therefore ascending in record length.
+    let mut postings: Vec<Vec<Posting>> = vec![Vec::new(); tokens.dict().len()];
+    for (rank, &x) in order.iter().enumerate() {
+        let doc = docs[x as usize];
         if doc.is_empty() {
             continue;
         }
-        let len_x = doc.len();
-        let prefix_len = len_x - (threshold * len_x as f64).ceil() as usize + 1;
-        let min_len_y = (threshold * len_x as f64).ceil() as usize;
-        for &tok in &doc[..prefix_len] {
-            if let Some(postings) = index.get(&tok) {
-                for &y in postings {
-                    if seen[y] == probe_round as u32 {
-                        continue;
-                    }
-                    seen[y] = probe_round as u32;
-                    if docs[y].len() < min_len_y {
-                        continue;
-                    }
-                    let pair = Pair::new(RecordId(x as u32), RecordId(y as u32))
-                        .expect("x != y: y was indexed in an earlier round");
-                    if !dataset.is_candidate(&pair) {
-                        continue;
-                    }
-                    let sim = tokens.jaccard_pair(&pair);
-                    if sim >= threshold {
-                        out.push(ScoredPair::new(pair, sim));
-                    }
-                }
-            }
+        let plen = prefix_len(doc.len(), threshold);
+        for (pos, &tok) in doc[..plen].iter().enumerate() {
+            postings[tok as usize].push(Posting {
+                rank: rank as u32,
+                pos: pos as u32,
+            });
         }
-        for &tok in &doc[..prefix_len] {
-            index.entry(tok).or_default().push(x);
-        }
+    }
+
+    let threads = effective_threads(threads).min(n.max(1));
+    let locals: Vec<Vec<ScoredPair>> = std::thread::scope(|scope| {
+        let (order, lens, docs, postings) = (&order, &lens, &docs, &postings);
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    // Per-probe candidate dedup: marks the rank of the
+                    // probe that last reached each record.
+                    let mut seen: Vec<u32> = vec![u32::MAX; n];
+                    // Strided ranks balance the skew of long records.
+                    let mut rank = t;
+                    while rank < order.len() {
+                        probe(
+                            dataset, docs, order, lens, postings, threshold, rank, &mut seen,
+                            &mut local,
+                        );
+                        rank += threads;
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("prefix-join workers do not panic"))
+            .collect()
+    });
+
+    let mut out: Vec<ScoredPair> = Vec::with_capacity(locals.iter().map(Vec::len).sum());
+    for mut local in locals {
+        out.append(&mut local);
     }
     crowder_types::pair::sort_ranked(&mut out);
     out
+}
+
+/// Probe one record (by rank) against the index of all shorter-or-equal
+/// records earlier in the order.
+#[allow(clippy::too_many_arguments)]
+fn probe(
+    dataset: &Dataset,
+    docs: &[&[u32]],
+    order: &[u32],
+    lens: &[u32],
+    postings: &[Vec<Posting>],
+    threshold: f64,
+    rank: usize,
+    seen: &mut [u32],
+    out: &mut Vec<ScoredPair>,
+) {
+    let x = order[rank];
+    let doc = docs[x as usize];
+    if doc.is_empty() {
+        return;
+    }
+    let lx = doc.len();
+    let plen = prefix_len(lx, threshold);
+    let min_len_y = min_match_len(lx, threshold);
+    for (i, &tok) in doc[..plen].iter().enumerate() {
+        let plist = &postings[tok as usize];
+        // Length filter: lengths ascend along the posting list, so the
+        // too-short candidates form a prefix we can skip wholesale.
+        let start = plist.partition_point(|p| (lens[p.rank as usize] as usize) < min_len_y);
+        for p in &plist[start..] {
+            if p.rank as usize >= rank {
+                // Later ranks are probed by their own rounds.
+                break;
+            }
+            let y = order[p.rank as usize];
+            if seen[y as usize] == rank as u32 {
+                continue;
+            }
+            seen[y as usize] = rank as u32;
+            let ly = lens[p.rank as usize] as usize;
+            // Positional filter. This is the *first* shared prefix token
+            // of x and y (smaller shared ids would have matched in an
+            // earlier iteration — both lists ascend), so the overlap is
+            // exactly 1 so far and at most min of the remaining tails.
+            let upper = 1 + (lx - i - 1).min(ly - p.pos as usize - 1);
+            if upper < min_overlap(lx, ly, threshold) {
+                continue;
+            }
+            let pair =
+                Pair::new(RecordId(x), RecordId(y)).expect("distinct ranks imply distinct records");
+            if !dataset.is_candidate(&pair) {
+                continue;
+            }
+            let sim = jaccard_ids(doc, docs[y as usize]);
+            if sim >= threshold {
+                out.push(ScoredPair::new(pair, sim));
+            }
+        }
+    }
+}
+
+/// Guard against floating-point over-rounding: a `ceil` argument is
+/// nudged down so exact integer products never round up a bucket, which
+/// would over-prune. Erring low only admits extra candidates, which
+/// exact verification then rejects.
+const CEIL_EPS: f64 = 1e-9;
+
+/// Probe/index prefix length for a record of `len` tokens:
+/// `len − ⌈t·len⌉ + 1`.
+fn prefix_len(len: usize, threshold: f64) -> usize {
+    len - (threshold * len as f64 - CEIL_EPS).ceil().max(1.0) as usize + 1
+}
+
+/// Length filter: a record of `len` tokens only matches records with at
+/// least `⌈t·len⌉` tokens.
+fn min_match_len(len: usize, threshold: f64) -> usize {
+    (threshold * len as f64 - CEIL_EPS).ceil().max(1.0) as usize
+}
+
+/// Overlap a pair of sizes `(lx, ly)` must reach for Jaccard ≥ t:
+/// `⌈t/(1+t)·(lx+ly)⌉`.
+fn min_overlap(lx: usize, ly: usize, threshold: f64) -> usize {
+    ((threshold / (1.0 + threshold)) * (lx + ly) as f64 - CEIL_EPS).ceil() as usize
 }
 
 #[cfg(test)]
@@ -127,10 +224,30 @@ mod tests {
         };
         let mut d = Dataset::new("t", vec!["name".into()], space);
         for (i, n) in names.iter().enumerate() {
-            let src = if cross { SourceId((i % 2) as u8) } else { SourceId(0) };
+            let src = if cross {
+                SourceId((i % 2) as u8)
+            } else {
+                SourceId(0)
+            };
             d.push_record(src, vec![n.clone()]).unwrap();
         }
         d
+    }
+
+    /// String-based brute-force oracle: enumerate candidate pairs and
+    /// score them with the *string* Jaccard over raw token sets —
+    /// independent of the interning layer, the filters, and the
+    /// threading, so it cross-checks the whole interned stack.
+    fn brute_force_oracle(d: &Dataset, t: &TokenTable, thr: f64) -> Vec<ScoredPair> {
+        let mut out: Vec<ScoredPair> = d
+            .candidate_pairs()
+            .filter_map(|pair| {
+                let sim = crowder_text::jaccard(t.set(pair.lo()), t.set(pair.hi()));
+                (sim >= thr).then_some(ScoredPair::new(pair, sim))
+            })
+            .collect();
+        crowder_types::pair::sort_ranked(&mut out);
+        out
     }
 
     #[test]
@@ -153,8 +270,13 @@ mod tests {
         let t = TokenTable::build(&d);
         for thr in [0.1, 0.3, 0.5, 0.9, 1.0] {
             let brute = all_pairs_scored(&d, &t, thr, 1);
-            let fast = prefix_join(&d, &t, thr);
+            let fast = prefix_join(&d, &t, thr, 1);
             assert_eq!(brute, fast, "threshold {thr}");
+            assert_eq!(
+                brute,
+                brute_force_oracle(&d, &t, thr),
+                "oracle, threshold {thr}"
+            );
         }
     }
 
@@ -163,7 +285,7 @@ mod tests {
         let names = vec!["---".to_string(), "!!!".to_string(), "abc".to_string()];
         let d = dataset_from_names(&names, false);
         let t = TokenTable::build(&d);
-        assert!(prefix_join(&d, &t, 0.5).is_empty());
+        assert!(prefix_join(&d, &t, 0.5, 1).is_empty());
     }
 
     #[test]
@@ -171,8 +293,38 @@ mod tests {
         let names = vec!["a b".to_string(), "b c".to_string()];
         let d = dataset_from_names(&names, false);
         let t = TokenTable::build(&d);
-        let res = prefix_join(&d, &t, 0.0);
+        let res = prefix_join(&d, &t, 0.0, 2);
         assert_eq!(res.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_records_all_pair_up() {
+        // Identical records exercise the tie-handling of the
+        // length-sorted order and the positional filter at j == i.
+        let names = vec!["a b c".to_string(); 5];
+        let d = dataset_from_names(&names, false);
+        let t = TokenTable::build(&d);
+        let res = prefix_join(&d, &t, 1.0, 2);
+        assert_eq!(res.len(), 5 * 4 / 2);
+        assert!(res.iter().all(|sp| sp.likelihood == 1.0));
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let names: Vec<String> = (0..40)
+            .map(|i| format!("tok{} tok{} tok{} shared common", i % 7, i % 5, i % 3))
+            .collect();
+        let d = dataset_from_names(&names, false);
+        let t = TokenTable::build(&d);
+        for thr in [0.2, 0.5, 0.8] {
+            let one = prefix_join(&d, &t, thr, 1);
+            let two = prefix_join(&d, &t, thr, 2);
+            let five = prefix_join(&d, &t, thr, 5);
+            let auto = prefix_join(&d, &t, thr, 0);
+            assert_eq!(one, two, "threshold {thr}");
+            assert_eq!(one, five, "threshold {thr}");
+            assert_eq!(one, auto, "threshold {thr}");
+        }
     }
 
     proptest! {
@@ -186,8 +338,25 @@ mod tests {
             let d = dataset_from_names(&names, cross);
             let t = TokenTable::build(&d);
             let brute = all_pairs_scored(&d, &t, thr, 1);
-            let fast = prefix_join(&d, &t, thr);
+            let fast = prefix_join(&d, &t, thr, 1);
             prop_assert_eq!(brute, fast);
+        }
+
+        /// The interned parallel implementations must agree with the
+        /// string-based oracle — across thresholds, pair spaces, and
+        /// thread counts.
+        #[test]
+        fn interned_joins_agree_with_string_oracle(
+            names in proptest::collection::vec("[a-e]{1,3}( [a-e]{1,3}){0,4}", 2..24),
+            thr in 0.05f64..=1.0,
+            cross in proptest::bool::ANY,
+            threads in 1usize..=4,
+        ) {
+            let d = dataset_from_names(&names, cross);
+            let t = TokenTable::build(&d);
+            let oracle = brute_force_oracle(&d, &t, thr);
+            prop_assert_eq!(&oracle, &all_pairs_scored(&d, &t, thr, threads));
+            prop_assert_eq!(&oracle, &prefix_join(&d, &t, thr, threads));
         }
     }
 }

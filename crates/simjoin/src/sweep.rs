@@ -41,7 +41,7 @@ fn group_thousands(v: usize) -> String {
     let digits = v.to_string();
     let mut out = String::with_capacity(digits.len() + digits.len() / 3);
     for (i, ch) in digits.chars().enumerate() {
-        if i > 0 && (digits.len() - i) % 3 == 0 {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(ch);
@@ -80,7 +80,7 @@ pub fn threshold_sweep(
                     threshold: thr,
                     total_pairs: dataset.candidate_pair_count(),
                     matches: gold_total,
-                    recall: if gold_total == 0 { 1.0 } else { 1.0 },
+                    recall: 1.0,
                 };
             }
             let mut total = 0usize;
@@ -97,7 +97,11 @@ pub fn threshold_sweep(
                 threshold: thr,
                 total_pairs: total,
                 matches,
-                recall: if gold_total == 0 { 1.0 } else { matches as f64 / gold_total as f64 },
+                recall: if gold_total == 0 {
+                    1.0
+                } else {
+                    matches as f64 / gold_total as f64
+                },
             }
         })
         .collect()
@@ -163,7 +167,12 @@ mod tests {
 
     #[test]
     fn display_row_formats() {
-        let row = SweepRow { threshold: 0.3, total_pairs: 4788, matches: 105, recall: 0.991 };
+        let row = SweepRow {
+            threshold: 0.3,
+            total_pairs: 4788,
+            matches: 105,
+            recall: 0.991,
+        };
         let s = row.display_row();
         assert!(s.contains("4,788"));
         assert!(s.contains("99.1%"));

@@ -2,27 +2,40 @@
 //!
 //! §7.1: *"We first generated a token set for each record, which
 //! consisted of the tokens from all attribute values."* The table caches
-//! those sets so the O(n²) likelihood pass never re-tokenizes.
+//! those sets so the O(n²) likelihood pass never re-tokenizes — and,
+//! since this PR, also interns every token through a corpus-wide
+//! [`TokenDict`] so each record carries a sorted `Vec<u32>` id list.
+//! All three join strategies work on those id lists: the per-pair inner
+//! merge compares `u32`s instead of `String`s, and the dictionary's
+//! rarest-first id order is exactly the global token order prefix
+//! filtering needs, computed once at construction instead of once per
+//! join call.
 
-use crowder_text::{jaccard, tokenize, TokenSet};
+use crowder_text::{jaccard_ids, tokenize, TokenDict, TokenSet};
 use crowder_types::{Dataset, Pair, RecordId};
 
-/// Cached token sets for every record of a dataset, indexed by
-/// [`RecordId`].
+/// Cached token sets and interned id lists for every record of a
+/// dataset, indexed by [`RecordId`].
 #[derive(Debug, Clone)]
 pub struct TokenTable {
     sets: Vec<TokenSet>,
+    dict: TokenDict,
+    /// `ids[r]` is the record's token ids, sorted ascending — i.e.
+    /// rarest token first, because [`TokenDict`] assigns ids by
+    /// ascending corpus frequency.
+    ids: Vec<Vec<u32>>,
 }
 
 impl TokenTable {
     /// Tokenize every record's concatenated attribute text.
     pub fn build(dataset: &Dataset) -> Self {
-        let sets = dataset
-            .records()
-            .iter()
-            .map(|r| tokenize(&r.joined_text()))
-            .collect();
-        TokenTable { sets }
+        Self::from_sets(
+            dataset
+                .records()
+                .iter()
+                .map(|r| tokenize(&r.joined_text()))
+                .collect(),
+        )
     }
 
     /// Tokenize only the selected attributes — the CrowdSQL-style
@@ -30,22 +43,42 @@ impl TokenTable {
     /// compares a *column*, not the whole record; Example 1's likelihoods
     /// are name-only Jaccard.
     pub fn build_on_attrs(dataset: &Dataset, attrs: &[usize]) -> Self {
-        let sets = dataset
-            .records()
-            .iter()
-            .map(|r| {
-                let text: Vec<&str> =
-                    attrs.iter().filter_map(|&a| r.field(a)).collect();
-                tokenize(&text.join(" "))
-            })
-            .collect();
-        TokenTable { sets }
+        Self::from_sets(
+            dataset
+                .records()
+                .iter()
+                .map(|r| {
+                    let text: Vec<&str> = attrs.iter().filter_map(|&a| r.field(a)).collect();
+                    tokenize(&text.join(" "))
+                })
+                .collect(),
+        )
+    }
+
+    /// Intern a prepared token-set collection (one entry per record, in
+    /// id order).
+    fn from_sets(sets: Vec<TokenSet>) -> Self {
+        let dict = TokenDict::build(&sets);
+        let ids = sets.iter().map(|s| dict.encode(s)).collect();
+        TokenTable { sets, dict, ids }
     }
 
     /// Token set of one record.
     #[inline]
     pub fn set(&self, id: RecordId) -> &TokenSet {
         &self.sets[id.index()]
+    }
+
+    /// Interned, ascending (rarest-first) token ids of one record.
+    #[inline]
+    pub fn ids(&self, id: RecordId) -> &[u32] {
+        &self.ids[id.index()]
+    }
+
+    /// The corpus dictionary behind the id lists.
+    #[inline]
+    pub fn dict(&self) -> &TokenDict {
+        &self.dict
     }
 
     /// Number of records covered.
@@ -60,10 +93,11 @@ impl TokenTable {
         self.sets.is_empty()
     }
 
-    /// Jaccard likelihood of a pair — the paper's `simjoin` score.
+    /// Jaccard likelihood of a pair — the paper's `simjoin` score,
+    /// computed over interned id slices.
     #[inline]
     pub fn jaccard_pair(&self, pair: &Pair) -> f64 {
-        jaccard(self.set(pair.lo()), self.set(pair.hi()))
+        jaccard_ids(self.ids(pair.lo()), self.ids(pair.hi()))
     }
 }
 
@@ -125,5 +159,52 @@ mod tests {
         // price tokens shifts it to 4/9.
         let j = t.jaccard_pair(&Pair::of(1, 2));
         assert!((j - 4.0 / 9.0).abs() < 1e-12, "j = {j}");
+    }
+
+    #[test]
+    fn id_lists_mirror_token_sets() {
+        let d = table1_dataset();
+        let t = TokenTable::build(&d);
+        for r in d.records() {
+            let ids = t.ids(r.id);
+            let set = t.set(r.id);
+            assert_eq!(ids.len(), set.len(), "no token may be dropped by interning");
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "sorted, deduplicated");
+            for &id in ids {
+                assert!(set.contains(t.dict().token(id)));
+            }
+        }
+    }
+
+    #[test]
+    fn id_lists_are_rarest_first() {
+        let d = table1_dataset();
+        let t = TokenTable::build(&d);
+        let dict = t.dict();
+        for r in d.records() {
+            let freqs: Vec<u32> = t.ids(r.id).iter().map(|&id| dict.frequency(id)).collect();
+            assert!(
+                freqs.windows(2).all(|w| w[0] <= w[1]),
+                "record {:?} ids must ascend in corpus frequency: {freqs:?}",
+                r.id
+            );
+        }
+    }
+
+    #[test]
+    fn id_jaccard_matches_string_jaccard() {
+        let d = table1_dataset();
+        let t = TokenTable::build(&d);
+        for i in 0..d.len() as u32 {
+            for j in (i + 1)..d.len() as u32 {
+                let pair = Pair::of(i, j);
+                let by_ids = t.jaccard_pair(&pair);
+                let by_strings = crowder_text::jaccard(t.set(pair.lo()), t.set(pair.hi()));
+                assert!(
+                    (by_ids - by_strings).abs() < 1e-15,
+                    "pair {pair}: {by_ids} vs {by_strings}"
+                );
+            }
+        }
     }
 }

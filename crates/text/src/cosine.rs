@@ -34,7 +34,11 @@ pub fn cosine_similarity(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     // Iterate the smaller map for the dot product.
-    let (small, large) = if ta.len() <= tb.len() { (&ta, &tb) } else { (&tb, &ta) };
+    let (small, large) = if ta.len() <= tb.len() {
+        (&ta, &tb)
+    } else {
+        (&tb, &ta)
+    };
     let dot: f64 = small
         .iter()
         .filter_map(|(tok, &fa)| large.get(tok).map(|&fb| fa * fb))

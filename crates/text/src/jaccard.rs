@@ -29,6 +29,37 @@ pub fn jaccard_strs(a: &str, b: &str) -> f64 {
     jaccard(&tokenize(a), &tokenize(b))
 }
 
+/// Intersection size of two sorted, deduplicated id slices (linear
+/// merge). The integer counterpart of
+/// [`TokenSet::intersection_size`](crate::tokenize::TokenSet::intersection_size),
+/// used by the interned similarity-join hot path.
+pub fn intersection_size_ids(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        count += usize::from(x == y);
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
+    }
+    count
+}
+
+/// Jaccard similarity of two sorted, deduplicated id slices — identical
+/// to [`jaccard`] over the corresponding token sets, but the inner loop
+/// compares `u32`s instead of `String`s.
+///
+/// Two empty slices have similarity 0, matching the [`jaccard`]
+/// convention.
+pub fn jaccard_ids(a: &[u32], b: &[u32]) -> f64 {
+    let inter = intersection_size_ids(a, b);
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,10 +84,16 @@ mod tests {
     #[test]
     fn paper_section211_examples() {
         // J(r1, r2) = 0.57 ≥ 0.5 — considered the same entity.
-        let j12 = jaccard_strs("iPad Two 16GB WiFi White", "iPad 2nd generation 16GB WiFi White");
+        let j12 = jaccard_strs(
+            "iPad Two 16GB WiFi White",
+            "iPad 2nd generation 16GB WiFi White",
+        );
         assert!((j12 - 4.0 / 7.0).abs() < 1e-12);
         // J(r1, r3) = 0.25 < 0.5 — not a match at threshold 0.5.
-        let j13 = jaccard_strs("iPad Two 16GB WiFi White", "iPhone 4th generation White 16GB");
+        let j13 = jaccard_strs(
+            "iPad Two 16GB WiFi White",
+            "iPhone 4th generation White 16GB",
+        );
         assert!((j13 - 0.25).abs() < 1e-12);
     }
 
@@ -67,5 +104,36 @@ mod tests {
         assert_eq!(jaccard(&a, &b), jaccard(&b, &a));
         let v = jaccard(&a, &b);
         assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn id_jaccard_agrees_with_string_jaccard() {
+        use crate::dict::TokenDict;
+        let sets = [
+            tokenize("iPad Two 16GB WiFi White"),
+            tokenize("iPad 2nd generation 16GB WiFi White"),
+            tokenize("Apple iPod shuffle 2GB Blue"),
+            tokenize(""),
+        ];
+        let dict = TokenDict::build(&sets);
+        let ids: Vec<Vec<u32>> = sets.iter().map(|s| dict.encode(s)).collect();
+        for i in 0..sets.len() {
+            for j in 0..sets.len() {
+                assert_eq!(
+                    jaccard(&sets[i], &sets[j]),
+                    jaccard_ids(&ids[i], &ids[j]),
+                    "({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn id_intersection_edge_cases() {
+        assert_eq!(intersection_size_ids(&[], &[]), 0);
+        assert_eq!(intersection_size_ids(&[1, 2, 3], &[]), 0);
+        assert_eq!(intersection_size_ids(&[1, 3, 5], &[2, 3, 4, 5]), 2);
+        assert_eq!(jaccard_ids(&[], &[]), 0.0);
+        assert_eq!(jaccard_ids(&[7], &[7]), 1.0);
     }
 }

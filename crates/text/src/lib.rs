@@ -6,8 +6,10 @@
 //! * [`tokenize`](mod@tokenize) — whitespace tokenization into sorted, deduplicated
 //!   [`TokenSet`]s (the unit of the paper's `simjoin` likelihood), plus
 //!   character [`tokenize::qgrams`] for blocking indexes,
+//! * [`dict`] — corpus-wide token interning to frequency-ordered `u32`
+//!   ids ([`TokenDict`]), the substrate of the similarity-join hot path,
 //! * [`jaccard`](mod@jaccard) — Jaccard set similarity (the likelihood function of §2.1.1
-//!   and §7.1),
+//!   and §7.1), over both string sets and interned id slices,
 //! * [`levenshtein`] — edit distance and its normalized similarity (one of
 //!   the two SVM features, §7.3),
 //! * [`cosine`] — token-frequency cosine similarity (the other SVM feature),
@@ -16,6 +18,7 @@
 //!   learning-based ER (§2.1.2: *n* similarity functions × *m* attributes).
 
 pub mod cosine;
+pub mod dict;
 pub mod features;
 pub mod jaccard;
 pub mod levenshtein;
@@ -23,8 +26,9 @@ pub mod overlap;
 pub mod tokenize;
 
 pub use cosine::cosine_similarity;
+pub use dict::TokenDict;
 pub use features::{FeatureExtractor, SimilarityFn};
-pub use jaccard::{jaccard, jaccard_strs};
+pub use jaccard::{intersection_size_ids, jaccard, jaccard_ids, jaccard_strs};
 pub use levenshtein::{edit_distance, edit_similarity};
 pub use overlap::{dice, overlap_coefficient};
 pub use tokenize::{tokenize, TokenSet};

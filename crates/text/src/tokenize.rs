@@ -49,7 +49,9 @@ impl TokenSet {
 
     /// Membership test (binary search).
     pub fn contains(&self, token: &str) -> bool {
-        self.tokens.binary_search_by(|t| t.as_str().cmp(token)).is_ok()
+        self.tokens
+            .binary_search_by(|t| t.as_str().cmp(token))
+            .is_ok()
     }
 
     /// Size of the intersection with `other` (linear merge of the two
@@ -101,17 +103,33 @@ pub fn qgrams(text: &str, q: usize) -> Vec<String> {
     if norm.is_empty() {
         return Vec::new();
     }
-    let padded: Vec<char> = std::iter::repeat_n('#', q - 1)
-        .chain(norm.chars())
-        .chain(std::iter::repeat_n('#', q - 1))
+    // One padded buffer; windows are `&str` slices over it, so only the
+    // *distinct* grams surviving dedup allocate.
+    let mut padded = String::with_capacity(norm.len() + 2 * (q - 1));
+    for _ in 0..q - 1 {
+        padded.push('#');
+    }
+    padded.push_str(&norm);
+    for _ in 0..q - 1 {
+        padded.push('#');
+    }
+    // Byte offsets of every char boundary (including the end), so a
+    // window of q chars is the slice between boundaries i and i + q.
+    let bounds: Vec<usize> = padded
+        .char_indices()
+        .map(|(i, _)| i)
+        .chain(std::iter::once(padded.len()))
         .collect();
-    let mut grams: Vec<String> = padded
-        .windows(q)
-        .map(|w| w.iter().collect::<String>())
+    let n_chars = bounds.len() - 1;
+    if n_chars < q {
+        return Vec::new();
+    }
+    let mut windows: Vec<&str> = (0..=n_chars - q)
+        .map(|i| &padded[bounds[i]..bounds[i + q]])
         .collect();
-    grams.sort_unstable();
-    grams.dedup();
-    grams
+    windows.sort_unstable();
+    windows.dedup();
+    windows.into_iter().map(str::to_string).collect()
 }
 
 #[cfg(test)]

@@ -40,11 +40,7 @@ pub struct Dataset {
 
 impl Dataset {
     /// Create an empty dataset.
-    pub fn new(
-        name: impl Into<String>,
-        schema: Vec<String>,
-        pair_space: PairSpace,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, schema: Vec<String>, pair_space: PairSpace) -> Self {
         Dataset {
             name: name.into(),
             schema,
@@ -90,7 +86,9 @@ impl Dataset {
 
     /// Look up one record.
     pub fn record(&self, id: RecordId) -> Result<&Record> {
-        self.records.get(id.index()).ok_or(Error::UnknownRecord(id.0))
+        self.records
+            .get(id.index())
+            .ok_or(Error::UnknownRecord(id.0))
     }
 
     /// Is `pair` inside this dataset's candidate space?
@@ -168,7 +166,8 @@ mod tests {
     fn self_join_pair_count_matches_formula() {
         let mut d = Dataset::new("t", vec!["x".into()], PairSpace::SelfJoin);
         for i in 0..858 {
-            d.push_record(SourceId(0), vec![format!("rec {i}")]).unwrap();
+            d.push_record(SourceId(0), vec![format!("rec {i}")])
+                .unwrap();
         }
         // The paper: 858·857/2 = 367,653 pairs.
         assert_eq!(d.candidate_pair_count(), 367_653);
@@ -195,7 +194,10 @@ mod tests {
     fn record_lookup() {
         let d = two_source_dataset();
         assert_eq!(d.record(RecordId(1)).unwrap().fields[0], "b");
-        assert!(matches!(d.record(RecordId(99)), Err(Error::UnknownRecord(99))));
+        assert!(matches!(
+            d.record(RecordId(99)),
+            Err(Error::UnknownRecord(99))
+        ));
     }
 
     #[test]

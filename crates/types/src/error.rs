@@ -48,8 +48,14 @@ impl fmt::Display for Error {
                 write!(f, "invalid configuration for `{param}`: {message}")
             }
             Error::Infeasible(what) => write!(f, "infeasible instance: {what}"),
-            Error::NoConvergence { routine, iterations } => {
-                write!(f, "`{routine}` did not converge after {iterations} iterations")
+            Error::NoConvergence {
+                routine,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "`{routine}` did not converge after {iterations} iterations"
+                )
             }
             Error::InvalidData(msg) => write!(f, "invalid data: {msg}"),
         }
@@ -66,10 +72,16 @@ mod tests {
     fn display_messages_are_informative() {
         let e = Error::SelfPair(7);
         assert!(e.to_string().contains('7'));
-        let e = Error::InvalidConfig { param: "k", message: "must be >= 2".into() };
+        let e = Error::InvalidConfig {
+            param: "k",
+            message: "must be >= 2".into(),
+        };
         assert!(e.to_string().contains('k'));
         assert!(e.to_string().contains(">= 2"));
-        let e = Error::NoConvergence { routine: "simplex", iterations: 10 };
+        let e = Error::NoConvergence {
+            routine: "simplex",
+            iterations: 10,
+        };
         assert!(e.to_string().contains("simplex"));
     }
 

@@ -25,7 +25,9 @@ impl GoldStandard {
 
     /// Build from an explicit set of matching pairs.
     pub fn from_pairs<I: IntoIterator<Item = Pair>>(pairs: I) -> Self {
-        GoldStandard { matches: pairs.into_iter().collect() }
+        GoldStandard {
+            matches: pairs.into_iter().collect(),
+        }
     }
 
     /// Build from entity clusters: every pair of records within one

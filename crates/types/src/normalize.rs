@@ -45,7 +45,10 @@ mod tests {
 
     #[test]
     fn lowercases_and_strips_punctuation() {
-        assert_eq!(normalize("iPad Two 16GB WiFi White"), "ipad two 16gb wifi white");
+        assert_eq!(
+            normalize("iPad Two 16GB WiFi White"),
+            "ipad two 16gb wifi white"
+        );
         assert_eq!(normalize("55 e. 54th st."), "55 e 54th st");
         assert_eq!(normalize("MB528LL/A"), "mb528ll a");
     }

@@ -127,10 +127,7 @@ mod tests {
 
     #[test]
     fn self_pair_is_rejected() {
-        assert_eq!(
-            Pair::new(RecordId(3), RecordId(3)),
-            Err(Error::SelfPair(3))
-        );
+        assert_eq!(Pair::new(RecordId(3), RecordId(3)), Err(Error::SelfPair(3)));
     }
 
     #[test]

@@ -25,10 +25,13 @@ fn main() {
     )
     .unwrap();
 
-    let mut table =
-        AsciiTable::new(["threshold", "pairs", "HITs", "cost", "recall ceiling", ""]);
+    let mut table = AsciiTable::new(["threshold", "pairs", "HITs", "cost", "recall ceiling", ""]);
     for (i, p) in plan.frontier.iter().enumerate() {
-        let marker = if Some(i) == plan.chosen { "<= chosen" } else { "" };
+        let marker = if Some(i) == plan.chosen {
+            "<= chosen"
+        } else {
+            ""
+        };
         table.row([
             format!("{:.2}", p.threshold),
             p.pairs.to_string(),

@@ -45,7 +45,10 @@ fn main() {
     for recall in [0.2, 0.4, 0.6, 0.8, 0.9] {
         table.row([
             format!("{recall:.1}"),
-            format!("{:.1}%", precision_at_recall(&machine_curve, recall) * 100.0),
+            format!(
+                "{:.1}%",
+                precision_at_recall(&machine_curve, recall) * 100.0
+            ),
             format!("{:.1}%", precision_at_recall(&hybrid_curve, recall) * 100.0),
         ]);
     }

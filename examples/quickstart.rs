@@ -14,7 +14,10 @@ use crowder::prelude::*;
 
 fn main() {
     let dataset = table1();
-    println!("== CrowdER quickstart: Table 1 ({} records) ==\n", dataset.len());
+    println!(
+        "== CrowdER quickstart: Table 1 ({} records) ==\n",
+        dataset.len()
+    );
     println!(
         "naive crowdsourcing would need {} pair verifications",
         dataset.candidate_pair_count()
@@ -31,7 +34,10 @@ fn main() {
     // Stage 2: two-tiered cluster-based HIT generation, k = 4.
     let pairs: Vec<Pair> = scored.iter().map(|s| s.pair).collect();
     let hits = TwoTieredGenerator::new().generate(&pairs, 4).unwrap();
-    println!("\ntwo-tiered HIT generation (k = 4) → {} cluster-based HITs:", hits.len());
+    println!(
+        "\ntwo-tiered HIT generation (k = 4) → {} cluster-based HITs:",
+        hits.len()
+    );
     for (i, hit) in hits.iter().enumerate() {
         let names: Vec<String> = hit.records().iter().map(|r| r.to_string()).collect();
         println!("  HIT {}: {{{}}}", i + 1, names.join(", "));
@@ -55,7 +61,11 @@ fn main() {
 
     println!("\nfinal matching pairs (posterior > 0.5):");
     for pair in outcome.matching_pairs() {
-        let ok = if dataset.gold.is_match(&pair) { "correct" } else { "WRONG" };
+        let ok = if dataset.gold.is_match(&pair) {
+            "correct"
+        } else {
+            "WRONG"
+        };
         println!("  {pair}  [{ok}]");
     }
 }

@@ -25,7 +25,10 @@ fn every_hit_gets_exactly_the_replication_factor() {
     let (hits, dataset) = batch();
     let pool = WorkerPopulation::generate(&PopulationConfig::default(), 5);
     for assignments in [1usize, 3, 5] {
-        let config = CrowdConfig { assignments_per_hit: assignments, ..Default::default() };
+        let config = CrowdConfig {
+            assignments_per_hit: assignments,
+            ..Default::default()
+        };
         let out = simulate(&hits, &dataset.gold, &pool, &config).unwrap();
         let mut per_hit: HashMap<usize, usize> = HashMap::new();
         for a in &out.assignments {
@@ -86,10 +89,8 @@ fn verdict_universe_matches_hit_coverage() {
     let pool = WorkerPopulation::generate(&PopulationConfig::default(), 8);
     let out = simulate(&hits, &dataset.gold, &pool, &CrowdConfig::default()).unwrap();
     for a in &out.assignments {
-        let coverable: HashSet<Pair> =
-            hits[a.hit_index].coverable_pairs().into_iter().collect();
-        let answered: HashSet<Pair> =
-            a.answer.verdicts.iter().map(|(p, _)| *p).collect();
+        let coverable: HashSet<Pair> = hits[a.hit_index].coverable_pairs().into_iter().collect();
+        let answered: HashSet<Pair> = a.answer.verdicts.iter().map(|(p, _)| *p).collect();
         assert_eq!(coverable, answered, "HIT {} verdicts mismatch", a.hit_index);
     }
 }
@@ -99,7 +100,10 @@ fn cost_scales_linearly_with_replication() {
     let (hits, dataset) = batch();
     let pool = WorkerPopulation::generate(&PopulationConfig::default(), 9);
     let cost_at = |assignments: usize| {
-        let config = CrowdConfig { assignments_per_hit: assignments, ..Default::default() };
+        let config = CrowdConfig {
+            assignments_per_hit: assignments,
+            ..Default::default()
+        };
         simulate(&hits, &dataset.gold, &pool, &config)
             .unwrap()
             .cost_dollars

@@ -16,7 +16,11 @@ fn table1_pipeline_finds_the_four_gold_pairs() {
     // Figure 2 staging: ~10 candidate pairs, 3-4 cluster HITs at k=4.
     assert!(outcome.candidate_pairs.len() >= 8);
     assert!(outcome.candidate_pairs.len() <= 14);
-    assert!(outcome.hits.len() <= 5, "{} HITs for the toy graph", outcome.hits.len());
+    assert!(
+        outcome.hits.len() <= 5,
+        "{} HITs for the toy graph",
+        outcome.hits.len()
+    );
 
     // Every gold pair must be verifiable by some HIT (they all clear the
     // 0.3 threshold in this fixture).
@@ -78,8 +82,13 @@ fn pair_and_cluster_strategies_agree_on_quality() {
         let curve = pr_curve(&outcome.ranked, &dataset.gold);
         curve.max_f1()
     };
-    let cluster_f1 = run(HitStrategy::ClusterBased { config: Default::default() });
+    let cluster_f1 = run(HitStrategy::ClusterBased {
+        config: Default::default(),
+    });
     let pair_f1 = run(HitStrategy::PairBased { per_hit: 16 });
-    assert!((cluster_f1 - pair_f1).abs() < 0.2, "cluster {cluster_f1} vs pair {pair_f1}");
+    assert!(
+        (cluster_f1 - pair_f1).abs() < 0.2,
+        "cluster {cluster_f1} vs pair {pair_f1}"
+    );
     assert!(cluster_f1 > 0.7 && pair_f1 > 0.7);
 }

@@ -58,7 +58,10 @@ fn all_spammer_crowd_destroys_quality_but_not_the_pipeline() {
         seed: 8,
     });
     let crowd = WorkerPopulation::generate(
-        &PopulationConfig { spammer_fraction: 1.0, ..Default::default() },
+        &PopulationConfig {
+            spammer_fraction: 1.0,
+            ..Default::default()
+        },
         1,
     );
     let config = HybridConfig {
@@ -72,7 +75,10 @@ fn all_spammer_crowd_destroys_quality_but_not_the_pipeline() {
     assert!(!outcome.ranked.is_empty());
     // …whose quality collapses relative to an honest crowd.
     let honest = WorkerPopulation::generate(
-        &PopulationConfig { spammer_fraction: 0.0, ..Default::default() },
+        &PopulationConfig {
+            spammer_fraction: 0.0,
+            ..Default::default()
+        },
         1,
     );
     let honest_out = run_hybrid(&dataset, &honest, &config).unwrap();

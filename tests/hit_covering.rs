@@ -21,7 +21,11 @@ fn restaurant_pairs(threshold: f64) -> Vec<Pair> {
 #[test]
 fn all_five_generators_cover_restaurant_pairs() {
     let pairs = restaurant_pairs(0.3);
-    assert!(pairs.len() > 50, "fixture should be non-trivial: {}", pairs.len());
+    assert!(
+        pairs.len() > 50,
+        "fixture should be non-trivial: {}",
+        pairs.len()
+    );
     let generators: Vec<Box<dyn ClusterGenerator>> = vec![
         Box::new(RandomGenerator::new(5)),
         Box::new(BfsGenerator),
@@ -86,7 +90,11 @@ fn generators_handle_duplicate_heavy_graphs() {
     });
     let dup = product_dup(
         &product_ds,
-        &ProductDupConfig { base_records: 20, max_duplicates: 9, seed: 3 },
+        &ProductDupConfig {
+            base_records: 20,
+            max_duplicates: 9,
+            seed: 3,
+        },
     );
     let tokens = TokenTable::build(&dup);
     let pairs: Vec<Pair> = all_pairs_scored(&dup, &tokens, 0.2, 0)

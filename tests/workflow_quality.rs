@@ -53,7 +53,10 @@ fn em_aggregation_is_at_least_as_good_as_majority_under_spam() {
     let dataset = small_product();
     // A nasty crowd: one third spammers.
     let crowd = WorkerPopulation::generate(
-        &PopulationConfig { spammer_fraction: 0.33, ..Default::default() },
+        &PopulationConfig {
+            spammer_fraction: 0.33,
+            ..Default::default()
+        },
         13,
     );
     let run = |aggregation: Aggregation| {
@@ -72,7 +75,10 @@ fn em_aggregation_is_at_least_as_good_as_majority_under_spam() {
         em_f1 >= mv_f1 - 0.02,
         "EM F1 {em_f1:.3} should not trail majority {mv_f1:.3}"
     );
-    assert!(em_f1 > 0.6, "EM F1 {em_f1:.3} too low even for a spammy crowd");
+    assert!(
+        em_f1 > 0.6,
+        "EM F1 {em_f1:.3} too low even for a spammy crowd"
+    );
 }
 
 #[test]
@@ -81,14 +87,21 @@ fn qualification_test_improves_quality_with_spammers() {
     // are statistical, so average over several simulation seeds.
     let dataset = small_product();
     let crowd = WorkerPopulation::generate(
-        &PopulationConfig { spammer_fraction: 0.35, ..Default::default() },
+        &PopulationConfig {
+            spammer_fraction: 0.35,
+            ..Default::default()
+        },
         17,
     );
     let run = |qt: Option<QualificationConfig>, seed: u64| {
         let config = HybridConfig {
             likelihood_threshold: 0.2,
             cluster_size: 10,
-            crowd: CrowdConfig { qualification: qt, seed, ..CrowdConfig::default() },
+            crowd: CrowdConfig {
+                qualification: qt,
+                seed,
+                ..CrowdConfig::default()
+            },
             ..HybridConfig::default()
         };
         let outcome = run_hybrid(&dataset, &crowd, &config).unwrap();
@@ -108,8 +121,7 @@ fn qualification_test_improves_quality_with_spammers() {
         raw_min += minutes;
     }
     let n = seeds.len() as f64;
-    let (qt_f1, qt_min, raw_f1, raw_min) =
-        (qt_f1 / n, qt_min / n, raw_f1 / n, raw_min / n);
+    let (qt_f1, qt_min, raw_f1, raw_min) = (qt_f1 / n, qt_min / n, raw_f1 / n, raw_min / n);
     assert!(
         qt_f1 >= raw_f1 - 0.01,
         "mean QT F1 {qt_f1:.3} vs no-QT {raw_f1:.3}"

@@ -1,0 +1,318 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crate registry; this vendored crate
+//! keeps the workspace's `benches/` compiling and producing useful
+//! wall-clock numbers with the same source code:
+//!
+//! * [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//!   [`BenchmarkGroup::bench_function`], [`Bencher::iter`],
+//!   [`BenchmarkId`], [`criterion_group!`], [`criterion_main!`];
+//! * `--test` on the bench binary (what `cargo bench -- --test` passes)
+//!   runs every benchmark body exactly once, for CI smoke jobs;
+//! * a benchmark-name substring may be passed as a positional filter.
+//!
+//! Reported numbers are median / mean over `sample_size` timed samples
+//! after one warm-up sample. No statistical regression analysis is
+//! performed — compare medians across runs by hand or in scripts.
+
+use std::time::{Duration, Instant};
+
+/// Harness entry point — collects settings shared by all groups.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags real criterion accepts that we can ignore.
+                "--bench" | "--noplot" | "--quiet" | "-n" => {}
+                other if !other.starts_with('-') => filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        run_benchmark(self, &id, 20, f);
+    }
+}
+
+/// A named set of benchmarks sharing a `sample_size`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure that receives `input` by reference.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.0);
+        run_benchmark(self.criterion, &full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure with no external input.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_benchmark(self.criterion, &full, self.sample_size, f);
+        self
+    }
+
+    /// Close the group (printing is immediate; this is a no-op kept for
+    /// API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identifier from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// Identifier from a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion into [`BenchmarkId`] for `bench_function` arguments.
+pub trait IntoBenchmarkId {
+    /// Convert.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    mode: BenchMode,
+    samples: Vec<Duration>,
+}
+
+enum BenchMode {
+    /// `--test`: run once, record nothing.
+    Once,
+    /// Timed run with the given sample count.
+    Timed(usize),
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record per-call wall-clock times.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        match self.mode {
+            BenchMode::Once => {
+                std::hint::black_box(routine());
+            }
+            BenchMode::Timed(samples) => {
+                // Warm-up sample (untimed).
+                std::hint::black_box(routine());
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    std::hint::black_box(routine());
+                    self.samples.push(start.elapsed());
+                }
+            }
+        }
+    }
+}
+
+fn run_benchmark(
+    criterion: &Criterion,
+    full_name: &str,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if let Some(filter) = &criterion.filter {
+        if !full_name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    if criterion.test_mode {
+        let mut b = Bencher {
+            mode: BenchMode::Once,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        println!("testing {full_name} ... ok");
+        return;
+    }
+    let mut b = Bencher {
+        mode: BenchMode::Timed(sample_size),
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{full_name:<50} (no samples recorded)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    println!(
+        "{full_name:<50} median {:>12} mean {:>12} ({} samples)",
+        format_duration(median),
+        format_duration(mean),
+        b.samples.len()
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Prevent the optimizer from deleting a value/computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("prefix_join", 0.3).0, "prefix_join/0.3");
+        assert_eq!(BenchmarkId::from_parameter(7).0, "7");
+    }
+
+    #[test]
+    fn format_duration_units() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00 s");
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let criterion = Criterion {
+            test_mode: false,
+            filter: None,
+        };
+        let mut hits = 0usize;
+        run_benchmark(&criterion, "t/x", 3, |b| {
+            b.iter(|| {
+                hits += 1;
+            })
+        });
+        // 1 warm-up + 3 samples.
+        assert_eq!(hits, 4);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let criterion = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut hits = 0usize;
+        run_benchmark(&criterion, "t/x", 10, |b| {
+            b.iter(|| {
+                hits += 1;
+            })
+        });
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let criterion = Criterion {
+            test_mode: false,
+            filter: Some("zzz".into()),
+        };
+        let mut hits = 0usize;
+        run_benchmark(&criterion, "t/x", 3, |b| {
+            b.iter(|| {
+                hits += 1;
+            })
+        });
+        assert_eq!(hits, 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Boolean strategies.
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The fair-coin boolean strategy (`proptest::bool::ANY`).
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// Both booleans, equally likely.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        rng.random()
+    }
+}

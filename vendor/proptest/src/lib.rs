@@ -1,0 +1,239 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crate registry, so this vendored crate
+//! reimplements the slice of proptest the workspace's property tests
+//! use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * strategies: integer/float ranges (`0u32..20`, `0.05f64..=1.0`),
+//!   2-tuples of strategies, [`bool::ANY`], regex-like string literals
+//!   (`"[a-e]{1,3}( [a-e]{1,3}){0,4}"`), and
+//!   [`collection::vec`].
+//!
+//! Differences from real proptest: cases are generated from a seed
+//! derived from the test name (fully deterministic, stable across runs),
+//! and failing inputs are reported but **not shrunk**. That trades
+//! debugging convenience for zero dependencies; the printed
+//! counterexample still contains every generated argument.
+
+pub mod bool;
+pub mod collection;
+pub mod regex;
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Per-`proptest!` configuration. Only `cases` is interpreted.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property-test case: the `prop_assert*` message.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+/// Deterministic per-test RNG seeded from the test's module path and
+/// name, so every run explores the same cases (CI == local).
+pub fn test_rng(name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// The property-test entry macro.
+///
+/// Supports the subset of real proptest syntax the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_property(x in 0u32..100, s in "[a-z]{0,8}") {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — one wrapper fn per property.
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&$strat, &mut rng);)+
+                let shown = {
+                    let mut s = String::new();
+                    $(s.push_str(&format!(
+                        "  {} = {:?}\n", stringify!($arg), &$arg
+                    ));)+
+                    s
+                };
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                if let Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}\ninputs:\n{}",
+                        case + 1, config.cases, e.0, shown
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` that reports the failing inputs instead of panicking
+/// immediately (must run inside a [`proptest!`] body).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*), a, b
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in -2i64..=2, f in 0.25f64..=0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2..=2).contains(&y));
+            prop_assert!((0.25..=0.75).contains(&f));
+        }
+
+        #[test]
+        fn regex_strings_match_shape(s in "[a-c]{1,3}( [a-c]{1,3}){0,2}") {
+            prop_assert!(!s.is_empty());
+            for word in s.split(' ') {
+                prop_assert!((1..=3).contains(&word.len()), "word {:?}", word);
+                prop_assert!(word.bytes().all(|b| (b'a'..=b'c').contains(&b)));
+            }
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            v in crate::collection::vec((0u32..5, 0u32..5), 2..6),
+            flag in crate::bool::ANY,
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&(a, b)| a < 5 && b < 5));
+            let _ = flag;
+        }
+
+        #[test]
+        fn fixed_len_vec(mask in crate::collection::vec(crate::bool::ANY, 7)) {
+            prop_assert_eq!(mask.len(), 7);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instantiations() {
+        let mut a = crate::test_rng("x");
+        let mut b = crate::test_rng("x");
+        let s = "[a-z]{0,8}";
+        for _ in 0..20 {
+            assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Generator for the regex-like string strategies.
+//!
+//! Supports the pattern subset used by the workspace's property tests:
+//! literal characters, character classes `[a-e ]` (with ranges), the
+//! any-char dot `.` (printable ASCII here), groups `(...)`, and
+//! counted repetition `{m}` / `{m,n}` plus `?`, `*`, `+` (the starred
+//! forms capped at 8 repeats). Unsupported syntax panics — better a
+//! loud test error than silently wrong inputs.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut pos = 0usize;
+    gen_seq(&chars, &mut pos, rng, &mut out, /*in_group=*/ false);
+    assert!(
+        pos == chars.len(),
+        "unsupported regex pattern {pattern:?}: trailing input at byte {pos}"
+    );
+    out
+}
+
+/// One alternative-free sequence; stops at end of input or `)` when
+/// inside a group.
+fn gen_seq(chars: &[char], pos: &mut usize, rng: &mut StdRng, out: &mut String, in_group: bool) {
+    while *pos < chars.len() {
+        if chars[*pos] == ')' {
+            assert!(in_group, "unmatched `)` in regex pattern");
+            return;
+        }
+        let atom_start = *pos;
+        match chars[*pos] {
+            '[' => {
+                *pos += 1;
+                let mut class = Vec::new();
+                while *pos < chars.len() && chars[*pos] != ']' {
+                    let c = chars[*pos];
+                    if *pos + 2 < chars.len() && chars[*pos + 1] == '-' && chars[*pos + 2] != ']' {
+                        let (lo, hi) = (c, chars[*pos + 2]);
+                        assert!(lo <= hi, "descending class range in regex");
+                        for v in lo..=hi {
+                            class.push(v);
+                        }
+                        *pos += 3;
+                    } else {
+                        class.push(c);
+                        *pos += 1;
+                    }
+                }
+                assert!(*pos < chars.len(), "unterminated `[` class in regex");
+                *pos += 1; // consume ']'
+                emit_repeated(chars, pos, rng, out, |rng, out| {
+                    out.push(class[rng.random_range(0..class.len())]);
+                });
+            }
+            '.' => {
+                *pos += 1;
+                emit_repeated(chars, pos, rng, out, |rng, out| {
+                    // Printable ASCII, space included.
+                    out.push(rng.random_range(0x20u8..0x7f) as char);
+                });
+            }
+            '(' => {
+                *pos += 1;
+                let body_start = *pos;
+                // Find the matching ')' so the group can be replayed.
+                let mut depth = 1usize;
+                let mut scan = *pos;
+                while scan < chars.len() && depth > 0 {
+                    match chars[scan] {
+                        '(' => depth += 1,
+                        ')' => depth -= 1,
+                        _ => {}
+                    }
+                    scan += 1;
+                }
+                assert!(depth == 0, "unmatched `(` in regex pattern");
+                let body_end = scan - 1;
+                *pos = scan;
+                emit_repeated(chars, pos, rng, out, |rng, out| {
+                    let mut p = body_start;
+                    gen_seq(&chars[..body_end], &mut p, rng, out, true);
+                });
+            }
+            '\\' => {
+                assert!(*pos + 1 < chars.len(), "trailing `\\` in regex pattern");
+                let lit = chars[*pos + 1];
+                *pos += 2;
+                emit_repeated(chars, pos, rng, out, |_, out| out.push(lit));
+            }
+            c => {
+                assert!(
+                    !"{}?*+|]".contains(c),
+                    "unsupported regex syntax {c:?} at offset {atom_start}"
+                );
+                *pos += 1;
+                emit_repeated(chars, pos, rng, out, |_, out| out.push(c));
+            }
+        }
+    }
+}
+
+/// Parse an optional quantifier after an atom and emit the atom the
+/// sampled number of times.
+fn emit_repeated(
+    chars: &[char],
+    pos: &mut usize,
+    rng: &mut StdRng,
+    out: &mut String,
+    mut emit: impl FnMut(&mut StdRng, &mut String),
+) {
+    let (lo, hi) = parse_quantifier(chars, pos);
+    let count = if lo == hi {
+        lo
+    } else {
+        rng.random_range(lo..=hi)
+    };
+    for _ in 0..count {
+        emit(rng, out);
+    }
+}
+
+/// Returns the `(min, max)` repeat counts of the quantifier at `pos`
+/// (consuming it), or `(1, 1)` when there is none.
+fn parse_quantifier(chars: &[char], pos: &mut usize) -> (usize, usize) {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *pos += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *pos += 1;
+            (1, 8)
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut lo = 0usize;
+            while chars[*pos].is_ascii_digit() {
+                lo = lo * 10 + chars[*pos].to_digit(10).unwrap() as usize;
+                *pos += 1;
+            }
+            let hi = if chars[*pos] == ',' {
+                *pos += 1;
+                let mut h = 0usize;
+                while chars[*pos].is_ascii_digit() {
+                    h = h * 10 + chars[*pos].to_digit(10).unwrap() as usize;
+                    *pos += 1;
+                }
+                h
+            } else {
+                lo
+            };
+            assert!(chars[*pos] == '}', "malformed quantifier in regex");
+            *pos += 1;
+            (lo, hi)
+        }
+        _ => (1, 1),
+    }
+}

@@ -1,0 +1,39 @@
+//! Sequence-related sampling: shuffling and element choice.
+
+use crate::{Rng, RngCore};
+
+/// In-place slice shuffling.
+pub trait SliceRandom {
+    /// Uniform Fisher–Yates shuffle.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Random element selection from indexable sequences.
+pub trait IndexedRandom {
+    /// Element type.
+    type Item;
+
+    /// A uniformly chosen element, or `None` if the sequence is empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.random_range(0..self.len()))
+        }
+    }
+}

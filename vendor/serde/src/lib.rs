@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crate registry, and nothing in the
+//! workspace actually serializes (there is no `serde_json` user); the
+//! `#[derive(Serialize, Deserialize)]` attributes on the data model exist
+//! so the types are ready for a real serde once the registry is
+//! available. Until then these no-op derives keep the attributes
+//! compiling. Swapping this crate for real serde is a one-line change in
+//! each manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts any item, emits nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts any item, emits nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -6,6 +6,10 @@
 //! so `cargo bench -p crowder-bench --bench simjoin` can report the
 //! interned rewrite's speedup against its true predecessor. They are
 //! benchmarks-only: production code paths live in `crowder-simjoin`.
+//!
+//! Both baselines read the string token sets, which production
+//! [`TokenTable`]s no longer retain — callers must build the table with
+//! [`TokenTable::build_with_sets`].
 
 use crowder_simjoin::TokenTable;
 use crowder_types::{Dataset, Pair, PairSpace, RecordId, ScoredPair};
@@ -197,7 +201,7 @@ mod tests {
         ] {
             d.push_record(SourceId(0), vec![name.into()]).unwrap();
         }
-        let t = TokenTable::build(&d);
+        let t = TokenTable::build_with_sets(&d);
         for thr in [0.1, 0.3, 0.5, 0.9] {
             let interned = all_pairs_scored(&d, &t, thr, 2);
             assert_eq!(

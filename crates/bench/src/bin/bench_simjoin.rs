@@ -1,0 +1,81 @@
+//! Machine-readable simjoin benchmark: times the machine-pass
+//! strategies across (dataset, threshold, algorithm, threads) and
+//! writes `BENCH_simjoin.json` (see `crowder_bench::perf` for the
+//! schema), so the perf trajectory is tracked across PRs.
+//!
+//! ```text
+//! bench_simjoin [--quick] [--iters N] [--out PATH]   generate a report
+//! bench_simjoin --check PATH                         validate a report
+//! ```
+//!
+//! `--quick` restricts to the Restaurant dataset (the CI smoke
+//! configuration); the default also covers Product. `--check` parses an
+//! existing report and verifies the schema (no timing assertions),
+//! exiting non-zero on any violation — the CI bench-smoke step runs
+//! generate-then-check.
+
+use crowder_bench::perf::{validate_report_json, write_report, SuiteScope, DEFAULT_REPORT_PATH};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scope = SuiteScope::Full;
+    let mut iters = 9usize;
+    let mut out = DEFAULT_REPORT_PATH.to_string();
+    let mut check: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scope = SuiteScope::Quick,
+            "--iters" => {
+                i += 1;
+                iters = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--iters needs a positive integer"));
+            }
+            "--out" => {
+                i += 1;
+                out = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--check" => {
+                i += 1;
+                check = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--check needs a path")),
+                );
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    if let Some(path) = check {
+        let content = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        match validate_report_json(&content) {
+            Ok(entries) => println!("{path}: OK ({entries} entries)"),
+            Err(e) => die(&format!("{path}: schema violation: {e}")),
+        }
+        return;
+    }
+
+    let report = write_report(&out, scope, iters)
+        .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    print!("{}", report.render());
+    println!("\nwrote {out}");
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: bench_simjoin [--quick] [--iters N] [--out PATH] | --check PATH");
+    std::process::exit(2);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}

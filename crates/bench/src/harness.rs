@@ -22,10 +22,11 @@ pub fn product_dup_full() -> Dataset {
     product_dup(&product_full(), &ProductDupConfig::default())
 }
 
-/// Pairs surviving the machine pass at `threshold`.
+/// Pairs surviving the machine pass at `threshold` (via the filtered
+/// PPJoin+ engine — bit-identical to the exhaustive pass).
 pub fn pairs_at(dataset: &Dataset, threshold: f64) -> Vec<Pair> {
     let tokens = TokenTable::build(dataset);
-    all_pairs_scored(dataset, &tokens, threshold, 0)
+    prefix_join(dataset, &tokens, threshold, 0)
         .iter()
         .map(|s| s.pair)
         .collect()

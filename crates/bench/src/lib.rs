@@ -10,8 +10,13 @@
 //! EXPERIMENTS.md.
 //!
 //! Criterion micro-benchmarks of the algorithmic substrates live in
-//! `benches/`.
+//! `benches/`; [`perf`] additionally writes the machine-readable
+//! `BENCH_simjoin.json` report (median/min/max per dataset × threshold ×
+//! algorithm × threads) that tracks the simjoin perf trajectory across
+//! PRs — regenerate it with
+//! `cargo run --release -p crowder-bench --bin bench_simjoin`.
 
 pub mod baseline;
 pub mod experiments;
 pub mod harness;
+pub mod perf;

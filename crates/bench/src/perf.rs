@@ -1,0 +1,645 @@
+//! Machine-readable perf reports for the simjoin engine.
+//!
+//! Times the machine-pass strategies across (dataset, threshold,
+//! algorithm, threads) and writes `BENCH_simjoin.json`, so the perf
+//! trajectory is tracked across PRs instead of living in prose. The
+//! report also carries the [`JoinStats`] filter funnel of `prefix_join`
+//! per (dataset, threshold) — candidate counts before/after suffix
+//! filtering.
+//!
+//! The workspace's vendored `serde` is a no-op derive stand-in, so the
+//! JSON here is written and validated by hand: [`PerfReport::to_json`]
+//! emits it, and [`validate_report_json`] (used by the CI smoke step)
+//! parses it with a minimal recursive-descent parser and checks the
+//! schema — field presence and `min ≤ median ≤ max` sanity, no timing
+//! assertions.
+
+use crowder::prelude::*;
+use std::time::Instant;
+
+/// Default output path, relative to the invocation directory (CI runs
+/// from the workspace root).
+pub const DEFAULT_REPORT_PATH: &str = "BENCH_simjoin.json";
+
+/// Where the criterion bench's quick (restaurant-only) refresh lands —
+/// a sibling of [`DEFAULT_REPORT_PATH`] so a routine `cargo bench` run
+/// never clobbers the tracked full-scope report. Untracked (gitignored).
+pub const QUICK_REPORT_PATH: &str = "BENCH_simjoin.quick.json";
+
+/// Schema version stamped into the report; bump on breaking changes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One timed (dataset, threshold, algorithm, threads) cell.
+#[derive(Debug, Clone)]
+pub struct PerfEntry {
+    /// Dataset name (`restaurant`, `product`).
+    pub dataset: String,
+    /// Jaccard threshold.
+    pub threshold: f64,
+    /// Algorithm label (`prefix_join`, `all_pairs`, `token_blocking`,
+    /// `qgram_blocking`).
+    pub algorithm: String,
+    /// Worker threads requested (0 = available parallelism).
+    pub threads: usize,
+    /// Median wall-clock nanoseconds across samples.
+    pub median_ns: u128,
+    /// Fastest sample.
+    pub min_ns: u128,
+    /// Slowest sample.
+    pub max_ns: u128,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Result pairs returned (sanity: equal across algorithms).
+    pub pairs: usize,
+}
+
+/// The `prefix_join` filter funnel for one (dataset, threshold).
+#[derive(Debug, Clone)]
+pub struct FunnelEntry {
+    /// Dataset name.
+    pub dataset: String,
+    /// Jaccard threshold.
+    pub threshold: f64,
+    /// Filter counters.
+    pub stats: JoinStats,
+}
+
+/// A full report: timings plus filter funnels plus environment.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Available parallelism of the machine that produced the report.
+    pub available_parallelism: usize,
+    /// Samples per cell.
+    pub iters: usize,
+    /// Timed cells.
+    pub entries: Vec<PerfEntry>,
+    /// `prefix_join` candidate funnels.
+    pub funnels: Vec<FunnelEntry>,
+}
+
+/// Which datasets a suite run covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteScope {
+    /// Restaurant only — fast, used by the bench-harness hook and CI.
+    Quick,
+    /// Restaurant + Product — the numbers quoted in CHANGES.md.
+    Full,
+}
+
+/// The thresholds every suite run covers.
+pub const THRESHOLDS: [f64; 3] = [0.3, 0.5, 0.7];
+
+/// Time `f` `iters` times (after one warm-up), returning
+/// `(median, min, max)` nanoseconds and the result size of the last run.
+fn time_fn(iters: usize, mut f: impl FnMut() -> usize) -> (u128, u128, u128, usize) {
+    let mut pairs = std::hint::black_box(f());
+    let mut samples: Vec<u128> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        pairs = std::hint::black_box(f());
+        samples.push(start.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    (
+        samples[samples.len() / 2],
+        samples[0],
+        samples[samples.len() - 1],
+        pairs,
+    )
+}
+
+/// Run the timing suite: for each dataset and threshold, time
+/// `prefix_join` and `all_pairs` at 1 thread and at the available
+/// parallelism, plus single-thread `token_blocking`, and collect the
+/// `prefix_join` filter funnel.
+pub fn run_suite(scope: SuiteScope, iters: usize) -> PerfReport {
+    let iters = iters.max(1);
+    let mut datasets: Vec<(String, Dataset)> =
+        vec![("restaurant".into(), crate::harness::restaurant_full())];
+    if scope == SuiteScope::Full {
+        datasets.push(("product".into(), crate::harness::product_full()));
+    }
+    let mut entries = Vec::new();
+    let mut funnels = Vec::new();
+    for (name, dataset) in &datasets {
+        let tokens = TokenTable::build(dataset);
+        for &thr in &THRESHOLDS {
+            let mut push = |algorithm: &str, threads: usize, f: &mut dyn FnMut() -> usize| {
+                let (median_ns, min_ns, max_ns, pairs) = time_fn(iters, f);
+                entries.push(PerfEntry {
+                    dataset: name.clone(),
+                    threshold: thr,
+                    algorithm: algorithm.into(),
+                    threads,
+                    median_ns,
+                    min_ns,
+                    max_ns,
+                    samples: iters,
+                    pairs,
+                });
+            };
+            for threads in [1usize, 0] {
+                push("prefix_join", threads, &mut || {
+                    prefix_join(dataset, &tokens, thr, threads).len()
+                });
+                push("all_pairs", threads, &mut || {
+                    all_pairs_scored(dataset, &tokens, thr, threads).len()
+                });
+            }
+            push("token_blocking", 1, &mut || {
+                token_blocking_pairs(dataset, &tokens, thr, 0, 1).len()
+            });
+            let (_, stats) = prefix_join_with_stats(dataset, &tokens, thr, 0);
+            funnels.push(FunnelEntry {
+                dataset: name.clone(),
+                threshold: thr,
+                stats,
+            });
+        }
+    }
+    PerfReport {
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        iters,
+        entries,
+        funnels,
+    }
+}
+
+impl PerfReport {
+    /// Serialize to the `BENCH_simjoin.json` schema.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema_version\": {},\n", SCHEMA_VERSION));
+        s.push_str(&format!(
+            "  \"available_parallelism\": {},\n",
+            self.available_parallelism
+        ));
+        s.push_str(&format!("  \"iters\": {},\n", self.iters));
+        s.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"dataset\": \"{}\", \"threshold\": {}, \"algorithm\": \"{}\", \
+                 \"threads\": {}, \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+                 \"samples\": {}, \"pairs\": {}}}{}\n",
+                e.dataset,
+                e.threshold,
+                e.algorithm,
+                e.threads,
+                e.median_ns,
+                e.min_ns,
+                e.max_ns,
+                e.samples,
+                e.pairs,
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"prefix_join_funnel\": [\n");
+        for (i, f) in self.funnels.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"dataset\": \"{}\", \"threshold\": {}, \"candidates\": {}, \
+                 \"positional_pruned\": {}, \"space_pruned\": {}, \"suffix_pruned\": {}, \
+                 \"verified\": {}, \"results\": {}}}{}\n",
+                f.dataset,
+                f.threshold,
+                f.stats.candidates,
+                f.stats.positional_pruned,
+                f.stats.space_pruned,
+                f.stats.suffix_pruned,
+                f.stats.verified,
+                f.stats.results,
+                if i + 1 < self.funnels.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+
+    /// Render a human-readable table of the timings.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "simjoin perf ({} samples/cell, {} core(s) available)\n{:<12} {:>5} {:<16} {:>7} {:>12} {:>12} {:>12} {:>8}\n",
+            self.iters,
+            self.available_parallelism,
+            "dataset", "tau", "algorithm", "threads", "median", "min", "max", "pairs"
+        );
+        for e in &self.entries {
+            s.push_str(&format!(
+                "{:<12} {:>5} {:<16} {:>7} {:>12} {:>12} {:>12} {:>8}\n",
+                e.dataset,
+                format!("{:.1}", e.threshold),
+                e.algorithm,
+                e.threads,
+                format_ns(e.median_ns),
+                format_ns(e.min_ns),
+                format_ns(e.max_ns),
+                e.pairs
+            ));
+        }
+        s.push_str(
+            "\nprefix_join candidate funnel (before suffix filter = suffix_pruned + verified):\n",
+        );
+        for f in &self.funnels {
+            s.push_str(&format!(
+                "{:<12} tau {:.1}: candidates {} -> positional -{} -> space -{} -> suffix -{} -> verified {} -> results {}\n",
+                f.dataset,
+                f.threshold,
+                f.stats.candidates,
+                f.stats.positional_pruned,
+                f.stats.space_pruned,
+                f.stats.suffix_pruned,
+                f.stats.verified,
+                f.stats.results
+            ));
+        }
+        s
+    }
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON parsing + schema validation (CI smoke step).
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value — just enough of the data model for the report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number, kept as f64.
+    Number(f64),
+    /// A string (no escape handling beyond `\"` and `\\`).
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, insertion-ordered.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document (recursive descent; enough for the report
+/// schema — no unicode escapes, no exponent-heavy edge cases beyond
+/// what `f64::from_str` accepts).
+pub fn parse_json(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && (b[*pos] as char).is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&ch) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {} (found {:?})",
+            ch as char,
+            pos,
+            b.get(*pos).map(|&c| c as char)
+        ))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::String(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Number)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = b.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                out.push(match esc {
+                    b'"' => '"',
+                    b'\\' => '\\',
+                    b'n' => '\n',
+                    b't' => '\t',
+                    other => return Err(format!("unsupported escape '\\{}'", other as char)),
+                });
+            }
+            other => out.push(other as char),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        fields.push((key, parse_value(b, pos)?));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+/// Validate a `BENCH_simjoin.json` document against the schema: top-level
+/// fields present, entries non-empty with all required keys, and
+/// `min ≤ median ≤ max` per entry. Returns the entry count.
+///
+/// Deliberately *no timing assertions* — CI machines vary.
+pub fn validate_report_json(input: &str) -> Result<usize, String> {
+    let doc = parse_json(input)?;
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_f64)
+        .ok_or("missing schema_version")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!("schema_version {version} != {SCHEMA_VERSION}"));
+    }
+    for key in ["available_parallelism", "iters"] {
+        doc.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing numeric field {key}"))?;
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_array)
+        .ok_or("missing entries array")?;
+    if entries.is_empty() {
+        return Err("entries array is empty".into());
+    }
+    for (i, e) in entries.iter().enumerate() {
+        for key in ["dataset", "algorithm"] {
+            e.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("entry {i}: missing string field {key}"))?;
+        }
+        for key in ["threshold", "threads", "samples", "pairs"] {
+            e.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("entry {i}: missing numeric field {key}"))?;
+        }
+        let ns = |key: &str| -> Result<f64, String> {
+            e.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("entry {i}: missing numeric field {key}"))
+        };
+        let (median, min, max) = (ns("median_ns")?, ns("min_ns")?, ns("max_ns")?);
+        if !(min <= median && median <= max) {
+            return Err(format!("entry {i}: min/median/max out of order"));
+        }
+    }
+    let funnels = doc
+        .get("prefix_join_funnel")
+        .and_then(Json::as_array)
+        .ok_or("missing prefix_join_funnel array")?;
+    for (i, f) in funnels.iter().enumerate() {
+        for key in [
+            "threshold",
+            "candidates",
+            "positional_pruned",
+            "space_pruned",
+            "suffix_pruned",
+            "verified",
+            "results",
+        ] {
+            f.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("funnel {i}: missing numeric field {key}"))?;
+        }
+    }
+    Ok(entries.len())
+}
+
+/// Run the quick suite and write the report — the hook shared by the
+/// criterion bench and the `bench_simjoin` binary. Returns the report.
+pub fn write_report(path: &str, scope: SuiteScope, iters: usize) -> std::io::Result<PerfReport> {
+    let report = run_suite(scope, iters);
+    std::fs::write(path, report.to_json())?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> PerfReport {
+        PerfReport {
+            available_parallelism: 1,
+            iters: 2,
+            entries: vec![PerfEntry {
+                dataset: "restaurant".into(),
+                threshold: 0.3,
+                algorithm: "prefix_join".into(),
+                threads: 1,
+                median_ns: 10,
+                min_ns: 5,
+                max_ns: 20,
+                samples: 2,
+                pairs: 7,
+            }],
+            funnels: vec![FunnelEntry {
+                dataset: "restaurant".into(),
+                threshold: 0.3,
+                stats: JoinStats {
+                    candidates: 10,
+                    positional_pruned: 1,
+                    space_pruned: 0,
+                    suffix_pruned: 2,
+                    verified: 7,
+                    results: 7,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_through_validation() {
+        let json = tiny_report().to_json();
+        assert_eq!(validate_report_json(&json), Ok(1));
+    }
+
+    #[test]
+    fn validation_rejects_broken_documents() {
+        assert!(validate_report_json("").is_err());
+        assert!(validate_report_json("{}").is_err());
+        assert!(validate_report_json("{\"schema_version\": 999}").is_err());
+        // Entries present but min/median/max inverted.
+        let mut r = tiny_report();
+        r.entries[0].min_ns = 100;
+        assert!(validate_report_json(&r.to_json())
+            .unwrap_err()
+            .contains("out of order"));
+        // Empty entries array.
+        r = tiny_report();
+        r.entries.clear();
+        assert!(validate_report_json(&r.to_json())
+            .unwrap_err()
+            .contains("empty"));
+    }
+
+    #[test]
+    fn json_parser_handles_the_basics() {
+        let v = parse_json(r#"{"a": [1, 2.5, "x", true, null], "b": {"c": -3}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 5);
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_f64(), Some(-3.0));
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("{\"k\" 1}").is_err());
+        assert!(parse_json("[1] trailing").is_err());
+    }
+
+    #[test]
+    fn quick_suite_produces_consistent_pair_counts() {
+        // One sample is enough: the schema and the cross-algorithm
+        // agreement are what matter here, not the timings.
+        let report = run_suite(SuiteScope::Quick, 1);
+        assert_eq!(
+            validate_report_json(&report.to_json()),
+            Ok(report.entries.len())
+        );
+        for thr in THRESHOLDS {
+            let counts: Vec<usize> = report
+                .entries
+                .iter()
+                .filter(|e| e.threshold == thr)
+                .map(|e| e.pairs)
+                .collect();
+            assert!(
+                counts.windows(2).all(|w| w[0] == w[1]),
+                "algorithms disagree at tau {thr}: {counts:?}"
+            );
+        }
+        assert_eq!(report.funnels.len(), THRESHOLDS.len());
+        for f in &report.funnels {
+            let s = f.stats;
+            assert_eq!(
+                s.candidates,
+                s.positional_pruned + s.space_pruned + s.suffix_pruned + s.verified
+            );
+        }
+    }
+}

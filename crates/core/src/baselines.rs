@@ -2,7 +2,7 @@
 
 use crowder_learn::{SvmProtocol, SvmTrialOutput};
 use crowder_metrics::{average_precision, pr_curve, PrCurve, PrPoint};
-use crowder_simjoin::{all_pairs_scored, TokenTable};
+use crowder_simjoin::{prefix_join, TokenTable};
 use crowder_text::FeatureExtractor;
 use crowder_types::{Dataset, Pair, Result, ScoredPair};
 
@@ -11,7 +11,7 @@ use crowder_types::{Dataset, Pair, Result, ScoredPair};
 /// plots the ranking of pairs above a small threshold).
 pub fn simjoin_ranking(dataset: &Dataset, floor: f64) -> Vec<ScoredPair> {
     let tokens = TokenTable::build(dataset);
-    all_pairs_scored(dataset, &tokens, floor, 0)
+    prefix_join(dataset, &tokens, floor, 0)
 }
 
 /// Run the paper's SVM protocol: `trials` rankings, each trained on a

@@ -35,7 +35,10 @@ pub mod prelude {
         RandomGenerator, TwoTieredConfig, TwoTieredGenerator,
     };
     pub use crowder_metrics::{pr_curve, precision_at_recall, AsciiTable, PrCurve};
-    pub use crowder_simjoin::{all_pairs_scored, threshold_sweep, TokenTable};
+    pub use crowder_simjoin::{
+        all_pairs_scored, prefix_join, prefix_join_with_stats, qgram_blocking_pairs,
+        threshold_sweep, token_blocking_pairs, JoinStats, TokenTable,
+    };
     pub use crowder_types::{
         Dataset, GoldStandard, Pair, PairSpace, Record, RecordId, ScoredPair, SourceId,
     };

@@ -18,7 +18,7 @@ use crate::workflow::Aggregation;
 use crowder_aggregate::{majority_vote, DawidSkene, Vote};
 use crowder_crowd::{simulate, CrowdConfig, WorkerPopulation};
 use crowder_hitgen::{generate_pair_hits, ClusterGenerator, Hit, TwoTieredGenerator};
-use crowder_simjoin::{all_pairs_scored, TokenTable};
+use crowder_simjoin::{prefix_join, TokenTable};
 use crowder_types::{Dataset, Error, Pair, Result, ScoredPair};
 
 /// A fuzzy-match self-join query (`WHERE p.attr ~= q.attr`).
@@ -130,7 +130,7 @@ impl CrowdJoin {
         } else {
             TokenTable::build_on_attrs(dataset, &attr_idx)
         };
-        let scored = all_pairs_scored(dataset, &tokens, self.threshold, 0);
+        let scored = prefix_join(dataset, &tokens, self.threshold, 0);
         let pairs: Vec<Pair> = scored.iter().map(|s| s.pair).collect();
 
         let hits: Vec<Hit> = match self.pair_based {

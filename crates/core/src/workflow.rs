@@ -5,7 +5,7 @@ use crowder_crowd::{simulate, CrowdConfig, SimOutcome, WorkerPopulation};
 use crowder_hitgen::{
     generate_pair_hits, ClusterGenerator, Hit, TwoTieredConfig, TwoTieredGenerator,
 };
-use crowder_simjoin::{all_pairs_scored, TokenTable};
+use crowder_simjoin::{prefix_join, TokenTable};
 use crowder_types::{Dataset, Error, Pair, Result, ScoredPair};
 
 /// How surviving pairs are compiled into HITs.
@@ -105,9 +105,11 @@ pub fn run_hybrid(
             message: format!("must be in [0, 1], got {}", config.likelihood_threshold),
         });
     }
-    // Stage 1: machine-based likelihood + pruning.
+    // Stage 1: machine-based likelihood + pruning, through the filtered
+    // PPJoin+ engine (identical output to the exhaustive pass, but the
+    // filters skip most comparisons at any positive threshold).
     let tokens = TokenTable::build(dataset);
-    let candidate_pairs = all_pairs_scored(
+    let candidate_pairs = prefix_join(
         dataset,
         &tokens,
         config.likelihood_threshold,

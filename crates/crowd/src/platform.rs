@@ -258,9 +258,8 @@ pub fn simulate(
         let session_budget = geometric(config.mean_session_hits, &mut rng);
         let mut worker_time = clock_min.max(busy_until.get(&effective.id).copied().unwrap_or(0.0));
         let mut completed_this_session = 0usize;
-        let mut browse: Vec<usize> = open.clone();
-        browse.shuffle(&mut rng);
-        for &hit_idx in browse.iter().take(config.browse_limit) {
+        let browse = reservoir_sample(&open, config.browse_limit, &mut rng);
+        for &hit_idx in &browse {
             if completed_this_session >= session_budget {
                 break;
             }
@@ -312,6 +311,30 @@ pub fn simulate(
         elapsed_minutes,
         cost_dollars,
     })
+}
+
+/// Uniform sample of at most `k` items from `items`, in uniformly
+/// random order.
+///
+/// Classic reservoir sampling, so a browsing session allocates and
+/// shuffles `O(browse_limit)` instead of cloning and shuffling the whole
+/// open-HIT list — the arrival loop's former per-session hot spot on
+/// large batches. The trailing shuffle makes the browse *order* uniform
+/// too (the reservoir alone biases order), so the distribution is
+/// exactly that of "full shuffle, take the first `k`"; when
+/// `items.len() ≤ k` the RNG draws are literally identical to the old
+/// clone-and-shuffle, and larger batches are statistically
+/// indistinguishable (see the regression tests).
+fn reservoir_sample(items: &[usize], k: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut sample: Vec<usize> = items.iter().copied().take(k).collect();
+    for (i, &item) in items.iter().enumerate().skip(k) {
+        let j = rng.random_range(0..=i);
+        if j < k {
+            sample[j] = item;
+        }
+    }
+    sample.shuffle(rng);
+    sample
 }
 
 /// Geometric session budget with the given mean (≥ 1).
@@ -494,6 +517,77 @@ mod tests {
         let ac10 = acceptance_probability(&worker, &c10, &cfg);
         assert!(a16 > ac10, "P16 {a16} should attract more than C10 {ac10}");
         assert!(a28 < ac10, "P28 {a28} should attract less than C10 {ac10}");
+    }
+
+    #[test]
+    fn reservoir_sample_is_uniform() {
+        // Every item must be selected with probability k/n. 3000 seeded
+        // draws of 4 from 12 give each item an expected 1000 selections;
+        // the binomial standard deviation is ~26, so [850, 1150] is a
+        // > 5-sigma acceptance band — deterministic, not flaky.
+        let items: Vec<usize> = (0..12).collect();
+        let mut counts = [0usize; 12];
+        for seed in 0..3000u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for v in reservoir_sample(&items, 4, &mut rng) {
+                counts[v] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (850..=1150).contains(&c),
+                "item {i} selected {c} times, expected ~1000: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reservoir_sample_short_input_returns_everything() {
+        let items: Vec<usize> = (0..5).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sample = reservoir_sample(&items, 40, &mut rng);
+        sample.sort_unstable();
+        assert_eq!(sample, items);
+        assert!(reservoir_sample(&items, 0, &mut rng).is_empty());
+        assert!(reservoir_sample(&[], 3, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn browsing_spreads_acceptances_across_large_batches() {
+        // Regression for the reservoir browse: with far more open HITs
+        // than `browse_limit`, early acceptances must be spread uniformly
+        // over the whole batch, not biased toward any prefix. The mean
+        // accepted hit-index of the first third of assignments should sit
+        // near the batch midpoint (59.5 for 120 HITs); a positionally
+        // biased browse would push it far off-center.
+        let hits: Vec<Hit> = (0..120)
+            .map(|i| Hit::pairs(vec![Pair::of(2 * i, 2 * i + 1)]))
+            .collect();
+        let gold = GoldStandard::new();
+        let pop = WorkerPopulation::generate(
+            &PopulationConfig {
+                size: 400,
+                ..Default::default()
+            },
+            3,
+        );
+        let cfg = CrowdConfig {
+            browse_limit: 10,
+            ..CrowdConfig::default()
+        };
+        let out = simulate(&hits, &gold, &pop, &cfg).unwrap();
+        let third = out.assignments.len() / 3;
+        let mean_idx: f64 = out.assignments[..third]
+            .iter()
+            .map(|a| a.hit_index as f64)
+            .sum::<f64>()
+            / third as f64;
+        assert!(
+            (40.0..=80.0).contains(&mean_idx),
+            "early acceptances biased: mean index {mean_idx:.1}, expected near 59.5"
+        );
+        // And the batch still completes exactly.
+        assert_eq!(out.assignments.len(), hits.len() * cfg.assignments_per_hit);
     }
 
     #[test]

@@ -7,53 +7,95 @@
 //! Jaccard threshold > 0, since records with no shared token have
 //! similarity 0.
 
+use crate::allpairs::effective_threads;
 use crate::tokens::TokenTable;
 use crowder_types::{Dataset, Pair, RecordId, ScoredPair};
-use std::collections::HashSet;
 
 /// Generate candidate pairs by token blocking, then score and filter at
 /// `threshold` (must be > 0 for the pruning to be lossless).
 ///
 /// Blocks are keyed by interned token id — the same postings the
 /// prefix join uses — so building them is integer pushes into a dense
-/// table instead of string hashing, and iteration order is
-/// deterministic (ascending token id, i.e. rarest blocks first).
+/// table instead of string hashing. Scoring is parallelized with the
+/// same per-thread-buffer pattern as
+/// [`all_pairs_scored`](crate::all_pairs_scored): records are strided
+/// across scoped threads, each probing the shared block table for
+/// lower-id partners (dedup via a per-thread marker array, no hashing),
+/// and the local buffers concatenate in thread order before the ranked
+/// sort — output is deterministic and independent of `threads`.
 ///
 /// `max_block` skips blocks larger than the limit (0 = unlimited):
 /// high-frequency tokens create huge, useless blocks; skipping them
 /// trades recall for speed, which the ablation bench quantifies.
+///
+/// `threads = 0` selects the available parallelism.
 pub fn token_blocking_pairs(
     dataset: &Dataset,
     tokens: &TokenTable,
     threshold: f64,
     max_block: usize,
+    threads: usize,
 ) -> Vec<ScoredPair> {
+    let n = dataset.len();
+    // Blocks in record-id order: each member list ascends, so a probing
+    // record can stop at the first member at or past its own id.
     let mut blocks: Vec<Vec<RecordId>> = vec![Vec::new(); tokens.dict().len()];
     for r in dataset.records() {
         for &tok in tokens.ids(r.id) {
             blocks[tok as usize].push(r.id);
         }
     }
-    let mut seen: HashSet<Pair> = HashSet::new();
-    let mut out: Vec<ScoredPair> = Vec::new();
-    for members in blocks {
-        if max_block > 0 && members.len() > max_block {
-            continue;
-        }
-        for i in 0..members.len() {
-            for j in (i + 1)..members.len() {
-                let Ok(pair) = Pair::new(members[i], members[j]) else {
-                    continue;
-                };
-                if !seen.insert(pair) || !dataset.is_candidate(&pair) {
-                    continue;
-                }
-                let sim = tokens.jaccard_pair(&pair);
-                if sim >= threshold {
-                    out.push(ScoredPair::new(pair, sim));
-                }
-            }
-        }
+    let threads = effective_threads(threads).min(n.max(1));
+    let locals: Vec<Vec<ScoredPair>> = std::thread::scope(|scope| {
+        let blocks = &blocks;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    // Marks the probing record that last reached each
+                    // partner, deduplicating multi-token co-occurrence.
+                    let mut seen: Vec<u32> = vec![u32::MAX; n];
+                    let mut i = t;
+                    while i < n {
+                        let x = RecordId(i as u32);
+                        for &tok in tokens.ids(x) {
+                            let members = &blocks[tok as usize];
+                            if max_block > 0 && members.len() > max_block {
+                                continue;
+                            }
+                            for &y in members {
+                                if y.0 >= x.0 {
+                                    // Higher ids probe this pair themselves.
+                                    break;
+                                }
+                                if seen[y.index()] == x.0 {
+                                    continue;
+                                }
+                                seen[y.index()] = x.0;
+                                let pair = Pair::new(y, x).expect("y < x");
+                                if !dataset.is_candidate(&pair) {
+                                    continue;
+                                }
+                                let sim = tokens.jaccard_pair(&pair);
+                                if sim >= threshold {
+                                    local.push(ScoredPair::new(pair, sim));
+                                }
+                            }
+                        }
+                        i += threads;
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("blocking workers do not panic"))
+            .collect()
+    });
+    let mut out: Vec<ScoredPair> = Vec::with_capacity(locals.iter().map(Vec::len).sum());
+    for mut local in locals {
+        out.append(&mut local);
     }
     crowder_types::pair::sort_ranked(&mut out);
     out
@@ -83,7 +125,7 @@ mod tests {
             "sony walkman classic",
             "sony walkman sport",
         ]);
-        let blocked = token_blocking_pairs(&d, &t, 0.2, 0);
+        let blocked = token_blocking_pairs(&d, &t, 0.2, 0, 1);
         let brute = all_pairs_scored(&d, &t, 0.2, 1);
         assert_eq!(blocked, brute);
     }
@@ -93,10 +135,26 @@ mod tests {
         // "common" appears in every record; capping blocks at 2 removes it
         // as a blocking key, losing the pairs only it connects.
         let (d, t) = dataset(&["common a", "common b", "common c"]);
-        let capped = token_blocking_pairs(&d, &t, 0.1, 2);
+        let capped = token_blocking_pairs(&d, &t, 0.1, 2, 1);
         assert!(capped.is_empty());
-        let uncapped = token_blocking_pairs(&d, &t, 0.1, 0);
+        let uncapped = token_blocking_pairs(&d, &t, 0.1, 0, 1);
         assert_eq!(uncapped.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let names: Vec<String> = (0..30)
+            .map(|i| format!("tok{} tok{} shared", i % 6, i % 4))
+            .collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let (d, t) = dataset(&refs);
+        for cap in [0, 8] {
+            let one = token_blocking_pairs(&d, &t, 0.2, cap, 1);
+            let three = token_blocking_pairs(&d, &t, 0.2, cap, 3);
+            let auto = token_blocking_pairs(&d, &t, 0.2, cap, 0);
+            assert_eq!(one, three, "cap {cap}");
+            assert_eq!(one, auto, "cap {cap}");
+        }
     }
 
     proptest! {
@@ -105,10 +163,11 @@ mod tests {
         fn blocking_agrees_with_bruteforce(
             names in proptest::collection::vec("[a-d]{1,2}( [a-d]{1,2}){0,3}", 2..16),
             thr in 0.05f64..=1.0,
+            threads in 0usize..=3,
         ) {
             let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
             let (d, t) = dataset(&name_refs);
-            let blocked = token_blocking_pairs(&d, &t, thr, 0);
+            let blocked = token_blocking_pairs(&d, &t, thr, 0, threads);
             let brute = all_pairs_scored(&d, &t, thr, 1);
             prop_assert_eq!(blocked, brute);
         }

@@ -24,35 +24,44 @@
 //!   record token sets are tiny, or as the trusted reference — the
 //!   other strategies are property-tested against it.
 //!
-//! * [`prefix_join`] — inverted-index join applying three lossless
-//!   filters before any verification:
-//!   1. *prefix filter*: records match only if they share a token in
-//!      their `|x| − ⌈t·|x|⌉ + 1` rarest tokens;
+//! * [`prefix_join`] — PPJoin+-class inverted-index join applying four
+//!   lossless filters before any verification:
+//!   1. *prefix filter*: a probe's `|x| − ⌈t·|x|⌉ + 1` rarest tokens are
+//!      matched against an index holding only each record's *indexing
+//!      prefix* of `|y| − ⌈2t/(1+t)·|y|⌉ + 1` tokens (probes are never
+//!      shorter than indexed records);
 //!   2. *length filter*: `|y| ≥ t·|x|`, applied by binary search on the
 //!      length-ordered posting lists;
 //!   3. *positional filter* (PPJoin): from the first shared prefix
 //!      token's positions, the achievable overlap
-//!      `1 + min(|x|−i−1, |y|−j−1)` must reach `⌈t/(1+t)·(|x|+|y|)⌉`.
+//!      `1 + min(|x|−i−1, |y|−j−1)` must reach `⌈t/(1+t)·(|x|+|y|)⌉`;
+//!   4. *suffix filter* (PPJoin+): a depth-bounded recursive partition
+//!      lower-bounds the suffixes' Hamming distance without merging.
 //!
-//!   Probing is parallelized by partitioning the length-sorted record
-//!   order across threads against the shared one-shot index.
+//!   Survivors are verified by *resuming* the integer merge after the
+//!   first shared prefix position, abandoning once the threshold is out
+//!   of reach. Probing is parallelized by partitioning the length-sorted
+//!   record order across threads against the shared one-shot index.
 //!   **Wins** — usually by a wide margin — at moderate-to-high
 //!   thresholds on realistic data, where the filters eliminate the vast
 //!   majority of the `O(n²)` verifications. Output is bit-identical to
-//!   [`all_pairs_scored`].
+//!   [`all_pairs_scored`]; [`prefix_join_with_stats`] additionally
+//!   reports the per-filter candidate funnel.
 //!
 //! * [`token_blocking_pairs`] ([`blocking`]) — token blocking, the
 //!   indexing footnote of §2.2: records sharing any token land in a
 //!   common block (keyed by interned id) and only within-block pairs
-//!   are scored. Lossless for any threshold > 0 but generates far more
-//!   candidates than prefix filtering; its `max_block` cap trades
-//!   recall for speed. **Wins** for ablations and when a recall/cost
-//!   knob is wanted rather than exact thresholds.
+//!   are scored, in parallel with per-thread buffers. Lossless for any
+//!   threshold > 0 but generates far more candidates than prefix
+//!   filtering; its `max_block` cap trades recall for speed. **Wins**
+//!   for ablations and when a recall/cost knob is wanted rather than
+//!   exact thresholds.
 //!
 //! [`qgram_blocking_pairs`] ([`qgram`]) keys blocks on character
-//! q-grams instead of whole tokens — lossy, but robust to misspellings.
-//! [`threshold_sweep`] reproduces Table 2's likelihood-threshold
-//! selection rows.
+//! q-grams instead of whole tokens — lossy, but robust to misspellings —
+//! with the same striding parallelism. [`threshold_sweep`] reproduces
+//! Table 2's likelihood-threshold selection rows, running [`prefix_join`]
+//! once at the lowest positive threshold and bucketing the output.
 
 pub mod allpairs;
 pub mod blocking;
@@ -63,7 +72,7 @@ pub mod tokens;
 
 pub use allpairs::all_pairs_scored;
 pub use blocking::token_blocking_pairs;
-pub use prefix::prefix_join;
+pub use prefix::{prefix_join, prefix_join_with_stats, JoinStats};
 pub use qgram::qgram_blocking_pairs;
 pub use sweep::{threshold_sweep, SweepRow};
 pub use tokens::TokenTable;

@@ -1,37 +1,57 @@
-//! Prefix-filtering similarity join with positional filtering.
+//! PPJoin+-class similarity join: prefix, length, positional, and
+//! suffix filtering over an indexing-prefix inverted index, with
+//! resume-merge verification.
 //!
 //! The paper's footnote to §2.2 and its related-work pointers ([2, 5,
 //! 26]) note that indexing avoids the all-pairs comparison. This module
-//! implements the prefix-filter + length-filter + positional-filter
-//! (PPJoin-style) inverted-index join for Jaccard thresholds, on top of
-//! the interned, frequency-ordered id lists that [`TokenTable`] builds
-//! once per corpus:
+//! implements the filter pipeline of Xiao et al.'s PPJoin+ for Jaccard
+//! thresholds, on top of the interned, frequency-ordered id lists that
+//! [`TokenTable`] builds once per corpus. Records are processed in
+//! ascending `(token count, id)` order, so every probe is at least as
+//! long as every indexed record it can reach. For a probing record `x`
+//! and an indexed record `y` (`|y| ≤ |x|`), a pair survives only if it
+//! passes, in order:
 //!
-//! * record id lists are sorted by ascending corpus frequency (rarest
-//!   first), so each record's *prefix* holds its rarest tokens;
-//! * for threshold `t`, a record `x` can only match records sharing one
-//!   of its first `|x| − ⌈t·|x|⌉ + 1` tokens (**prefix filter**);
-//! * candidates additionally satisfy `|y| ≥ t·|x|` (**length filter**,
-//!   applied by binary-searching the length-sorted postings);
-//! * when the first shared prefix token sits at position `i` of `x` and
-//!   `j` of `y`, the total overlap is at most
-//!   `1 + min(|x|−i−1, |y|−j−1)`; if that cannot reach the required
-//!   overlap `⌈t/(1+t)·(|x|+|y|)⌉`, verification is skipped
-//!   (**positional filter**);
-//! * surviving candidates are verified exactly by an integer merge.
+//! 1. **prefix filter** — `x` probes with its *probe prefix*, the first
+//!    `|x| − ⌈t·|x|⌉ + 1` (rarest) tokens, but the index holds only each
+//!    record's *indexing prefix*, the first `|y| − ⌈2t/(1+t)·|y|⌉ + 1`
+//!    tokens: since probes are never shorter than indexed records, the
+//!    required overlap is at least `⌈2t/(1+t)·|y|⌉`, which shrinks both
+//!    the index and the candidate count (the PPJoin index reduction);
+//! 2. **length filter** — `|y| ≥ ⌈t·|x|⌉`, applied by binary-searching
+//!    the length-ordered posting lists;
+//! 3. **positional filter** (PPJoin) — at the first shared prefix token,
+//!    sitting at position `i` of `x` and `j` of `y`, the overlap so far
+//!    is exactly 1 (earlier shared tokens would have generated the
+//!    candidate earlier), so the total overlap is at most
+//!    `1 + min(|x|−i−1, |y|−j−1)`; if that cannot reach the required
+//!    overlap `α = ⌈t/(1+t)·(|x|+|y|)⌉`, the candidate is dropped;
+//! 4. **suffix filter** (PPJoin+) — the suffixes `x[i+1..]` and
+//!    `y[j+1..]` must supply the remaining `α − 1` overlap, i.e. their
+//!    Hamming distance can be at most
+//!    `Hmax = |xs| + |ys| − 2·(α − 1)`. A recursive binary partition of
+//!    both suffixes around pivot tokens (depth-bounded by
+//!    [`SUFFIX_FILTER_DEPTH`], early-abandoning against the remaining
+//!    budget) lower-bounds that distance without merging; candidates
+//!    whose bound exceeds `Hmax` are dropped unverified;
+//! 5. **resume-merge verification** — survivors are verified exactly,
+//!    but the integer merge *resumes* at `(i+1, j+1)` with overlap 1
+//!    instead of re-merging the whole id lists (everything at or before
+//!    the first shared prefix position is already accounted for), and
+//!    abandons as soon as the remaining tails cannot reach `α`.
 //!
-//! The index over the shorter records is built once, sequentially (it
-//! is cheap: prefixes only); probing is parallelized by partitioning
-//! the length-sorted record order across scoped threads, each probing
-//! the full index of records earlier in the order, with local result
-//! buffers concatenated in thread order.
+//! The index is built once, sequentially (it is cheap: indexing prefixes
+//! only); probing is parallelized by striding the length-sorted record
+//! order across scoped threads, each with a local result buffer and
+//! filter counters, concatenated/summed in thread order.
 //!
 //! Output is identical to [`all_pairs_scored`](crate::all_pairs_scored)
-//! for the same threshold — a property-tested invariant.
+//! for the same threshold — a property-tested invariant — and
+//! [`prefix_join_with_stats`] reports how many candidates each filter
+//! stage discarded.
 
 use crate::allpairs::effective_threads;
 use crate::tokens::TokenTable;
-use crowder_text::jaccard_ids;
 use crowder_types::{Dataset, Pair, RecordId, ScoredPair};
 
 /// One index entry: which record (by position in the length-sorted
@@ -42,29 +62,96 @@ struct Posting {
     pos: u32,
 }
 
-/// Jaccard similarity join via prefix + length + positional filtering.
-/// Returns pairs with similarity ≥ `threshold` (which must be in
-/// `(0, 1]`), sorted by descending likelihood.
+/// Recursion depth of the suffix filter's binary partition. Depth `d`
+/// costs at most `2^d` binary searches per candidate; the PPJoin+ paper
+/// finds returns diminish quickly (it uses 2); 3 keeps the filter cheap
+/// while pruning noticeably harder on long records.
+pub const SUFFIX_FILTER_DEPTH: usize = 3;
+
+/// Per-join filter-funnel counters, summed across worker threads.
+///
+/// `candidates` splits into the four leak-free buckets
+/// `positional_pruned + space_pruned + suffix_pruned + verified`;
+/// `results ≤ verified`. The candidate count *before* suffix filtering
+/// is `suffix_pruned + verified`, *after* is `verified`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Distinct pairs surviving prefix + length filtering (index hits
+    /// after per-probe dedup).
+    pub candidates: u64,
+    /// Candidates discarded by the positional filter.
+    pub positional_pruned: u64,
+    /// Candidates discarded because the pair is outside the dataset's
+    /// [`PairSpace`](crowder_types::PairSpace) (e.g. intra-source).
+    pub space_pruned: u64,
+    /// Candidates discarded by the suffix filter.
+    pub suffix_pruned: u64,
+    /// Candidates that reached exact (resume-merge) verification.
+    pub verified: u64,
+    /// Verified candidates meeting the threshold — the output size.
+    pub results: u64,
+}
+
+impl JoinStats {
+    fn absorb(&mut self, other: &JoinStats) {
+        self.candidates += other.candidates;
+        self.positional_pruned += other.positional_pruned;
+        self.space_pruned += other.space_pruned;
+        self.suffix_pruned += other.suffix_pruned;
+        self.verified += other.verified;
+        self.results += other.results;
+    }
+}
+
+/// Jaccard similarity join via the PPJoin+ filter pipeline (see the
+/// module docs). Returns pairs with similarity ≥ `threshold`, sorted by
+/// descending likelihood.
 ///
 /// `threads = 0` selects the available parallelism.
 ///
-/// For `threshold ≤ 0` fall back to
-/// [`all_pairs_scored`](crate::all_pairs_scored): a zero threshold keeps
-/// everything and no filter can help.
+/// Out-of-range thresholds degrade like
+/// [`all_pairs_scored`](crate::all_pairs_scored) instead of being
+/// rejected: `threshold ≤ 0` falls back to the exhaustive pass (a zero
+/// threshold keeps everything and no filter can help), and
+/// `threshold > 1` returns no pairs (Jaccard never exceeds 1).
 pub fn prefix_join(
     dataset: &Dataset,
     tokens: &TokenTable,
     threshold: f64,
     threads: usize,
 ) -> Vec<ScoredPair> {
+    prefix_join_with_stats(dataset, tokens, threshold, threads).0
+}
+
+/// [`prefix_join`] plus the filter-funnel counters. On the
+/// `threshold ≤ 0` fallback path no filters run, so only
+/// `verified`/`results` are populated (every candidate pair is verified).
+pub fn prefix_join_with_stats(
+    dataset: &Dataset,
+    tokens: &TokenTable,
+    threshold: f64,
+    threads: usize,
+) -> (Vec<ScoredPair>, JoinStats) {
     if threshold <= 0.0 {
-        return crate::allpairs::all_pairs_scored(dataset, tokens, threshold, threads);
+        let out = crate::allpairs::all_pairs_scored(dataset, tokens, threshold, threads);
+        let stats = JoinStats {
+            candidates: dataset.candidate_pair_count() as u64,
+            verified: dataset.candidate_pair_count() as u64,
+            results: out.len() as u64,
+            ..JoinStats::default()
+        };
+        return (out, stats);
+    }
+    if threshold > 1.0 {
+        // No pair can qualify; the prefix formulas would underflow.
+        return (Vec::new(), JoinStats::default());
     }
     let n = dataset.len();
     let docs: Vec<&[u32]> = (0..n).map(|i| tokens.ids(RecordId(i as u32))).collect();
 
     // Probe records in ascending (token count, id) order so every pair
-    // is generated exactly once, with the probing side the longer one.
+    // is generated exactly once, with the probing side the longer one —
+    // the precondition for the indexing-prefix reduction.
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.sort_unstable_by_key(|&i| (docs[i as usize].len(), i));
     let lens: Vec<u32> = order
@@ -72,15 +159,15 @@ pub fn prefix_join(
         .map(|&i| docs[i as usize].len() as u32)
         .collect();
 
-    // Inverted index over prefixes, in rank order: each posting list is
-    // ascending in rank and therefore ascending in record length.
+    // Inverted index over *indexing* prefixes, in rank order: each
+    // posting list is ascending in rank and therefore in record length.
     let mut postings: Vec<Vec<Posting>> = vec![Vec::new(); tokens.dict().len()];
     for (rank, &x) in order.iter().enumerate() {
         let doc = docs[x as usize];
         if doc.is_empty() {
             continue;
         }
-        let plen = prefix_len(doc.len(), threshold);
+        let plen = index_prefix_len(doc.len(), threshold);
         for (pos, &tok) in doc[..plen].iter().enumerate() {
             postings[tok as usize].push(Posting {
                 rank: rank as u32,
@@ -90,12 +177,13 @@ pub fn prefix_join(
     }
 
     let threads = effective_threads(threads).min(n.max(1));
-    let locals: Vec<Vec<ScoredPair>> = std::thread::scope(|scope| {
+    let locals: Vec<(Vec<ScoredPair>, JoinStats)> = std::thread::scope(|scope| {
         let (order, lens, docs, postings) = (&order, &lens, &docs, &postings);
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 scope.spawn(move || {
                     let mut local = Vec::new();
+                    let mut stats = JoinStats::default();
                     // Per-probe candidate dedup: marks the rank of the
                     // probe that last reached each record.
                     let mut seen: Vec<u32> = vec![u32::MAX; n];
@@ -104,11 +192,11 @@ pub fn prefix_join(
                     while rank < order.len() {
                         probe(
                             dataset, docs, order, lens, postings, threshold, rank, &mut seen,
-                            &mut local,
+                            &mut local, &mut stats,
                         );
                         rank += threads;
                     }
-                    local
+                    (local, stats)
                 })
             })
             .collect();
@@ -118,12 +206,14 @@ pub fn prefix_join(
             .collect()
     });
 
-    let mut out: Vec<ScoredPair> = Vec::with_capacity(locals.iter().map(Vec::len).sum());
-    for mut local in locals {
+    let mut out: Vec<ScoredPair> = Vec::with_capacity(locals.iter().map(|(v, _)| v.len()).sum());
+    let mut stats = JoinStats::default();
+    for (mut local, local_stats) in locals {
         out.append(&mut local);
+        stats.absorb(&local_stats);
     }
     crowder_types::pair::sort_ranked(&mut out);
-    out
+    (out, stats)
 }
 
 /// Probe one record (by rank) against the index of all shorter-or-equal
@@ -139,6 +229,7 @@ fn probe(
     rank: usize,
     seen: &mut [u32],
     out: &mut Vec<ScoredPair>,
+    stats: &mut JoinStats,
 ) {
     let x = order[rank];
     let doc = docs[x as usize];
@@ -163,26 +254,112 @@ fn probe(
                 continue;
             }
             seen[y as usize] = rank as u32;
-            let ly = lens[p.rank as usize] as usize;
+            stats.candidates += 1;
+            let ydoc = docs[y as usize];
+            let ly = ydoc.len();
+            let j = p.pos as usize;
             // Positional filter. This is the *first* shared prefix token
-            // of x and y (smaller shared ids would have matched in an
-            // earlier iteration — both lists ascend), so the overlap is
-            // exactly 1 so far and at most min of the remaining tails.
-            let upper = 1 + (lx - i - 1).min(ly - p.pos as usize - 1);
-            if upper < min_overlap(lx, ly, threshold) {
+            // of x and y (a smaller shared id would have generated the
+            // candidate in an earlier iteration — both lists ascend and
+            // everything y holds before `j` sits in its indexed prefix),
+            // so the overlap is exactly 1 so far and at most min of the
+            // remaining tails.
+            let alpha = min_overlap(lx, ly, threshold);
+            let upper = 1 + (lx - i - 1).min(ly - j - 1);
+            if upper < alpha {
+                stats.positional_pruned += 1;
                 continue;
             }
             let pair =
                 Pair::new(RecordId(x), RecordId(y)).expect("distinct ranks imply distinct records");
             if !dataset.is_candidate(&pair) {
+                stats.space_pruned += 1;
                 continue;
             }
-            let sim = jaccard_ids(doc, docs[y as usize]);
+            // Suffix filter: the suffixes past the first shared token
+            // must contribute the remaining α − 1 overlap, so their
+            // Hamming distance is bounded by |xs| + |ys| − 2(α − 1).
+            let (xs, ys) = (&doc[i + 1..], &ydoc[j + 1..]);
+            if alpha > 1 {
+                let hmax = xs.len() + ys.len() - 2 * (alpha - 1);
+                if suffix_hamming_lb(xs, ys, hmax, SUFFIX_FILTER_DEPTH) > hmax {
+                    stats.suffix_pruned += 1;
+                    continue;
+                }
+            }
+            // Resume-merge verification: overlap of the records at or
+            // before (i, j) is exactly 1, so only the suffixes remain.
+            stats.verified += 1;
+            let Some(suffix_overlap) = overlap_reaching(xs, ys, alpha.saturating_sub(1)) else {
+                continue;
+            };
+            let o = 1 + suffix_overlap;
+            let sim = o as f64 / (lx + ly - o) as f64;
             if sim >= threshold {
+                stats.results += 1;
                 out.push(ScoredPair::new(pair, sim));
             }
         }
     }
+}
+
+/// Lower bound on the Hamming distance (symmetric-difference size) of
+/// two sorted, deduplicated id slices, by recursive binary partition
+/// around pivot tokens (the PPJoin+ suffix filter).
+///
+/// Partitioning both slices around a pivot `w` is lossless for the
+/// bound: elements `< w` can only match elements `< w`, likewise `> w`,
+/// and the pivot itself mismatches iff exactly one side holds it — so
+/// the true distance is at least the sum over the parts. Each part is
+/// bounded by its length difference, or recursively up to `depth` more
+/// splits. Recursion abandons early once the accumulated bound exceeds
+/// `hmax` (the caller's prune threshold): any value `> hmax` suffices.
+fn suffix_hamming_lb(a: &[u32], b: &[u32], hmax: usize, depth: usize) -> usize {
+    let base = a.len().abs_diff(b.len());
+    if depth == 0 || a.is_empty() || b.is_empty() || base > hmax {
+        return base;
+    }
+    // Pivot on b's middle token: b is the indexed (shorter) side, so
+    // its midpoint splits the work evenly where it matters.
+    let w = b[b.len() / 2];
+    let ai = a.partition_point(|&v| v < w);
+    let bi = b.partition_point(|&v| v < w);
+    let a_has = a.get(ai) == Some(&w);
+    let b_has = b.get(bi) == Some(&w);
+    let diff = usize::from(a_has != b_has);
+    let (al, ar) = (&a[..ai], &a[ai + usize::from(a_has)..]);
+    let (bl, br) = (&b[..bi], &b[bi + usize::from(b_has)..]);
+    let left_base = al.len().abs_diff(bl.len());
+    let right_base = ar.len().abs_diff(br.len());
+    if left_base + right_base + diff > hmax {
+        return left_base + right_base + diff;
+    }
+    // Budgets below never underflow: the check above guarantees
+    // `right_base + diff ≤ hmax`, and the early return after it
+    // guarantees `hl + diff ≤ hmax`.
+    let hl = suffix_hamming_lb(al, bl, hmax - right_base - diff, depth - 1);
+    if hl + right_base + diff > hmax {
+        return hl + right_base + diff;
+    }
+    let hr = suffix_hamming_lb(ar, br, hmax - hl - diff, depth - 1);
+    hl + diff + hr
+}
+
+/// Overlap of two sorted id slices, abandoning as soon as the best still
+/// achievable total drops below `required` (returns `None`: the caller
+/// only cares about overlaps reaching the threshold).
+fn overlap_reaching(a: &[u32], b: &[u32], required: usize) -> Option<usize> {
+    let (mut i, mut j, mut o) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if o + (a.len() - i).min(b.len() - j) < required {
+            return None;
+        }
+        let (x, y) = (a[i], b[j]);
+        o += usize::from(x == y);
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
+    }
+    (o >= required).then_some(o)
 }
 
 /// Guard against floating-point over-rounding: a `ceil` argument is
@@ -191,10 +368,19 @@ fn probe(
 /// exact verification then rejects.
 const CEIL_EPS: f64 = 1e-9;
 
-/// Probe/index prefix length for a record of `len` tokens:
+/// Probe prefix length for a record of `len` tokens:
 /// `len − ⌈t·len⌉ + 1`.
 fn prefix_len(len: usize, threshold: f64) -> usize {
     len - (threshold * len as f64 - CEIL_EPS).ceil().max(1.0) as usize + 1
+}
+
+/// Indexing prefix length (PPJoin index reduction):
+/// `len − ⌈2t/(1+t)·len⌉ + 1`. Valid because probes are never shorter
+/// than indexed records, so the required overlap with any probe is at
+/// least `⌈2t/(1+t)·len⌉`. Always in `1..=len` for `len ≥ 1`.
+fn index_prefix_len(len: usize, threshold: f64) -> usize {
+    let factor = 2.0 * threshold / (1.0 + threshold);
+    len - (factor * len as f64 - CEIL_EPS).ceil().max(1.0) as usize + 1
 }
 
 /// Length filter: a record of `len` tokens only matches records with at
@@ -267,7 +453,7 @@ mod tests {
         .map(|s| s.to_string())
         .collect();
         let d = dataset_from_names(&names, false);
-        let t = TokenTable::build(&d);
+        let t = TokenTable::build_with_sets(&d);
         for thr in [0.1, 0.3, 0.5, 0.9, 1.0] {
             let brute = all_pairs_scored(&d, &t, thr, 1);
             let fast = prefix_join(&d, &t, thr, 1);
@@ -278,6 +464,45 @@ mod tests {
                 "oracle, threshold {thr}"
             );
         }
+    }
+
+    #[test]
+    fn stats_funnel_is_leak_free() {
+        let names: Vec<String> = (0..60)
+            .map(|i| {
+                format!(
+                    "tok{} tok{} tok{} shared common extra{}",
+                    i % 9,
+                    i % 5,
+                    i % 3,
+                    i
+                )
+            })
+            .collect();
+        let d = dataset_from_names(&names, false);
+        let t = TokenTable::build(&d);
+        for thr in [0.3, 0.5, 0.8] {
+            let (out, s) = prefix_join_with_stats(&d, &t, thr, 2);
+            assert_eq!(
+                s.candidates,
+                s.positional_pruned + s.space_pruned + s.suffix_pruned + s.verified,
+                "threshold {thr}: {s:?}"
+            );
+            assert_eq!(s.results as usize, out.len(), "threshold {thr}");
+            assert!(s.results <= s.verified, "threshold {thr}");
+        }
+    }
+
+    #[test]
+    fn cross_source_stats_count_space_pruning() {
+        let names: Vec<String> = (0..20)
+            .map(|i| format!("alpha beta gamma d{}", i % 4))
+            .collect();
+        let d = dataset_from_names(&names, true);
+        let t = TokenTable::build(&d);
+        let (out, s) = prefix_join_with_stats(&d, &t, 0.5, 1);
+        assert!(s.space_pruned > 0, "intra-source candidates exist: {s:?}");
+        assert_eq!(s.results as usize, out.len());
     }
 
     #[test]
@@ -298,6 +523,23 @@ mod tests {
     }
 
     #[test]
+    fn above_one_threshold_returns_nothing() {
+        // Unvalidated callers (e.g. CrowdJoin::threshold) may pass
+        // thresholds above 1; Jaccard never exceeds 1, so the join must
+        // return empty — like all_pairs_scored — instead of underflowing
+        // the prefix formulas.
+        let names = vec!["a b".to_string(), "a b".to_string()];
+        let d = dataset_from_names(&names, false);
+        let t = TokenTable::build(&d);
+        for thr in [1.0 + f64::EPSILON, 1.5, 100.0] {
+            let (res, stats) = prefix_join_with_stats(&d, &t, thr, 2);
+            assert!(res.is_empty(), "threshold {thr}");
+            assert_eq!(stats, JoinStats::default(), "threshold {thr}");
+            assert!(all_pairs_scored(&d, &t, thr, 1).is_empty());
+        }
+    }
+
+    #[test]
     fn duplicate_records_all_pair_up() {
         // Identical records exercise the tie-handling of the
         // length-sorted order and the positional filter at j == i.
@@ -307,6 +549,97 @@ mod tests {
         let res = prefix_join(&d, &t, 1.0, 2);
         assert_eq!(res.len(), 5 * 4 / 2);
         assert!(res.iter().all(|sp| sp.likelihood == 1.0));
+    }
+
+    // ---- degenerate joins: the classic PPJoin+ off-by-one sites ----
+
+    #[test]
+    fn single_token_records_join_correctly() {
+        // Single-token records have probe/indexing prefix 1 and *empty*
+        // suffixes: the suffix filter and resume merge both see zero
+        // remaining tokens and must still admit exact matches.
+        let names: Vec<String> = ["a", "b", "a", "c", "b", "a"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let d = dataset_from_names(&names, false);
+        let t = TokenTable::build_with_sets(&d);
+        for thr in [0.5, 1.0] {
+            let fast = prefix_join(&d, &t, thr, 1);
+            assert_eq!(fast, brute_force_oracle(&d, &t, thr), "threshold {thr}");
+            assert_eq!(fast.len(), 3 + 1, "threshold {thr}: aa, aa, aa, bb");
+        }
+    }
+
+    #[test]
+    fn threshold_one_requires_identity() {
+        let names: Vec<String> = ["a b c d", "a b c d", "a b c", "a b c d e", "q"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let d = dataset_from_names(&names, false);
+        let t = TokenTable::build_with_sets(&d);
+        let res = prefix_join(&d, &t, 1.0, 2);
+        assert_eq!(res.len(), 1, "only the exact duplicate pair survives");
+        assert_eq!(res[0].pair, Pair::of(0, 1));
+        assert_eq!(res, brute_force_oracle(&d, &t, 1.0));
+    }
+
+    #[test]
+    fn degenerate_mixes_agree_with_oracle() {
+        // Empty token sets, identical records, and singletons in one
+        // corpus, across thresholds, thread counts, and pair spaces.
+        let names: Vec<String> = ["", "x", "x", "---", "x y z", "x y z", "y", "", "x y"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        for cross in [false, true] {
+            let d = dataset_from_names(&names, cross);
+            let t = TokenTable::build_with_sets(&d);
+            for thr in [0.05, 0.5, 1.0] {
+                for threads in [0, 1, 2] {
+                    assert_eq!(
+                        prefix_join(&d, &t, thr, threads),
+                        brute_force_oracle(&d, &t, thr),
+                        "cross={cross} thr={thr} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_identical_records_at_every_threshold() {
+        let names = vec!["alpha beta gamma delta".to_string(); 8];
+        let d = dataset_from_names(&names, false);
+        let t = TokenTable::build(&d);
+        for thr in [0.1, 0.5, 1.0] {
+            let (res, stats) = prefix_join_with_stats(&d, &t, thr, 2);
+            assert_eq!(res.len(), 8 * 7 / 2, "threshold {thr}");
+            assert!(res.iter().all(|sp| sp.likelihood == 1.0));
+            // Identical records must never be suffix-pruned.
+            assert_eq!(stats.suffix_pruned, 0, "threshold {thr}: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn suffix_filter_bound_is_sound() {
+        // The lower bound must never exceed the true Hamming distance.
+        let cases: [(&[u32], &[u32]); 6] = [
+            (&[], &[]),
+            (&[1, 2, 3], &[]),
+            (&[1, 3, 5, 7], &[2, 4, 6, 8]),
+            (&[1, 2, 3, 4, 5], &[1, 2, 3, 4, 5]),
+            (&[1, 2, 3, 4, 5], &[2, 3, 4]),
+            (&[10, 20, 30, 40, 50, 60], &[15, 20, 35, 40, 55, 60]),
+        ];
+        for (a, b) in cases {
+            let true_h = a.len() + b.len() - 2 * crowder_text::intersection_size_ids(a, b);
+            for depth in 0..=4 {
+                let lb = suffix_hamming_lb(a, b, usize::MAX, depth);
+                assert!(lb <= true_h, "lb {lb} > true {true_h} for {a:?} vs {b:?}");
+            }
+        }
     }
 
     #[test]
@@ -344,19 +677,53 @@ mod tests {
 
         /// The interned parallel implementations must agree with the
         /// string-based oracle — across thresholds, pair spaces, and
-        /// thread counts.
+        /// thread counts (0 = auto included).
         #[test]
         fn interned_joins_agree_with_string_oracle(
             names in proptest::collection::vec("[a-e]{1,3}( [a-e]{1,3}){0,4}", 2..24),
             thr in 0.05f64..=1.0,
             cross in proptest::bool::ANY,
-            threads in 1usize..=4,
+            threads in 0usize..=4,
         ) {
             let d = dataset_from_names(&names, cross);
-            let t = TokenTable::build(&d);
+            let t = TokenTable::build_with_sets(&d);
             let oracle = brute_force_oracle(&d, &t, thr);
-            prop_assert_eq!(&oracle, &all_pairs_scored(&d, &t, thr, threads));
+            prop_assert_eq!(&oracle, &all_pairs_scored(&d, &t, thr, threads.max(1)));
             prop_assert_eq!(&oracle, &prefix_join(&d, &t, thr, threads));
+        }
+
+        /// Longer, more overlapping records push candidates through the
+        /// positional + suffix filters and the resume merge.
+        #[test]
+        fn long_record_joins_agree_with_bruteforce(
+            names in proptest::collection::vec("[a-h]{1,2}( [a-h]{1,2}){4,12}", 2..20),
+            thr in 0.05f64..=1.0,
+            threads in 1usize..=3,
+        ) {
+            let d = dataset_from_names(&names, false);
+            let t = TokenTable::build(&d);
+            let brute = all_pairs_scored(&d, &t, thr, 1);
+            let fast = prefix_join(&d, &t, thr, threads);
+            prop_assert_eq!(brute, fast);
+        }
+
+        /// The suffix-filter lower bound never exceeds the true Hamming
+        /// distance for random sorted sets at any recursion depth.
+        #[test]
+        fn suffix_bound_sound_on_random_sets(
+            a in proptest::collection::vec(0u32..64, 0..24),
+            b in proptest::collection::vec(0u32..64, 0..24),
+            depth in 0usize..=4,
+        ) {
+            let mut a = a;
+            let mut b = b;
+            a.sort_unstable();
+            a.dedup();
+            b.sort_unstable();
+            b.dedup();
+            let true_h = a.len() + b.len()
+                - 2 * crowder_text::intersection_size_ids(&a, &b);
+            prop_assert!(suffix_hamming_lb(&a, &b, usize::MAX, depth) <= true_h);
         }
     }
 }

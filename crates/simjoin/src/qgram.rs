@@ -8,6 +8,7 @@
 //! far less selective than whole tokens — which the `min_shared_grams`
 //! knob counteracts.
 
+use crate::allpairs::effective_threads;
 use crate::tokens::TokenTable;
 use crowder_text::tokenize::qgrams;
 use crowder_types::{Dataset, Pair, RecordId, ScoredPair};
@@ -19,7 +20,15 @@ use std::collections::HashMap;
 /// * `q` — gram length (2 or 3 are the usual choices),
 /// * `min_shared_grams` — candidates must co-occur in at least this many
 ///   gram blocks (1 = maximal recall; higher = cheaper),
-/// * `max_block` — skip blocks larger than this (0 = unlimited).
+/// * `max_block` — skip blocks larger than this (0 = unlimited),
+/// * `threads` — scoring parallelism (0 = available cores).
+///
+/// Grams are interned to dense ids once, then records are strided
+/// across scoped threads; each thread tallies shared-gram counts per
+/// partner in a local counter array (no hash map in the hot loop) and
+/// scores the partners clearing `min_shared_grams`. Local buffers
+/// concatenate in thread order before the ranked sort, so output is
+/// deterministic and independent of `threads`.
 ///
 /// Unlike token blocking, q-gram blocking is *not* lossless for Jaccard
 /// thresholds — it is a recall/cost trade-off tool; the ablation bench
@@ -31,37 +40,88 @@ pub fn qgram_blocking_pairs(
     q: usize,
     min_shared_grams: usize,
     max_block: usize,
+    threads: usize,
 ) -> Vec<ScoredPair> {
-    // Blocks: q-gram -> records containing it.
-    let mut blocks: HashMap<String, Vec<RecordId>> = HashMap::new();
+    let n = dataset.len();
+    // Intern each record's (distinct) grams to dense ids.
+    let mut gram_ids: HashMap<String, u32> = HashMap::new();
+    let mut rec_grams: Vec<Vec<u32>> = Vec::with_capacity(n);
     for r in dataset.records() {
-        for gram in qgrams(&r.joined_text(), q) {
-            blocks.entry(gram).or_default().push(r.id);
+        let ids: Vec<u32> = qgrams(&r.joined_text(), q)
+            .into_iter()
+            .map(|gram| {
+                let next = gram_ids.len() as u32;
+                *gram_ids.entry(gram).or_insert(next)
+            })
+            .collect();
+        rec_grams.push(ids);
+    }
+    // Blocks in record-id order: member lists ascend, so probes can stop
+    // at the first member at or past their own id.
+    let mut blocks: Vec<Vec<RecordId>> = vec![Vec::new(); gram_ids.len()];
+    for (idx, grams) in rec_grams.iter().enumerate() {
+        for &g in grams {
+            blocks[g as usize].push(RecordId(idx as u32));
         }
     }
-    // Count shared grams per pair.
-    let mut shared: HashMap<Pair, usize> = HashMap::new();
-    for (_gram, members) in blocks {
-        if max_block > 0 && members.len() > max_block {
-            continue;
-        }
-        for i in 0..members.len() {
-            for j in (i + 1)..members.len() {
-                if let Ok(pair) = Pair::new(members[i], members[j]) {
-                    *shared.entry(pair).or_insert(0) += 1;
-                }
-            }
-        }
+    let threads = effective_threads(threads).min(n.max(1));
+    let locals: Vec<Vec<ScoredPair>> = std::thread::scope(|scope| {
+        let (blocks, rec_grams) = (&blocks, &rec_grams);
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    // Shared-gram tally per partner for the current
+                    // probe, plus the partners touched (for O(hits)
+                    // reset instead of O(n)).
+                    let mut counts: Vec<u32> = vec![0; n];
+                    let mut touched: Vec<RecordId> = Vec::new();
+                    let mut i = t;
+                    while i < n {
+                        let x = RecordId(i as u32);
+                        for &g in &rec_grams[i] {
+                            let members = &blocks[g as usize];
+                            if max_block > 0 && members.len() > max_block {
+                                continue;
+                            }
+                            for &y in members {
+                                if y.0 >= x.0 {
+                                    break;
+                                }
+                                if counts[y.index()] == 0 {
+                                    touched.push(y);
+                                }
+                                counts[y.index()] += 1;
+                            }
+                        }
+                        for &y in &touched {
+                            if counts[y.index()] as usize >= min_shared_grams {
+                                let pair = Pair::new(y, x).expect("y < x");
+                                if dataset.is_candidate(&pair) {
+                                    let sim = tokens.jaccard_pair(&pair);
+                                    if sim >= threshold {
+                                        local.push(ScoredPair::new(pair, sim));
+                                    }
+                                }
+                            }
+                            counts[y.index()] = 0;
+                        }
+                        touched.clear();
+                        i += threads;
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("q-gram workers do not panic"))
+            .collect()
+    });
+    let mut out: Vec<ScoredPair> = Vec::with_capacity(locals.iter().map(Vec::len).sum());
+    for mut local in locals {
+        out.append(&mut local);
     }
-    let mut out: Vec<ScoredPair> = shared
-        .into_iter()
-        .filter(|&(_, count)| count >= min_shared_grams)
-        .filter(|(pair, _)| dataset.is_candidate(pair))
-        .filter_map(|(pair, _)| {
-            let sim = tokens.jaccard_pair(&pair);
-            (sim >= threshold).then_some(ScoredPair::new(pair, sim))
-        })
-        .collect();
     crowder_types::pair::sort_ranked(&mut out);
     out
 }
@@ -88,7 +148,7 @@ mod tests {
             "apple ipod nano",
             "sony walkman classic",
         ]);
-        let qg = qgram_blocking_pairs(&d, &t, 0.2, 3, 1, 0);
+        let qg = qgram_blocking_pairs(&d, &t, 0.2, 3, 1, 0, 1);
         let brute = all_pairs_scored(&d, &t, 0.2, 1);
         assert_eq!(qg, brute);
     }
@@ -98,17 +158,17 @@ mod tests {
         // The only shared word is misspelled: token blocking finds no
         // candidates, q-gram blocking still pairs them.
         let (d, t) = dataset(&["walkman", "walkmann"]);
-        let token_based = crate::blocking::token_blocking_pairs(&d, &t, 0.0, 0);
+        let token_based = crate::blocking::token_blocking_pairs(&d, &t, 0.0, 0, 1);
         assert!(token_based.is_empty(), "no whole token is shared");
-        let qg = qgram_blocking_pairs(&d, &t, 0.0, 3, 1, 0);
+        let qg = qgram_blocking_pairs(&d, &t, 0.0, 3, 1, 0, 1);
         assert_eq!(qg.len(), 1, "q-grams of the stem are shared");
     }
 
     #[test]
     fn min_shared_grams_prunes_weak_candidates() {
         let (d, t) = dataset(&["abcdef xyz", "abcdef qqq", "zzzzz abf"]);
-        let loose = qgram_blocking_pairs(&d, &t, 0.0, 3, 1, 0);
-        let strict = qgram_blocking_pairs(&d, &t, 0.0, 3, 4, 0);
+        let loose = qgram_blocking_pairs(&d, &t, 0.0, 3, 1, 0, 1);
+        let strict = qgram_blocking_pairs(&d, &t, 0.0, 3, 4, 0, 1);
         assert!(strict.len() <= loose.len());
         // The records sharing the full "abcdef" token survive the strict
         // setting.
@@ -118,9 +178,25 @@ mod tests {
     #[test]
     fn block_cap_drops_ubiquitous_grams() {
         let (d, t) = dataset(&["aaa x", "aaa y", "aaa z"]);
-        let capped = qgram_blocking_pairs(&d, &t, 0.0, 3, 1, 2);
+        let capped = qgram_blocking_pairs(&d, &t, 0.0, 3, 1, 2, 1);
         // The "aaa"-derived blocks hold 3 records and are skipped; only
         // padding-gram blocks remain, which also hold all three records.
         assert!(capped.len() <= 3);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let names: Vec<String> = (0..24)
+            .map(|i| format!("prod{} gadget{}", i % 8, i % 5))
+            .collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let (d, t) = dataset(&refs);
+        for min_shared in [1, 3] {
+            let one = qgram_blocking_pairs(&d, &t, 0.1, 3, min_shared, 0, 1);
+            let four = qgram_blocking_pairs(&d, &t, 0.1, 3, min_shared, 0, 4);
+            let auto = qgram_blocking_pairs(&d, &t, 0.1, 3, min_shared, 0, 0);
+            assert_eq!(one, four, "min_shared {min_shared}");
+            assert_eq!(one, auto, "min_shared {min_shared}");
+        }
     }
 }

@@ -5,7 +5,7 @@
 //! these rows to argue that a low threshold retains almost all matches
 //! while pruning orders of magnitude of pairs.
 
-use crate::allpairs::all_pairs_scored;
+use crate::prefix::prefix_join;
 use crate::tokens::TokenTable;
 use crowder_types::Dataset;
 use serde::{Deserialize, Serialize};
@@ -51,11 +51,14 @@ fn group_thousands(v: usize) -> String {
 
 /// Run a likelihood-threshold sweep over `thresholds` (each in `[0, 1]`).
 ///
-/// The expensive similarity pass runs once at the smallest positive
-/// threshold; each row is then a bucket count. A `0.0` threshold row is
-/// computed from the candidate-pair total directly (Jaccard ≥ 0 holds
-/// for every pair), exactly as the paper's `threshold 0` rows count all
-/// `n(n−1)/2` / `n_a · n_b` pairs.
+/// The similarity pass runs once at the smallest positive threshold —
+/// through [`prefix_join`], whose filters skip most comparisons and
+/// whose output is bit-identical to
+/// [`all_pairs_scored`](crate::all_pairs_scored) — and each row is then
+/// a bucket count. A `0.0` threshold row is computed from the
+/// candidate-pair total directly (Jaccard ≥ 0 holds for every pair),
+/// exactly as the paper's `threshold 0` rows count all `n(n−1)/2` /
+/// `n_a · n_b` pairs.
 pub fn threshold_sweep(
     dataset: &Dataset,
     tokens: &TokenTable,
@@ -67,7 +70,7 @@ pub fn threshold_sweep(
         .filter(|&t| t > 0.0)
         .fold(f64::INFINITY, f64::min);
     let scored = if min_positive.is_finite() {
-        all_pairs_scored(dataset, tokens, min_positive, 0)
+        prefix_join(dataset, tokens, min_positive, 0)
     } else {
         Vec::new()
     };

@@ -1,41 +1,50 @@
 //! Per-record token tables.
 //!
 //! §7.1: *"We first generated a token set for each record, which
-//! consisted of the tokens from all attribute values."* The table caches
-//! those sets so the O(n²) likelihood pass never re-tokenizes — and,
-//! since this PR, also interns every token through a corpus-wide
-//! [`TokenDict`] so each record carries a sorted `Vec<u32>` id list.
-//! All three join strategies work on those id lists: the per-pair inner
-//! merge compares `u32`s instead of `String`s, and the dictionary's
-//! rarest-first id order is exactly the global token order prefix
-//! filtering needs, computed once at construction instead of once per
-//! join call.
+//! consisted of the tokens from all attribute values."* The table
+//! tokenizes every record once and interns the tokens through a
+//! corpus-wide [`TokenDict`], so each record carries a sorted `Vec<u32>`
+//! id list. All join strategies work on those id lists: the per-pair
+//! inner merge compares `u32`s instead of `String`s, and the
+//! dictionary's rarest-first id order is exactly the global token order
+//! prefix filtering needs, computed once at construction instead of once
+//! per join call.
+//!
+//! Production paths hold *only* the id lists — on Product-scale corpora
+//! the string [`TokenSet`]s roughly double the table's memory while no
+//! hot path reads them. Tests and benchmarks that need the raw string
+//! sets (string-Jaccard oracles, pre-interning baselines) must construct
+//! the table with [`TokenTable::build_with_sets`].
 
 use crowder_text::{jaccard_ids, tokenize, TokenDict, TokenSet};
 use crowder_types::{Dataset, Pair, RecordId};
 
-/// Cached token sets and interned id lists for every record of a
-/// dataset, indexed by [`RecordId`].
+/// Cached interned id lists (and, optionally, string token sets) for
+/// every record of a dataset, indexed by [`RecordId`].
 #[derive(Debug, Clone)]
 pub struct TokenTable {
-    sets: Vec<TokenSet>,
     dict: TokenDict,
     /// `ids[r]` is the record's token ids, sorted ascending — i.e.
     /// rarest token first, because [`TokenDict`] assigns ids by
     /// ascending corpus frequency.
     ids: Vec<Vec<u32>>,
+    /// String token sets; `None` on the production constructors, kept
+    /// only by [`TokenTable::build_with_sets`] for oracles/baselines.
+    sets: Option<Vec<TokenSet>>,
 }
 
 impl TokenTable {
-    /// Tokenize every record's concatenated attribute text.
+    /// Tokenize every record's concatenated attribute text. Holds only
+    /// the interned id lists (see [`TokenTable::build_with_sets`]).
     pub fn build(dataset: &Dataset) -> Self {
-        Self::from_sets(
-            dataset
-                .records()
-                .iter()
-                .map(|r| tokenize(&r.joined_text()))
-                .collect(),
-        )
+        Self::from_sets(Self::record_sets(dataset), false)
+    }
+
+    /// [`TokenTable::build`], additionally retaining the string
+    /// [`TokenSet`]s so [`TokenTable::set`] works — for tests and bench
+    /// baselines only; roughly doubles the table's memory.
+    pub fn build_with_sets(dataset: &Dataset) -> Self {
+        Self::from_sets(Self::record_sets(dataset), true)
     }
 
     /// Tokenize only the selected attributes — the CrowdSQL-style
@@ -43,30 +52,58 @@ impl TokenTable {
     /// compares a *column*, not the whole record; Example 1's likelihoods
     /// are name-only Jaccard.
     pub fn build_on_attrs(dataset: &Dataset, attrs: &[usize]) -> Self {
-        Self::from_sets(
-            dataset
-                .records()
-                .iter()
-                .map(|r| {
-                    let text: Vec<&str> = attrs.iter().filter_map(|&a| r.field(a)).collect();
-                    tokenize(&text.join(" "))
-                })
-                .collect(),
-        )
+        let sets = dataset
+            .records()
+            .iter()
+            .map(|r| {
+                let text: Vec<&str> = attrs.iter().filter_map(|&a| r.field(a)).collect();
+                tokenize(&text.join(" "))
+            })
+            .collect();
+        Self::from_sets(sets, false)
+    }
+
+    fn record_sets(dataset: &Dataset) -> Vec<TokenSet> {
+        dataset
+            .records()
+            .iter()
+            .map(|r| tokenize(&r.joined_text()))
+            .collect()
     }
 
     /// Intern a prepared token-set collection (one entry per record, in
-    /// id order).
-    fn from_sets(sets: Vec<TokenSet>) -> Self {
+    /// id order), keeping the string sets only when `retain_sets`.
+    fn from_sets(sets: Vec<TokenSet>, retain_sets: bool) -> Self {
         let dict = TokenDict::build(&sets);
         let ids = sets.iter().map(|s| dict.encode(s)).collect();
-        TokenTable { sets, dict, ids }
+        TokenTable {
+            dict,
+            ids,
+            sets: retain_sets.then_some(sets),
+        }
     }
 
     /// Token set of one record.
+    ///
+    /// # Panics
+    ///
+    /// If the table was not constructed with
+    /// [`TokenTable::build_with_sets`] — production constructors drop
+    /// the string sets.
     #[inline]
     pub fn set(&self, id: RecordId) -> &TokenSet {
-        &self.sets[id.index()]
+        let sets = self
+            .sets
+            .as_ref()
+            .expect("string token sets require TokenTable::build_with_sets");
+        &sets[id.index()]
+    }
+
+    /// True iff the string [`TokenSet`]s were retained (i.e. the table
+    /// came from [`TokenTable::build_with_sets`]).
+    #[inline]
+    pub fn retains_sets(&self) -> bool {
+        self.sets.is_some()
     }
 
     /// Interned, ascending (rarest-first) token ids of one record.
@@ -84,13 +121,13 @@ impl TokenTable {
     /// Number of records covered.
     #[inline]
     pub fn len(&self) -> usize {
-        self.sets.len()
+        self.ids.len()
     }
 
     /// True iff the table is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.sets.is_empty()
+        self.ids.is_empty()
     }
 
     /// Jaccard likelihood of a pair — the paper's `simjoin` score,
@@ -142,9 +179,25 @@ mod tests {
     }
 
     #[test]
-    fn tokens_include_all_attributes() {
+    fn production_build_drops_string_sets() {
+        let d = table1_dataset();
+        assert!(!TokenTable::build(&d).retains_sets());
+        assert!(!TokenTable::build_on_attrs(&d, &[0]).retains_sets());
+        assert!(TokenTable::build_with_sets(&d).retains_sets());
+    }
+
+    #[test]
+    #[should_panic(expected = "build_with_sets")]
+    fn slim_table_panics_on_set_access() {
         let d = table1_dataset();
         let t = TokenTable::build(&d);
+        let _ = t.set(RecordId(1));
+    }
+
+    #[test]
+    fn tokens_include_all_attributes() {
+        let d = table1_dataset();
+        let t = TokenTable::build_with_sets(&d);
         // Record r1 tokens include both the name tokens and the price.
         let s = t.set(RecordId(1));
         assert!(s.contains("ipad"));
@@ -164,7 +217,7 @@ mod tests {
     #[test]
     fn id_lists_mirror_token_sets() {
         let d = table1_dataset();
-        let t = TokenTable::build(&d);
+        let t = TokenTable::build_with_sets(&d);
         for r in d.records() {
             let ids = t.ids(r.id);
             let set = t.set(r.id);
@@ -194,7 +247,7 @@ mod tests {
     #[test]
     fn id_jaccard_matches_string_jaccard() {
         let d = table1_dataset();
-        let t = TokenTable::build(&d);
+        let t = TokenTable::build_with_sets(&d);
         for i in 0..d.len() as u32 {
             for j in (i + 1)..d.len() as u32 {
                 let pair = Pair::of(i, j);

@@ -10,7 +10,7 @@ use crowder::prelude::*;
 fn main() {
     let dataset = restaurant(&RestaurantConfig::default());
     let tokens = TokenTable::build(&dataset);
-    let scored = all_pairs_scored(&dataset, &tokens, 0.3, 0);
+    let scored = prefix_join(&dataset, &tokens, 0.3, 0);
     let pairs: Vec<Pair> = scored.iter().map(|s| s.pair).collect();
     println!(
         "== Cluster-HIT generation on Restaurant: {} pairs above τ = 0.3 ==\n",

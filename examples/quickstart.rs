@@ -25,7 +25,7 @@ fn main() {
 
     // Stage 1: machine pass at likelihood threshold 0.3.
     let tokens = TokenTable::build(&dataset);
-    let scored = all_pairs_scored(&dataset, &tokens, 0.3, 0);
+    let scored = prefix_join(&dataset, &tokens, 0.3, 0);
     println!("machine pass (Jaccard ≥ 0.3) keeps {} pairs:", scored.len());
     for sp in &scored {
         println!("  {}  likelihood {:.2}", sp.pair, sp.likelihood);

@@ -12,7 +12,7 @@ fn batch() -> (Vec<Hit>, Dataset) {
         seed: 77,
     });
     let tokens = TokenTable::build(&dataset);
-    let pairs: Vec<Pair> = all_pairs_scored(&dataset, &tokens, 0.3, 0)
+    let pairs: Vec<Pair> = prefix_join(&dataset, &tokens, 0.3, 0)
         .iter()
         .map(|s| s.pair)
         .collect();

@@ -110,7 +110,7 @@ fn qualification_test_blocks_an_all_spammer_crowd() {
             .collect(),
     );
     let tokens = TokenTable::build(&dataset);
-    let pairs: Vec<Pair> = all_pairs_scored(&dataset, &tokens, 0.3, 0)
+    let pairs: Vec<Pair> = prefix_join(&dataset, &tokens, 0.3, 0)
         .iter()
         .map(|s| s.pair)
         .collect();

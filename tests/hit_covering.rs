@@ -12,7 +12,7 @@ fn restaurant_pairs(threshold: f64) -> Vec<Pair> {
         seed: 1,
     });
     let tokens = TokenTable::build(&dataset);
-    all_pairs_scored(&dataset, &tokens, threshold, 0)
+    prefix_join(&dataset, &tokens, threshold, 0)
         .iter()
         .map(|s| s.pair)
         .collect()
@@ -97,7 +97,7 @@ fn generators_handle_duplicate_heavy_graphs() {
         },
     );
     let tokens = TokenTable::build(&dup);
-    let pairs: Vec<Pair> = all_pairs_scored(&dup, &tokens, 0.2, 0)
+    let pairs: Vec<Pair> = prefix_join(&dup, &tokens, 0.2, 0)
         .iter()
         .map(|s| s.pair)
         .collect();

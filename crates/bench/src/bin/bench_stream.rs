@@ -1,0 +1,90 @@
+//! Machine-readable streaming-engine benchmark: streams a corpus
+//! through the `crowder-stream` incremental resolver and writes
+//! `BENCH_stream.json` (see `crowder_bench::streamperf` for the
+//! schema) — sustained ingest throughput, per-arrival delta-join
+//! latency percentiles, the per-round HIT-regeneration funnel, and the
+//! single-arrival delta-join vs batch-recompute speedup.
+//!
+//! ```text
+//! bench_stream [--quick] [--iters N] [--out PATH]   generate a report
+//! bench_stream --check PATH                         validate a report
+//! ```
+//!
+//! `--quick` streams the Restaurant corpus (the CI smoke
+//! configuration); the default streams Product — the corpus the
+//! acceptance speedup is quoted on. `--check` parses an existing
+//! report and verifies the schema (no timing assertions), exiting
+//! non-zero on any violation.
+
+use crowder_bench::streamperf::{
+    validate_stream_report_json, write_stream_report, STREAM_REPORT_PATH,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut iters = 9usize;
+    let mut out = STREAM_REPORT_PATH.to_string();
+    let mut check: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--iters" => {
+                i += 1;
+                iters = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--iters needs a positive integer"));
+            }
+            "--out" => {
+                i += 1;
+                out = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--check" => {
+                i += 1;
+                check = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--check needs a path")),
+                );
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    if let Some(path) = check {
+        let content = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        match validate_stream_report_json(&content) {
+            Ok(rounds) => println!("{path}: OK ({rounds} rounds)"),
+            Err(e) => die(&format!("{path}: schema violation: {e}")),
+        }
+        return;
+    }
+
+    let (corpus, dataset) = if quick {
+        ("restaurant", crowder_bench::harness::restaurant_full())
+    } else {
+        ("product", crowder_bench::harness::product_full())
+    };
+    let report = write_stream_report(&out, corpus, &dataset, iters)
+        .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    print!("{}", report.render());
+    println!("\nwrote {out}");
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: bench_stream [--quick] [--iters N] [--out PATH] | --check PATH");
+    std::process::exit(2);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}

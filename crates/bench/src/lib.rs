@@ -20,3 +20,4 @@ pub mod baseline;
 pub mod experiments;
 pub mod harness;
 pub mod perf;
+pub mod streamperf;

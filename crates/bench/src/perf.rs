@@ -165,56 +165,147 @@ pub fn run_suite(scope: SuiteScope, iters: usize) -> PerfReport {
     }
 }
 
+// ---------------------------------------------------------------------
+// Hand-rolled JSON emission, shared by every bench report writer.
+// (The vendored `serde` is a no-op derive stand-in; swap these for
+// serde_json when the real registry crates land — see ROADMAP.)
+// ---------------------------------------------------------------------
+
+/// Escape the characters the report strings could possibly carry.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Builder for one single-line JSON object — an array row like
+/// `{"dataset": "restaurant", "median_ns": 123}`.
+#[derive(Debug, Clone, Default)]
+pub struct JsonRow {
+    buf: String,
+}
+
+impl JsonRow {
+    /// An empty row.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn sep(&mut self) {
+        if !self.buf.is_empty() {
+            self.buf.push_str(", ");
+        }
+    }
+
+    /// Append a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.sep();
+        self.buf
+            .push_str(&format!("\"{key}\": \"{}\"", json_escape(value)));
+        self
+    }
+
+    /// Append a numeric field (anything that `Display`s as a JSON
+    /// number: integers, floats).
+    pub fn num(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.sep();
+        self.buf.push_str(&format!("\"{key}\": {value}"));
+        self
+    }
+
+    /// Close the row.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Builder for a pretty-printed top-level report object: scalar fields
+/// at 2-space indent, arrays of [`JsonRow`]s at 4.
+#[derive(Debug, Clone, Default)]
+pub struct JsonReport {
+    buf: String,
+}
+
+impl JsonReport {
+    /// An empty report object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn sep(&mut self) {
+        self.buf
+            .push_str(if self.buf.is_empty() { "{\n" } else { ",\n" });
+    }
+
+    /// Append a top-level numeric field.
+    pub fn num(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.sep();
+        self.buf.push_str(&format!("  \"{key}\": {value}"));
+        self
+    }
+
+    /// Append a top-level string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.sep();
+        self.buf
+            .push_str(&format!("  \"{key}\": \"{}\"", json_escape(value)));
+        self
+    }
+
+    /// Append an array of rows.
+    pub fn rows(mut self, key: &str, rows: impl IntoIterator<Item = String>) -> Self {
+        self.sep();
+        self.buf.push_str(&format!("  \"{key}\": [\n"));
+        let body: Vec<String> = rows.into_iter().map(|r| format!("    {r}")).collect();
+        self.buf.push_str(&body.join(",\n"));
+        self.buf.push_str("\n  ]");
+        self
+    }
+
+    /// Close the object.
+    pub fn build(mut self) -> String {
+        self.buf.push_str("\n}\n");
+        self.buf
+    }
+}
+
 impl PerfReport {
     /// Serialize to the `BENCH_simjoin.json` schema.
     pub fn to_json(&self) -> String {
-        let mut s = String::with_capacity(4096);
-        s.push_str("{\n");
-        s.push_str(&format!("  \"schema_version\": {},\n", SCHEMA_VERSION));
-        s.push_str(&format!(
-            "  \"available_parallelism\": {},\n",
-            self.available_parallelism
-        ));
-        s.push_str(&format!("  \"iters\": {},\n", self.iters));
-        s.push_str("  \"entries\": [\n");
-        for (i, e) in self.entries.iter().enumerate() {
-            s.push_str(&format!(
-                "    {{\"dataset\": \"{}\", \"threshold\": {}, \"algorithm\": \"{}\", \
-                 \"threads\": {}, \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
-                 \"samples\": {}, \"pairs\": {}}}{}\n",
-                e.dataset,
-                e.threshold,
-                e.algorithm,
-                e.threads,
-                e.median_ns,
-                e.min_ns,
-                e.max_ns,
-                e.samples,
-                e.pairs,
-                if i + 1 < self.entries.len() { "," } else { "" }
-            ));
-        }
-        s.push_str("  ],\n");
-        s.push_str("  \"prefix_join_funnel\": [\n");
-        for (i, f) in self.funnels.iter().enumerate() {
-            s.push_str(&format!(
-                "    {{\"dataset\": \"{}\", \"threshold\": {}, \"candidates\": {}, \
-                 \"positional_pruned\": {}, \"space_pruned\": {}, \"suffix_pruned\": {}, \
-                 \"verified\": {}, \"results\": {}}}{}\n",
-                f.dataset,
-                f.threshold,
-                f.stats.candidates,
-                f.stats.positional_pruned,
-                f.stats.space_pruned,
-                f.stats.suffix_pruned,
-                f.stats.verified,
-                f.stats.results,
-                if i + 1 < self.funnels.len() { "," } else { "" }
-            ));
-        }
-        s.push_str("  ]\n");
-        s.push_str("}\n");
-        s
+        JsonReport::new()
+            .num("schema_version", SCHEMA_VERSION)
+            .num("available_parallelism", self.available_parallelism)
+            .num("iters", self.iters)
+            .rows(
+                "entries",
+                self.entries.iter().map(|e| {
+                    JsonRow::new()
+                        .str("dataset", &e.dataset)
+                        .num("threshold", e.threshold)
+                        .str("algorithm", &e.algorithm)
+                        .num("threads", e.threads)
+                        .num("median_ns", e.median_ns)
+                        .num("min_ns", e.min_ns)
+                        .num("max_ns", e.max_ns)
+                        .num("samples", e.samples)
+                        .num("pairs", e.pairs)
+                        .build()
+                }),
+            )
+            .rows(
+                "prefix_join_funnel",
+                self.funnels.iter().map(|f| {
+                    JsonRow::new()
+                        .str("dataset", &f.dataset)
+                        .num("threshold", f.threshold)
+                        .num("candidates", f.stats.candidates)
+                        .num("positional_pruned", f.stats.positional_pruned)
+                        .num("space_pruned", f.stats.space_pruned)
+                        .num("suffix_pruned", f.stats.suffix_pruned)
+                        .num("verified", f.stats.verified)
+                        .num("results", f.stats.results)
+                        .build()
+                }),
+            )
+            .build()
     }
 
     /// Render a human-readable table of the timings.

@@ -12,11 +12,13 @@
 pub mod baselines;
 pub mod budget;
 pub mod query;
+pub mod streaming;
 pub mod workflow;
 
 pub use baselines::{simjoin_ranking, svm_average_curve, svm_rankings};
 pub use budget::{plan_budget, BudgetPlan, BudgetPoint};
 pub use query::{CrowdJoin, CrowdJoinResult};
+pub use streaming::{run_streaming, RoundReport, StreamingConfig, StreamingOutcome};
 pub use workflow::{run_hybrid, Aggregation, HitStrategy, HybridConfig, HybridOutcome};
 
 /// One-stop imports for applications.
@@ -24,6 +26,7 @@ pub mod prelude {
     pub use crate::baselines::{simjoin_ranking, svm_average_curve, svm_rankings};
     pub use crate::budget::{plan_budget, BudgetPlan, BudgetPoint};
     pub use crate::query::{CrowdJoin, CrowdJoinResult};
+    pub use crate::streaming::{run_streaming, RoundReport, StreamingConfig, StreamingOutcome};
     pub use crate::workflow::{run_hybrid, Aggregation, HitStrategy, HybridConfig, HybridOutcome};
     pub use crowder_aggregate::{majority_vote, DawidSkene};
     pub use crowder_crowd::{CrowdConfig, PopulationConfig, QualificationConfig, WorkerPopulation};
@@ -38,6 +41,9 @@ pub mod prelude {
     pub use crowder_simjoin::{
         all_pairs_scored, prefix_join, prefix_join_with_stats, qgram_blocking_pairs,
         threshold_sweep, token_blocking_pairs, JoinStats, TokenTable,
+    };
+    pub use crowder_stream::{
+        HitDelta, HitId, IncrementalResolver, InsertReport, LiveHits, StreamConfig,
     };
     pub use crowder_types::{
         Dataset, GoldStandard, Pair, PairSpace, Record, RecordId, ScoredPair, SourceId,

@@ -1,0 +1,334 @@
+//! The streaming hybrid workflow: record arrivals interleaved with
+//! crowd sessions.
+//!
+//! The batch workflow ([`run_hybrid`](crate::run_hybrid)) is one pass of
+//! Figure 1: machine-prune everything, publish every HIT, wait for the
+//! crowd. A live deployment receives records continuously, so here the
+//! pipeline runs in *rounds*: each round ingests an arrival batch
+//! through the [`IncrementalResolver`] (delta join + dynamic
+//! clustering), regenerates HITs only for the clusters that moved, and
+//! sends just the newly published HITs to a simulated crowd session —
+//! the interleaving regime of fault-tolerant crowd ER (Gruenheid et
+//! al. 2015). Verdicts accumulate across rounds and are aggregated once
+//! at the end, exactly like the batch workflow's stage 4.
+
+use crowder_aggregate::{majority_vote, DawidSkene, Vote};
+use crowder_crowd::{simulate, CrowdConfig, WorkerPopulation};
+use crowder_hitgen::{Hit, TwoTieredConfig};
+use crowder_simjoin::JoinStats;
+use crowder_stream::{IncrementalResolver, StreamConfig};
+use crowder_types::{Dataset, Error, Result, ScoredPair};
+
+use crate::workflow::Aggregation;
+
+/// Configuration of the streaming workflow.
+#[derive(Debug, Clone)]
+pub struct StreamingConfig {
+    /// Machine-pass likelihood threshold (pairs below are pruned).
+    pub likelihood_threshold: f64,
+    /// Cluster-size threshold `k`.
+    pub cluster_size: usize,
+    /// Two-tiered generator tuning.
+    pub two_tiered: TwoTieredConfig,
+    /// Records ingested per round.
+    pub batch_size: usize,
+    /// Crowd-platform parameters; each round derives its seed from
+    /// `crowd.seed` plus the round index so sessions are independent
+    /// but deterministic.
+    pub crowd: CrowdConfig,
+    /// Answer aggregation across all rounds.
+    pub aggregation: Aggregation,
+    /// Arrivals between dictionary re-rank epochs (see
+    /// [`StreamConfig::rebuild_min_interval`]).
+    pub rebuild_min_interval: usize,
+}
+
+impl Default for StreamingConfig {
+    /// The batch workflow's §7.3 configuration, streamed 64 records at
+    /// a time.
+    fn default() -> Self {
+        StreamingConfig {
+            likelihood_threshold: 0.2,
+            cluster_size: 10,
+            two_tiered: TwoTieredConfig::default(),
+            batch_size: 64,
+            crowd: CrowdConfig::default(),
+            aggregation: Aggregation::DawidSkene,
+            rebuild_min_interval: 256,
+        }
+    }
+}
+
+/// The per-round funnel: what one arrival batch did to every stage of
+/// the pipeline.
+#[derive(Debug, Clone)]
+pub struct RoundReport {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Records ingested this round.
+    pub arrived: usize,
+    /// Pairs the delta joins surfaced this round.
+    pub new_pairs: usize,
+    /// Summed filter funnel of this round's delta joins.
+    pub join_stats: JoinStats,
+    /// Dictionary re-rank epochs triggered this round.
+    pub index_rebuilds: u64,
+    /// Clusters dirtied by this round's arrivals (before the flush).
+    pub dirty_clusters: usize,
+    /// HITs retired by the flush.
+    pub hits_retired: usize,
+    /// HITs newly published by the flush.
+    pub hits_created: usize,
+    /// Live HITs the flush left untouched (stable ids).
+    pub hits_stable: usize,
+    /// Crowd assignments completed on the newly published HITs.
+    pub assignments: usize,
+    /// Cost of this round's crowd session.
+    pub cost_dollars: f64,
+    /// Latency of this round's crowd session.
+    pub elapsed_minutes: f64,
+    /// Corpus size after the round.
+    pub corpus: usize,
+    /// Total surfaced pairs after the round.
+    pub cumulative_pairs: usize,
+}
+
+/// Everything the streaming workflow produced.
+#[derive(Debug, Clone)]
+pub struct StreamingOutcome {
+    /// One report per round, in order.
+    pub rounds: Vec<RoundReport>,
+    /// Final ranked list: crowd-verified pairs by aggregated posterior
+    /// (the same shape as the batch workflow's `ranked`).
+    pub ranked: Vec<ScoredPair>,
+    /// Total crowd spend across rounds.
+    pub total_cost_dollars: f64,
+    /// Total assignments across rounds.
+    pub total_assignments: usize,
+    /// The resolver in its final state (corpus, pairs, live HITs).
+    pub resolver: IncrementalResolver,
+}
+
+impl StreamingOutcome {
+    /// Pairs whose aggregated posterior clears 0.5.
+    pub fn matching_pairs(&self) -> Vec<crowder_types::Pair> {
+        self.ranked
+            .iter()
+            .filter(|sp| sp.likelihood > 0.5)
+            .map(|sp| sp.pair)
+            .collect()
+    }
+}
+
+/// Stream `dataset`'s records (in id order, `batch_size` per round)
+/// through an [`IncrementalResolver`], interleaving each round with a
+/// crowd session over the newly regenerated HITs.
+///
+/// The final corpus equals `dataset`, so the resolver's pair set is
+/// bit-identical to what the batch workflow's machine pass would
+/// produce — the exactness contract of `crowder-stream`.
+pub fn run_streaming(
+    dataset: &Dataset,
+    population: &WorkerPopulation,
+    config: &StreamingConfig,
+) -> Result<StreamingOutcome> {
+    if !(0.0..=1.0).contains(&config.likelihood_threshold) {
+        return Err(Error::InvalidConfig {
+            param: "likelihood_threshold",
+            message: format!("must be in [0, 1], got {}", config.likelihood_threshold),
+        });
+    }
+    if config.batch_size == 0 {
+        return Err(Error::InvalidConfig {
+            param: "batch_size",
+            message: "must be at least 1".into(),
+        });
+    }
+    let mut resolver = IncrementalResolver::like(
+        dataset,
+        StreamConfig {
+            threshold: config.likelihood_threshold,
+            cluster_size: config.cluster_size,
+            two_tiered: config.two_tiered.clone(),
+            rebuild_min_interval: config.rebuild_min_interval,
+        },
+    );
+
+    let mut rounds = Vec::new();
+    let mut votes: Vec<Vote> = Vec::new();
+    let mut total_cost = 0.0;
+    let mut total_assignments = 0usize;
+
+    for (round, chunk) in dataset.records().chunks(config.batch_size).enumerate() {
+        // Stage 1: ingest the arrivals (delta join + clustering).
+        let epochs_before = resolver.epochs();
+        let mut join_stats = JoinStats::default();
+        let mut new_pairs = 0usize;
+        for record in chunk {
+            let report = resolver.insert(record.source, record.fields.clone())?;
+            join_stats.absorb(&report.stats);
+            new_pairs += report.new_pairs.len();
+        }
+        let dirty_clusters = resolver.dirty_clusters();
+
+        // Stage 2: regenerate HITs only where the clustering moved.
+        let delta = resolver.regenerate_hits()?;
+        let fresh: Vec<Hit> = delta
+            .created
+            .iter()
+            .map(|&id| {
+                resolver
+                    .live_hits()
+                    .get(id)
+                    .expect("created ids are live")
+                    .clone()
+            })
+            .collect();
+
+        // Stage 3: one crowd session over the new work only.
+        let crowd = CrowdConfig {
+            seed: config.crowd.seed.wrapping_add(round as u64),
+            ..config.crowd.clone()
+        };
+        let sim = simulate(&fresh, &dataset.gold, population, &crowd)?;
+        total_cost += sim.cost_dollars;
+        total_assignments += sim.assignments.len();
+        votes.extend(
+            sim.labeled_triples()
+                .into_iter()
+                .map(|(pair, worker, verdict)| (pair, worker.0 as usize, verdict)),
+        );
+
+        rounds.push(RoundReport {
+            round,
+            arrived: chunk.len(),
+            new_pairs,
+            join_stats,
+            index_rebuilds: resolver.epochs() - epochs_before,
+            dirty_clusters,
+            hits_retired: delta.retired.len(),
+            hits_created: delta.created.len(),
+            hits_stable: delta.stable,
+            assignments: sim.assignments.len(),
+            cost_dollars: sim.cost_dollars,
+            elapsed_minutes: sim.elapsed_minutes,
+            corpus: resolver.len(),
+            cumulative_pairs: resolver.pairs().len(),
+        });
+    }
+
+    // Stage 4: aggregate every round's verdicts into one ranked list.
+    let ranked = if votes.is_empty() {
+        Vec::new()
+    } else {
+        match config.aggregation {
+            Aggregation::MajorityVote => majority_vote(&votes),
+            Aggregation::DawidSkene => DawidSkene::default().run(&votes)?.ranked,
+        }
+    };
+
+    // Hand the gold standard to the resolver's corpus so downstream
+    // metrics can evaluate against it.
+    *resolver.gold_mut() = dataset.gold.clone();
+
+    Ok(StreamingOutcome {
+        rounds,
+        ranked,
+        total_cost_dollars: total_cost,
+        total_assignments,
+        resolver,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowder_crowd::PopulationConfig;
+    use crowder_datagen::table1;
+    use crowder_simjoin::{prefix_join, TokenTable};
+
+    fn crowd() -> WorkerPopulation {
+        WorkerPopulation::generate(&PopulationConfig::default(), 42)
+    }
+
+    fn config() -> StreamingConfig {
+        StreamingConfig {
+            likelihood_threshold: 0.3,
+            cluster_size: 4,
+            batch_size: 3,
+            ..StreamingConfig::default()
+        }
+    }
+
+    #[test]
+    fn streamed_table1_matches_batch_machine_pass() {
+        let dataset = table1();
+        let out = run_streaming(&dataset, &crowd(), &config()).unwrap();
+        let tokens = TokenTable::build(&dataset);
+        assert_eq!(
+            out.resolver.ranked_pairs(),
+            prefix_join(&dataset, &tokens, 0.3, 1),
+            "exactness: streamed pair set ≡ batch prefix_join"
+        );
+        assert_eq!(out.rounds.len(), dataset.len().div_ceil(3));
+        assert_eq!(
+            out.rounds.iter().map(|r| r.arrived).sum::<usize>(),
+            dataset.len()
+        );
+    }
+
+    #[test]
+    fn verified_matches_rank_top() {
+        let dataset = table1();
+        let out = run_streaming(&dataset, &crowd(), &config()).unwrap();
+        assert!(!out.ranked.is_empty());
+        let top: Vec<_> = out.ranked.iter().take(4).map(|s| s.pair).collect();
+        let correct = top.iter().filter(|p| dataset.gold.is_match(p)).count();
+        assert!(correct >= 3, "only {correct}/4 gold pairs in the top ranks");
+        assert!(out.total_cost_dollars > 0.0);
+        assert_eq!(
+            out.total_assignments,
+            out.rounds.iter().map(|r| r.assignments).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn later_rounds_keep_stable_hits_stable() {
+        let dataset = table1();
+        let out = run_streaming(&dataset, &crowd(), &config()).unwrap();
+        // Table 1's two clusters arrive in different rounds (batch 3):
+        // once the iPad/iPhone cluster stops moving, its HITs must stop
+        // being regenerated.
+        let stable_ever = out.rounds.iter().any(|r| r.hits_stable > 0);
+        assert!(stable_ever, "some round must leave live HITs untouched");
+        let funnels_leak_free = out.rounds.iter().all(|r| {
+            let s = r.join_stats;
+            s.candidates == s.positional_pruned + s.space_pruned + s.suffix_pruned + s.verified
+        });
+        assert!(funnels_leak_free);
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let dataset = table1();
+        let bad_thr = StreamingConfig {
+            likelihood_threshold: 1.5,
+            ..config()
+        };
+        assert!(run_streaming(&dataset, &crowd(), &bad_thr).is_err());
+        let bad_batch = StreamingConfig {
+            batch_size: 0,
+            ..config()
+        };
+        assert!(run_streaming(&dataset, &crowd(), &bad_batch).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_is_trivial() {
+        let dataset = Dataset::new("e", vec![], crowder_types::PairSpace::SelfJoin);
+        let out = run_streaming(&dataset, &crowd(), &config()).unwrap();
+        assert!(out.rounds.is_empty());
+        assert!(out.ranked.is_empty());
+        assert_eq!(out.total_cost_dollars, 0.0);
+    }
+}

@@ -31,10 +31,12 @@ pub mod answer;
 pub mod platform;
 pub mod population;
 pub mod qualification;
+pub mod sampler;
 pub mod worker;
 
 pub use answer::{answer_hit, HitAnswer};
 pub use platform::{simulate, AssignmentRecord, CrowdConfig, SimOutcome};
 pub use population::{PopulationConfig, WorkerPopulation};
 pub use qualification::QualificationConfig;
+pub use sampler::OpenHitSampler;
 pub use worker::{WorkerId, WorkerKind, WorkerProfile};

@@ -4,7 +4,8 @@
 //!
 //! * every HIT is replicated into `assignments_per_hit` assignments, each
 //!   guaranteed to be done by a *different* worker (§7.1),
-//! * workers arrive as a Poisson process, browse open HITs, and accept
+//! * workers arrive as a Poisson process, browse open HITs (a
+//!   Fenwick-indexed uniform sample — see [`crate::sampler`]), and accept
 //!   based on perceived effort — the number of record rows the interface
 //!   shows — and their familiarity with the HIT shape. This acceptance
 //!   model is what reproduces Figure 14: pair-based HITs look familiar
@@ -19,11 +20,11 @@
 use crate::answer::{answer_hit, HitAnswer};
 use crate::population::WorkerPopulation;
 use crate::qualification::QualificationConfig;
+use crate::sampler::OpenHitSampler;
 use crate::worker::{WorkerId, WorkerProfile};
 use crowder_hitgen::Hit;
 use crowder_types::{Error, GoldStandard, Pair, Result};
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
 
@@ -199,7 +200,10 @@ pub fn simulate(
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut remaining: Vec<usize> = vec![config.assignments_per_hit; hits.len()];
     let mut done_by: Vec<HashSet<WorkerId>> = vec![HashSet::new(); hits.len()];
-    let mut open: Vec<usize> = (0..hits.len()).collect();
+    // Fenwick-indexed open set: a browse session samples
+    // `browse_limit` open HITs in O(browse_limit · log n) instead of
+    // scanning the whole open list.
+    let mut sampler = OpenHitSampler::new(hits.len());
     let mut qual_state: HashMap<WorkerId, QualificationState> = HashMap::new();
     let mut assignments: Vec<AssignmentRecord> = Vec::new();
     let mut participants: HashSet<WorkerId> = HashSet::new();
@@ -258,12 +262,12 @@ pub fn simulate(
         let session_budget = geometric(config.mean_session_hits, &mut rng);
         let mut worker_time = clock_min.max(busy_until.get(&effective.id).copied().unwrap_or(0.0));
         let mut completed_this_session = 0usize;
-        let browse = reservoir_sample(&open, config.browse_limit, &mut rng);
+        let browse = sampler.sample(config.browse_limit, &mut rng);
         for &hit_idx in &browse {
             if completed_this_session >= session_budget {
                 break;
             }
-            if remaining[hit_idx] == 0 || done_by[hit_idx].contains(&effective.id) {
+            if done_by[hit_idx].contains(&effective.id) {
                 continue;
             }
             let p = acceptance_probability(&effective, &hits[hit_idx], config);
@@ -274,6 +278,9 @@ pub fn simulate(
             let accepted_at = worker_time;
             worker_time += answer.duration_secs / 60.0;
             remaining[hit_idx] -= 1;
+            if remaining[hit_idx] == 0 {
+                sampler.close(hit_idx);
+            }
             done_by[hit_idx].insert(effective.id);
             participants.insert(effective.id);
             assignments.push(AssignmentRecord {
@@ -286,10 +293,6 @@ pub fn simulate(
             completed_this_session += 1;
         }
         busy_until.insert(effective.id, worker_time);
-        // Prune fully-assigned HITs from the open list occasionally.
-        if assignments.len().is_multiple_of(64) {
-            open.retain(|&h| remaining[h] > 0);
-        }
     }
 
     if assignments.len() < total_needed {
@@ -311,30 +314,6 @@ pub fn simulate(
         elapsed_minutes,
         cost_dollars,
     })
-}
-
-/// Uniform sample of at most `k` items from `items`, in uniformly
-/// random order.
-///
-/// Classic reservoir sampling, so a browsing session allocates and
-/// shuffles `O(browse_limit)` instead of cloning and shuffling the whole
-/// open-HIT list — the arrival loop's former per-session hot spot on
-/// large batches. The trailing shuffle makes the browse *order* uniform
-/// too (the reservoir alone biases order), so the distribution is
-/// exactly that of "full shuffle, take the first `k`"; when
-/// `items.len() ≤ k` the RNG draws are literally identical to the old
-/// clone-and-shuffle, and larger batches are statistically
-/// indistinguishable (see the regression tests).
-fn reservoir_sample(items: &[usize], k: usize, rng: &mut StdRng) -> Vec<usize> {
-    let mut sample: Vec<usize> = items.iter().copied().take(k).collect();
-    for (i, &item) in items.iter().enumerate().skip(k) {
-        let j = rng.random_range(0..=i);
-        if j < k {
-            sample[j] = item;
-        }
-    }
-    sample.shuffle(rng);
-    sample
 }
 
 /// Geometric session budget with the given mean (≥ 1).
@@ -520,41 +499,8 @@ mod tests {
     }
 
     #[test]
-    fn reservoir_sample_is_uniform() {
-        // Every item must be selected with probability k/n. 3000 seeded
-        // draws of 4 from 12 give each item an expected 1000 selections;
-        // the binomial standard deviation is ~26, so [850, 1150] is a
-        // > 5-sigma acceptance band — deterministic, not flaky.
-        let items: Vec<usize> = (0..12).collect();
-        let mut counts = [0usize; 12];
-        for seed in 0..3000u64 {
-            let mut rng = StdRng::seed_from_u64(seed);
-            for v in reservoir_sample(&items, 4, &mut rng) {
-                counts[v] += 1;
-            }
-        }
-        for (i, &c) in counts.iter().enumerate() {
-            assert!(
-                (850..=1150).contains(&c),
-                "item {i} selected {c} times, expected ~1000: {counts:?}"
-            );
-        }
-    }
-
-    #[test]
-    fn reservoir_sample_short_input_returns_everything() {
-        let items: Vec<usize> = (0..5).collect();
-        let mut rng = StdRng::seed_from_u64(7);
-        let mut sample = reservoir_sample(&items, 40, &mut rng);
-        sample.sort_unstable();
-        assert_eq!(sample, items);
-        assert!(reservoir_sample(&items, 0, &mut rng).is_empty());
-        assert!(reservoir_sample(&[], 3, &mut rng).is_empty());
-    }
-
-    #[test]
     fn browsing_spreads_acceptances_across_large_batches() {
-        // Regression for the reservoir browse: with far more open HITs
+        // Regression for the sampled browse: with far more open HITs
         // than `browse_limit`, early acceptances must be spread uniformly
         // over the whole batch, not biased toward any prefix. The mean
         // accepted hit-index of the first third of assignments should sit

@@ -1,0 +1,227 @@
+//! Fenwick-indexed uniform sampling of open HITs.
+//!
+//! A browsing session must show a worker `browse_limit` open HITs,
+//! uniformly at random and in uniformly random order. The previous
+//! implementations scanned the whole open list per session — first a
+//! clone-and-shuffle, then a reservoir sample, both `O(open)`. On a
+//! large batch almost all of that work inspects HITs the session never
+//! sees.
+//!
+//! [`OpenHitSampler`] keeps a Fenwick (binary indexed) tree of 0/1
+//! weights over the HIT slots. Drawing one open HIT is a uniform draw
+//! in `[0, open)` followed by a prefix-sum descent — `O(log n)` — and a
+//! session of `k` draws *without replacement* temporarily clears the
+//! drawn slots and restores them afterwards, for `O(k log n)` total.
+//! Sequential without-replacement draws are distributed exactly like
+//! "shuffle the open list, take the first `k`": every subset of size
+//! `k` is equally likely, in uniformly random order (the regression
+//! tests pin both properties).
+//!
+//! Completed HITs are cleared permanently ([`OpenHitSampler::close`]),
+//! replacing the periodic `open.retain(..)` sweep of the arrival loop.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A Fenwick tree of 0/1 weights over HIT slots, supporting `O(log n)`
+/// uniform draws over the currently-open slots.
+#[derive(Debug, Clone)]
+pub struct OpenHitSampler {
+    /// 1-based Fenwick partial sums.
+    tree: Vec<u32>,
+    /// Current weight per slot (0 = closed / temporarily drawn).
+    weight: Vec<u8>,
+    open: u32,
+}
+
+impl OpenHitSampler {
+    /// A sampler over `n` slots, all open. Built in O(n): for an
+    /// all-ones weight array, node `i` of a Fenwick tree covers exactly
+    /// `lowbit(i)` leaves.
+    pub fn new(n: usize) -> Self {
+        let mut tree = vec![0u32; n + 1];
+        for (i, node) in tree.iter_mut().enumerate().skip(1) {
+            *node = (i & i.wrapping_neg()) as u32;
+        }
+        OpenHitSampler {
+            tree,
+            weight: vec![1; n],
+            open: n as u32,
+        }
+    }
+
+    /// Number of open slots.
+    #[inline]
+    pub fn open_count(&self) -> usize {
+        self.open as usize
+    }
+
+    fn add(&mut self, slot: usize, delta: i32) {
+        let mut i = slot + 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta as i64) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Close a slot for good (its HIT needs no more assignments). A
+    /// no-op if already closed.
+    pub fn close(&mut self, slot: usize) {
+        if self.weight[slot] == 1 {
+            self.weight[slot] = 0;
+            self.open -= 1;
+            self.add(slot, -1);
+        }
+    }
+
+    /// Re-open a slot. A no-op if already open.
+    fn reopen(&mut self, slot: usize) {
+        if self.weight[slot] == 0 {
+            self.weight[slot] = 1;
+            self.open += 1;
+            self.add(slot, 1);
+        }
+    }
+
+    /// The slot holding the `target`-th open unit (0-based): a Fenwick
+    /// prefix-sum descent.
+    fn select(&self, mut target: u32) -> usize {
+        debug_assert!(target < self.open);
+        let mut pos = 0usize;
+        // Highest power of two ≤ tree length.
+        let mut step = (self.tree.len()).next_power_of_two();
+        if step > self.tree.len() {
+            step >>= 1;
+        }
+        while step > 0 {
+            let next = pos + step;
+            if next < self.tree.len() && self.tree[next] <= target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        pos // pos is the count of slots strictly before the answer
+    }
+
+    /// Draw at most `k` distinct open slots, uniformly without
+    /// replacement, in uniformly random order. Costs `O(k log n)`; the
+    /// open set is unchanged afterwards.
+    pub fn sample(&mut self, k: usize, rng: &mut StdRng) -> Vec<usize> {
+        let take = k.min(self.open as usize);
+        let mut out = Vec::with_capacity(take);
+        for _ in 0..take {
+            let target = rng.random_range(0..self.open);
+            let slot = self.select(target);
+            out.push(slot);
+            // Temporarily remove so the next draw excludes it.
+            self.weight[slot] = 0;
+            self.open -= 1;
+            self.add(slot, -1);
+        }
+        for &slot in &out {
+            self.reopen(slot);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampler_is_uniform() {
+        // Every open slot must be selected with probability k/n. 3000
+        // seeded draws of 4 from 12 give each slot an expected 1000
+        // selections; the binomial standard deviation is ~26, so
+        // [850, 1150] is a > 5-sigma acceptance band — deterministic,
+        // not flaky.
+        let mut counts = [0usize; 12];
+        for seed in 0..3000u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sampler = OpenHitSampler::new(12);
+            for v in sampler.sample(4, &mut rng) {
+                counts[v] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (850..=1150).contains(&c),
+                "slot {i} selected {c} times, expected ~1000: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_order_is_uniform_too() {
+        // The *first* drawn slot must also be uniform — the browse order
+        // matters because sessions stop early at their budget. Same
+        // 5-sigma reasoning: 3000 draws over 12 slots, expected 250
+        // firsts each, sd ~15.1, band [160, 340].
+        let mut firsts = [0usize; 12];
+        for seed in 0..3000u64 {
+            let mut rng = StdRng::seed_from_u64(seed + 50_000);
+            let mut sampler = OpenHitSampler::new(12);
+            firsts[sampler.sample(4, &mut rng)[0]] += 1;
+        }
+        for (i, &c) in firsts.iter().enumerate() {
+            assert!(
+                (160..=340).contains(&c),
+                "slot {i} drawn first {c} times, expected ~250: {firsts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_is_without_replacement_and_restores() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sampler = OpenHitSampler::new(20);
+        for _ in 0..50 {
+            let mut s = sampler.sample(8, &mut rng);
+            assert_eq!(sampler.open_count(), 20, "weights restored");
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 8, "distinct slots");
+        }
+    }
+
+    #[test]
+    fn short_input_returns_everything() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sampler = OpenHitSampler::new(5);
+        let mut sample = sampler.sample(40, &mut rng);
+        sample.sort_unstable();
+        assert_eq!(sample, vec![0, 1, 2, 3, 4]);
+        assert!(sampler.sample(0, &mut rng).is_empty());
+        assert!(OpenHitSampler::new(0).sample(3, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn closed_slots_never_appear() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sampler = OpenHitSampler::new(10);
+        for slot in [2usize, 5, 7] {
+            sampler.close(slot);
+            sampler.close(slot); // idempotent
+        }
+        assert_eq!(sampler.open_count(), 7);
+        for _ in 0..200 {
+            for v in sampler.sample(4, &mut rng) {
+                assert!(![2, 5, 7].contains(&v), "closed slot {v} sampled");
+            }
+        }
+    }
+
+    #[test]
+    fn closing_everything_empties_the_sampler() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sampler = OpenHitSampler::new(3);
+        for slot in 0..3 {
+            sampler.close(slot);
+        }
+        assert_eq!(sampler.open_count(), 0);
+        assert!(sampler.sample(2, &mut rng).is_empty());
+    }
+}

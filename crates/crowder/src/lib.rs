@@ -18,6 +18,13 @@
 //! 4. answers are **aggregated** by Dawid–Skene EM into a final ranked
 //!    list of matching pairs.
 //!
+//! Beyond the paper's one-shot batch, the workspace also runs the
+//! pipeline **incrementally** (`crowder-stream` + `run_streaming`):
+//! records arrive continuously, each is delta-joined against the
+//! existing corpus, and only the clusters it touches get their HITs
+//! regenerated — with the streamed pair set bit-identical to the batch
+//! machine pass.
+//!
 //! This facade crate re-exports the whole workspace; depend on it alone
 //! and import [`prelude`].
 //!

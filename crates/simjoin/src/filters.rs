@@ -1,0 +1,172 @@
+//! The arithmetic and filter primitives shared by every prefix-filtered
+//! Jaccard join in the workspace.
+//!
+//! [`prefix_join`](crate::prefix_join) (the batch PPJoin+ engine) and
+//! `crowder-stream`'s delta join (one arriving record probed against an
+//! insert-capable index) apply the same lossless filter pipeline; this
+//! module holds the pieces both need so the two engines cannot drift:
+//!
+//! * the prefix/length/overlap formulas ([`prefix_len`],
+//!   [`index_prefix_len`], [`min_match_len`], [`max_match_len`],
+//!   [`min_overlap`]),
+//! * the PPJoin+ suffix filter ([`suffix_hamming_lb`]),
+//! * resume-merge verification ([`overlap_reaching`]).
+//!
+//! All `ceil`-shaped formulas nudge their argument down by [`CEIL_EPS`]
+//! so exact integer products never round up a bucket: erring low only
+//! admits extra candidates, which exact verification then rejects —
+//! over-rounding would silently drop true results.
+
+/// Recursion depth of the suffix filter's binary partition. Depth `d`
+/// costs at most `2^d` binary searches per candidate; the PPJoin+ paper
+/// finds returns diminish quickly (it uses 2); 3 keeps the filter cheap
+/// while pruning noticeably harder on long records.
+pub const SUFFIX_FILTER_DEPTH: usize = 3;
+
+/// Guard against floating-point over-rounding: a `ceil` argument is
+/// nudged down so exact integer products never round up a bucket, which
+/// would over-prune. Erring low only admits extra candidates, which
+/// exact verification then rejects.
+pub const CEIL_EPS: f64 = 1e-9;
+
+/// Probe prefix length for a record of `len` tokens:
+/// `len − ⌈t·len⌉ + 1`.
+pub fn prefix_len(len: usize, threshold: f64) -> usize {
+    len - (threshold * len as f64 - CEIL_EPS).ceil().max(1.0) as usize + 1
+}
+
+/// Indexing prefix length (PPJoin index reduction):
+/// `len − ⌈2t/(1+t)·len⌉ + 1`. Valid because probes are never shorter
+/// than indexed records, so the required overlap with any probe is at
+/// least `⌈2t/(1+t)·len⌉`. Always in `1..=len` for `len ≥ 1`.
+pub fn index_prefix_len(len: usize, threshold: f64) -> usize {
+    let factor = 2.0 * threshold / (1.0 + threshold);
+    len - (factor * len as f64 - CEIL_EPS).ceil().max(1.0) as usize + 1
+}
+
+/// Length filter, lower side: a record of `len` tokens only matches
+/// records with at least `⌈t·len⌉` tokens.
+pub fn min_match_len(len: usize, threshold: f64) -> usize {
+    (threshold * len as f64 - CEIL_EPS).ceil().max(1.0) as usize
+}
+
+/// Length filter, upper side: a record of `len` tokens only matches
+/// records with at most `⌊len/t⌋` tokens. The batch join never needs
+/// this (its probe is always the longer side by construction); the
+/// streaming delta join probes in arrival order, where the indexed
+/// record may be the longer one.
+pub fn max_match_len(len: usize, threshold: f64) -> usize {
+    debug_assert!(threshold > 0.0, "upper length filter needs t > 0");
+    (len as f64 / threshold + CEIL_EPS).floor() as usize
+}
+
+/// Overlap a pair of sizes `(lx, ly)` must reach for Jaccard ≥ t:
+/// `⌈t/(1+t)·(lx+ly)⌉`.
+pub fn min_overlap(lx: usize, ly: usize, threshold: f64) -> usize {
+    ((threshold / (1.0 + threshold)) * (lx + ly) as f64 - CEIL_EPS).ceil() as usize
+}
+
+/// Lower bound on the Hamming distance (symmetric-difference size) of
+/// two sorted, deduplicated id slices, by recursive binary partition
+/// around pivot tokens (the PPJoin+ suffix filter).
+///
+/// Partitioning both slices around a pivot `w` is lossless for the
+/// bound: elements `< w` can only match elements `< w`, likewise `> w`,
+/// and the pivot itself mismatches iff exactly one side holds it — so
+/// the true distance is at least the sum over the parts. Each part is
+/// bounded by its length difference, or recursively up to `depth` more
+/// splits. Recursion abandons early once the accumulated bound exceeds
+/// `hmax` (the caller's prune threshold): any value `> hmax` suffices.
+pub fn suffix_hamming_lb(a: &[u32], b: &[u32], hmax: usize, depth: usize) -> usize {
+    let base = a.len().abs_diff(b.len());
+    if depth == 0 || a.is_empty() || b.is_empty() || base > hmax {
+        return base;
+    }
+    // Pivot on b's middle token: b is the indexed (shorter) side, so
+    // its midpoint splits the work evenly where it matters.
+    let w = b[b.len() / 2];
+    let ai = a.partition_point(|&v| v < w);
+    let bi = b.partition_point(|&v| v < w);
+    let a_has = a.get(ai) == Some(&w);
+    let b_has = b.get(bi) == Some(&w);
+    let diff = usize::from(a_has != b_has);
+    let (al, ar) = (&a[..ai], &a[ai + usize::from(a_has)..]);
+    let (bl, br) = (&b[..bi], &b[bi + usize::from(b_has)..]);
+    let left_base = al.len().abs_diff(bl.len());
+    let right_base = ar.len().abs_diff(br.len());
+    if left_base + right_base + diff > hmax {
+        return left_base + right_base + diff;
+    }
+    // Budgets below never underflow: the check above guarantees
+    // `right_base + diff ≤ hmax`, and the early return after it
+    // guarantees `hl + diff ≤ hmax`.
+    let hl = suffix_hamming_lb(al, bl, hmax - right_base - diff, depth - 1);
+    if hl + right_base + diff > hmax {
+        return hl + right_base + diff;
+    }
+    let hr = suffix_hamming_lb(ar, br, hmax - hl - diff, depth - 1);
+    hl + diff + hr
+}
+
+/// Overlap of two sorted id slices, abandoning as soon as the best still
+/// achievable total drops below `required` (returns `None`: the caller
+/// only cares about overlaps reaching the threshold).
+pub fn overlap_reaching(a: &[u32], b: &[u32], required: usize) -> Option<usize> {
+    let (mut i, mut j, mut o) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if o + (a.len() - i).min(b.len() - j) < required {
+            return None;
+        }
+        let (x, y) = (a[i], b[j]);
+        o += usize::from(x == y);
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
+    }
+    (o >= required).then_some(o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formulas_never_exceed_length() {
+        for len in 1usize..=40 {
+            for thr in [0.05, 0.3, 0.5, 0.8, 1.0] {
+                let p = prefix_len(len, thr);
+                let ip = index_prefix_len(len, thr);
+                assert!((1..=len).contains(&p), "prefix_len({len}, {thr}) = {p}");
+                assert!((1..=len).contains(&ip), "index_prefix_len = {ip}");
+                assert!(ip <= p, "indexing prefix is never longer than probe");
+                assert!(min_match_len(len, thr) <= len + 1);
+                assert!(max_match_len(len, thr) >= len, "len {len} thr {thr}");
+            }
+        }
+    }
+
+    #[test]
+    fn length_filters_bracket_exactly() {
+        // At t = 0.5 a 4-token record matches only 2..=8 token records.
+        assert_eq!(min_match_len(4, 0.5), 2);
+        assert_eq!(max_match_len(4, 0.5), 8);
+        // At t = 1.0 only identical lengths qualify.
+        assert_eq!(min_match_len(7, 1.0), 7);
+        assert_eq!(max_match_len(7, 1.0), 7);
+    }
+
+    #[test]
+    fn min_overlap_matches_hand_computation() {
+        // J ≥ 0.5 on (4, 4): o ≥ ⌈(0.5/1.5)·8⌉ = ⌈2.67⌉ = 3.
+        assert_eq!(min_overlap(4, 4, 0.5), 3);
+        // Exact integer product must not round up: (0.5/1.5)·6 = 2.
+        assert_eq!(min_overlap(3, 3, 0.5), 2);
+    }
+
+    #[test]
+    fn overlap_reaching_abandons_and_counts() {
+        assert_eq!(overlap_reaching(&[1, 2, 3], &[2, 3, 4], 2), Some(2));
+        assert_eq!(overlap_reaching(&[1, 2, 3], &[4, 5, 6], 1), None);
+        assert_eq!(overlap_reaching(&[], &[], 0), Some(0));
+        assert_eq!(overlap_reaching(&[1], &[1], 2), None);
+    }
+}

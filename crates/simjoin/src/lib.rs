@@ -65,6 +65,7 @@
 
 pub mod allpairs;
 pub mod blocking;
+pub mod filters;
 pub mod prefix;
 pub mod qgram;
 pub mod sweep;

@@ -51,8 +51,13 @@
 //! stage discarded.
 
 use crate::allpairs::effective_threads;
+use crate::filters::{
+    index_prefix_len, min_match_len, min_overlap, overlap_reaching, prefix_len, suffix_hamming_lb,
+};
 use crate::tokens::TokenTable;
 use crowder_types::{Dataset, Pair, RecordId, ScoredPair};
+
+pub use crate::filters::SUFFIX_FILTER_DEPTH;
 
 /// One index entry: which record (by position in the length-sorted
 /// order) carries the token, and where in its id list the token sits.
@@ -61,12 +66,6 @@ struct Posting {
     rank: u32,
     pos: u32,
 }
-
-/// Recursion depth of the suffix filter's binary partition. Depth `d`
-/// costs at most `2^d` binary searches per candidate; the PPJoin+ paper
-/// finds returns diminish quickly (it uses 2); 3 keeps the filter cheap
-/// while pruning noticeably harder on long records.
-pub const SUFFIX_FILTER_DEPTH: usize = 3;
 
 /// Per-join filter-funnel counters, summed across worker threads.
 ///
@@ -93,7 +92,9 @@ pub struct JoinStats {
 }
 
 impl JoinStats {
-    fn absorb(&mut self, other: &JoinStats) {
+    /// Accumulate another funnel's counters (summing across worker
+    /// threads, or across delta joins in `crowder-stream`).
+    pub fn absorb(&mut self, other: &JoinStats) {
         self.candidates += other.candidates;
         self.positional_pruned += other.positional_pruned;
         self.space_pruned += other.space_pruned;
@@ -301,98 +302,6 @@ fn probe(
             }
         }
     }
-}
-
-/// Lower bound on the Hamming distance (symmetric-difference size) of
-/// two sorted, deduplicated id slices, by recursive binary partition
-/// around pivot tokens (the PPJoin+ suffix filter).
-///
-/// Partitioning both slices around a pivot `w` is lossless for the
-/// bound: elements `< w` can only match elements `< w`, likewise `> w`,
-/// and the pivot itself mismatches iff exactly one side holds it — so
-/// the true distance is at least the sum over the parts. Each part is
-/// bounded by its length difference, or recursively up to `depth` more
-/// splits. Recursion abandons early once the accumulated bound exceeds
-/// `hmax` (the caller's prune threshold): any value `> hmax` suffices.
-fn suffix_hamming_lb(a: &[u32], b: &[u32], hmax: usize, depth: usize) -> usize {
-    let base = a.len().abs_diff(b.len());
-    if depth == 0 || a.is_empty() || b.is_empty() || base > hmax {
-        return base;
-    }
-    // Pivot on b's middle token: b is the indexed (shorter) side, so
-    // its midpoint splits the work evenly where it matters.
-    let w = b[b.len() / 2];
-    let ai = a.partition_point(|&v| v < w);
-    let bi = b.partition_point(|&v| v < w);
-    let a_has = a.get(ai) == Some(&w);
-    let b_has = b.get(bi) == Some(&w);
-    let diff = usize::from(a_has != b_has);
-    let (al, ar) = (&a[..ai], &a[ai + usize::from(a_has)..]);
-    let (bl, br) = (&b[..bi], &b[bi + usize::from(b_has)..]);
-    let left_base = al.len().abs_diff(bl.len());
-    let right_base = ar.len().abs_diff(br.len());
-    if left_base + right_base + diff > hmax {
-        return left_base + right_base + diff;
-    }
-    // Budgets below never underflow: the check above guarantees
-    // `right_base + diff ≤ hmax`, and the early return after it
-    // guarantees `hl + diff ≤ hmax`.
-    let hl = suffix_hamming_lb(al, bl, hmax - right_base - diff, depth - 1);
-    if hl + right_base + diff > hmax {
-        return hl + right_base + diff;
-    }
-    let hr = suffix_hamming_lb(ar, br, hmax - hl - diff, depth - 1);
-    hl + diff + hr
-}
-
-/// Overlap of two sorted id slices, abandoning as soon as the best still
-/// achievable total drops below `required` (returns `None`: the caller
-/// only cares about overlaps reaching the threshold).
-fn overlap_reaching(a: &[u32], b: &[u32], required: usize) -> Option<usize> {
-    let (mut i, mut j, mut o) = (0usize, 0usize, 0usize);
-    while i < a.len() && j < b.len() {
-        if o + (a.len() - i).min(b.len() - j) < required {
-            return None;
-        }
-        let (x, y) = (a[i], b[j]);
-        o += usize::from(x == y);
-        i += usize::from(x <= y);
-        j += usize::from(y <= x);
-    }
-    (o >= required).then_some(o)
-}
-
-/// Guard against floating-point over-rounding: a `ceil` argument is
-/// nudged down so exact integer products never round up a bucket, which
-/// would over-prune. Erring low only admits extra candidates, which
-/// exact verification then rejects.
-const CEIL_EPS: f64 = 1e-9;
-
-/// Probe prefix length for a record of `len` tokens:
-/// `len − ⌈t·len⌉ + 1`.
-fn prefix_len(len: usize, threshold: f64) -> usize {
-    len - (threshold * len as f64 - CEIL_EPS).ceil().max(1.0) as usize + 1
-}
-
-/// Indexing prefix length (PPJoin index reduction):
-/// `len − ⌈2t/(1+t)·len⌉ + 1`. Valid because probes are never shorter
-/// than indexed records, so the required overlap with any probe is at
-/// least `⌈2t/(1+t)·len⌉`. Always in `1..=len` for `len ≥ 1`.
-fn index_prefix_len(len: usize, threshold: f64) -> usize {
-    let factor = 2.0 * threshold / (1.0 + threshold);
-    len - (factor * len as f64 - CEIL_EPS).ceil().max(1.0) as usize + 1
-}
-
-/// Length filter: a record of `len` tokens only matches records with at
-/// least `⌈t·len⌉` tokens.
-fn min_match_len(len: usize, threshold: f64) -> usize {
-    (threshold * len as f64 - CEIL_EPS).ceil().max(1.0) as usize
-}
-
-/// Overlap a pair of sizes `(lx, ly)` must reach for Jaccard ≥ t:
-/// `⌈t/(1+t)·(lx+ly)⌉`.
-fn min_overlap(lx: usize, ly: usize, threshold: f64) -> usize {
-    ((threshold / (1.0 + threshold)) * (lx + ly) as f64 - CEIL_EPS).ceil() as usize
 }
 
 #[cfg(test)]

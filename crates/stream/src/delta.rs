@@ -1,0 +1,332 @@
+//! The insert-capable prefix-filter index and the per-arrival delta
+//! join.
+//!
+//! The batch engine (`crowder-simjoin::prefix_join`) probes records in
+//! ascending length order, so the probing side is always the longer one
+//! and the index can hold the *shortened* PPJoin indexing prefix. A
+//! stream has no such luxury: an arriving record may be shorter or
+//! longer than anything indexed. [`DeltaIndex`] therefore indexes each
+//! record's full **probe prefix** (`|y| − ⌈t·|y|⌉ + 1` rarest-ranked
+//! tokens) — the symmetric prefix-filter guarantee: any pair with
+//! Jaccard ≥ t shares a token between its two probe prefixes, whichever
+//! side is longer.
+//!
+//! A probe of record `x` walks `x`'s probe prefix in ascending rank
+//! order against the posting lists. The first index hit for a candidate
+//! `y` is their *minimal* shared prefix token (both lists ascend in the
+//! same global rank order — see `StreamingDict` — and any smaller shared
+//! token would sit inside both prefixes, hitting earlier), so the
+//! positional filter, suffix filter, and resume-merge verification of
+//! the batch engine apply verbatim from `crowder_simjoin::filters`:
+//! overlap at the first shared position is exactly 1, and the merge
+//! resumes at `(i+1, j+1)`.
+//!
+//! Degenerate thresholds mirror the batch engine so the cumulative
+//! output stays bit-identical: `threshold ≤ 0` compares the arrival
+//! against every indexed candidate exhaustively (no filter can help at
+//! a zero threshold), and `threshold > 1` yields nothing.
+
+use crowder_simjoin::filters::{
+    max_match_len, min_match_len, min_overlap, overlap_reaching, prefix_len, suffix_hamming_lb,
+    SUFFIX_FILTER_DEPTH,
+};
+use crowder_simjoin::JoinStats;
+use crowder_text::jaccard_ids;
+use crowder_types::{Dataset, Pair, RecordId, ScoredPair};
+use std::collections::HashMap;
+
+use crate::dict::StreamingDict;
+
+/// One index entry: the record holding the token and the token's
+/// position in that record's rank-sorted list.
+#[derive(Debug, Clone, Copy)]
+struct Posting {
+    record: u32,
+    pos: u32,
+}
+
+/// Marker value meaning "never seen" in the per-probe dedup array.
+const UNSEEN: u32 = u32::MAX;
+
+/// Mutable prefix-filter index over an appendable corpus.
+#[derive(Debug, Clone)]
+pub struct DeltaIndex {
+    threshold: f64,
+    /// Rank → postings. Keyed by *rank* (the join's sort key), which is
+    /// stable between dictionary epochs; `rebuild` re-keys everything.
+    postings: HashMap<u32, Vec<Posting>>,
+    /// Per-record token lists, as ranks sorted ascending.
+    docs: Vec<Vec<u32>>,
+    /// Per-probe candidate dedup: the record id of the probe that last
+    /// reached each indexed record.
+    seen: Vec<u32>,
+}
+
+impl DeltaIndex {
+    /// An empty index joining at `threshold`.
+    pub fn new(threshold: f64) -> Self {
+        DeltaIndex {
+            threshold,
+            postings: HashMap::new(),
+            docs: Vec::new(),
+            seen: Vec::new(),
+        }
+    }
+
+    /// Number of records indexed.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True iff no record was indexed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// The rank-sorted token list of an indexed record.
+    #[inline]
+    pub fn doc(&self, record: RecordId) -> &[u32] {
+        &self.docs[record.index()]
+    }
+
+    /// Join threshold the index was built for.
+    #[inline]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Delta-join the next record (rank-sorted token list `doc`) against
+    /// everything indexed, then index it. The record's id must be
+    /// `self.len()` — records arrive densely — and must already be
+    /// pushed into `dataset` (the candidate-space filter reads its
+    /// source). New pairs are appended to `out`; filter decisions are
+    /// tallied into `stats` with the same bucket semantics as the batch
+    /// funnel.
+    pub fn join_and_insert(
+        &mut self,
+        dataset: &Dataset,
+        doc: Vec<u32>,
+        out: &mut Vec<ScoredPair>,
+        stats: &mut JoinStats,
+    ) {
+        let x = self.docs.len() as u32;
+        debug_assert_eq!(dataset.len(), self.docs.len() + 1, "push record first");
+        if self.threshold > 1.0 {
+            // Jaccard never exceeds 1: nothing to join, nothing worth
+            // indexing.
+            self.docs.push(doc);
+            self.seen.push(UNSEEN);
+            return;
+        }
+        if self.threshold <= 0.0 {
+            self.exhaustive_probe(dataset, x, &doc, out, stats);
+            self.docs.push(doc);
+            self.seen.push(UNSEEN);
+            return;
+        }
+        self.filtered_probe(dataset, x, &doc, out, stats);
+        // Index the arrival's probe prefix for future probes.
+        if !doc.is_empty() {
+            let plen = prefix_len(doc.len(), self.threshold);
+            for (pos, &rank) in doc[..plen].iter().enumerate() {
+                self.postings.entry(rank).or_default().push(Posting {
+                    record: x,
+                    pos: pos as u32,
+                });
+            }
+        }
+        self.docs.push(doc);
+        self.seen.push(UNSEEN);
+    }
+
+    /// The `threshold ≤ 0` degradation: every candidate pair is scored
+    /// (mirrors the batch fallback to `all_pairs_scored` — a zero
+    /// threshold keeps everything, so no filter can help).
+    fn exhaustive_probe(
+        &self,
+        dataset: &Dataset,
+        x: u32,
+        doc: &[u32],
+        out: &mut Vec<ScoredPair>,
+        stats: &mut JoinStats,
+    ) {
+        for y in 0..self.docs.len() as u32 {
+            let pair = Pair::new(RecordId(x), RecordId(y)).expect("y < x");
+            if !dataset.is_candidate(&pair) {
+                continue;
+            }
+            stats.candidates += 1;
+            stats.verified += 1;
+            let sim = jaccard_ids(doc, &self.docs[y as usize]);
+            if sim >= self.threshold {
+                stats.results += 1;
+                out.push(ScoredPair::new(pair, sim));
+            }
+        }
+    }
+
+    /// The full filter pipeline for `0 < threshold ≤ 1`.
+    fn filtered_probe(
+        &mut self,
+        dataset: &Dataset,
+        x: u32,
+        doc: &[u32],
+        out: &mut Vec<ScoredPair>,
+        stats: &mut JoinStats,
+    ) {
+        if doc.is_empty() {
+            return; // Jaccard with an empty set is 0 < threshold.
+        }
+        let t = self.threshold;
+        let (postings, docs, seen) = (&self.postings, &self.docs, &mut self.seen);
+        let lx = doc.len();
+        let plen = prefix_len(lx, t);
+        let (min_ly, max_ly) = (min_match_len(lx, t), max_match_len(lx, t));
+        for (i, &rank) in doc[..plen].iter().enumerate() {
+            let Some(plist) = postings.get(&rank) else {
+                continue;
+            };
+            for p in plist {
+                let y = p.record;
+                if seen[y as usize] == x {
+                    continue;
+                }
+                seen[y as usize] = x;
+                stats.candidates += 1;
+                let ydoc = &docs[y as usize];
+                let ly = ydoc.len();
+                let j = p.pos as usize;
+                // Length + positional filter. Posting lists are in
+                // arrival order, not length order, so the length check
+                // is per-candidate; it is a strict subset of the
+                // positional rejections (out-of-range lengths cannot
+                // reach α), so both share the funnel bucket.
+                let alpha = min_overlap(lx, ly, t);
+                let upper = 1 + (lx - i - 1).min(ly - j - 1);
+                if ly < min_ly || ly > max_ly || upper < alpha {
+                    stats.positional_pruned += 1;
+                    continue;
+                }
+                let pair = Pair::new(RecordId(x), RecordId(y)).expect("y arrived before x");
+                if !dataset.is_candidate(&pair) {
+                    stats.space_pruned += 1;
+                    continue;
+                }
+                // Suffix filter, then resume-merge verification — both
+                // shared with the batch engine (see module docs: the
+                // first index hit is the pair's first shared prefix
+                // token, so overlap before `(i, j)` is exactly 0).
+                let (xs, ys) = (&doc[i + 1..], &ydoc[j + 1..]);
+                if alpha > 1 {
+                    let hmax = xs.len() + ys.len() - 2 * (alpha - 1);
+                    if suffix_hamming_lb(xs, ys, hmax, SUFFIX_FILTER_DEPTH) > hmax {
+                        stats.suffix_pruned += 1;
+                        continue;
+                    }
+                }
+                stats.verified += 1;
+                let Some(suffix_overlap) = overlap_reaching(xs, ys, alpha.saturating_sub(1)) else {
+                    continue;
+                };
+                let o = 1 + suffix_overlap;
+                let sim = o as f64 / (lx + ly - o) as f64;
+                if sim >= t {
+                    stats.results += 1;
+                    out.push(ScoredPair::new(pair, sim));
+                }
+            }
+        }
+    }
+
+    /// Re-encode every record against the dictionary's current ranks and
+    /// rebuild the postings — the epoch step after
+    /// [`StreamingDict::rerank`]. `token_ids[r]` is record `r`'s stable
+    /// token ids.
+    pub fn rebuild(&mut self, dict: &StreamingDict, token_ids: &[Vec<u32>]) {
+        debug_assert_eq!(token_ids.len(), self.docs.len());
+        self.postings.clear();
+        for (r, ids) in token_ids.iter().enumerate() {
+            let doc = &mut self.docs[r];
+            doc.clear();
+            doc.extend(ids.iter().map(|&id| dict.rank(id)));
+            doc.sort_unstable();
+            if self.threshold > 0.0 && self.threshold <= 1.0 && !doc.is_empty() {
+                let plen = prefix_len(doc.len(), self.threshold);
+                for (pos, &rank) in doc[..plen].iter().enumerate() {
+                    self.postings.entry(rank).or_default().push(Posting {
+                        record: r as u32,
+                        pos: pos as u32,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowder_text::tokenize;
+    use crowder_types::{PairSpace, SourceId};
+
+    fn feed(names: &[&str], threshold: f64) -> (Vec<ScoredPair>, JoinStats) {
+        let mut dataset = Dataset::new("t", vec!["name".into()], PairSpace::SelfJoin);
+        let mut dict = StreamingDict::new();
+        let mut index = DeltaIndex::new(threshold);
+        let mut out = Vec::new();
+        let mut stats = JoinStats::default();
+        for name in names {
+            dataset
+                .push_record(SourceId(0), vec![name.to_string()])
+                .unwrap();
+            let ids = dict.encode_record(&tokenize(name));
+            let mut doc: Vec<u32> = ids.iter().map(|&id| dict.rank(id)).collect();
+            doc.sort_unstable();
+            index.join_and_insert(&dataset, doc, &mut out, &mut stats);
+        }
+        (out, stats)
+    }
+
+    #[test]
+    fn finds_matches_in_arrival_order() {
+        let (out, stats) = feed(&["a b c d", "a b c d", "x y", "a b c e"], 0.5);
+        let pairs: Vec<Pair> = out.iter().map(|s| s.pair).collect();
+        assert_eq!(pairs, vec![Pair::of(0, 1), Pair::of(0, 3), Pair::of(1, 3)]);
+        assert_eq!(stats.results, 3);
+        assert_eq!(
+            stats.candidates,
+            stats.positional_pruned + stats.space_pruned + stats.suffix_pruned + stats.verified
+        );
+    }
+
+    #[test]
+    fn shorter_arrival_still_matches_longer_indexed() {
+        // The symmetric prefix must catch a probe *shorter* than the
+        // indexed record — the case the batch engine never sees.
+        let (out, _) = feed(&["a b c d e", "a b c d"], 0.8);
+        assert_eq!(out.len(), 1);
+        assert!((out[0].likelihood - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_threshold_scores_every_pair() {
+        let (out, stats) = feed(&["a b", "c d", "e"], 0.0);
+        assert_eq!(out.len(), 3);
+        assert_eq!(stats.verified, 3);
+    }
+
+    #[test]
+    fn above_one_threshold_yields_nothing() {
+        let (out, stats) = feed(&["a b", "a b"], 1.5);
+        assert!(out.is_empty());
+        assert_eq!(stats, JoinStats::default());
+    }
+
+    #[test]
+    fn empty_records_never_match_at_positive_threshold() {
+        let (out, _) = feed(&["", "---", "a", ""], 0.1);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! # crowder-stream
+//!
+//! The incremental ER engine: CrowdER's batch pipeline (machine pass →
+//! HIT generation → crowd) re-cast as an always-on system that absorbs
+//! record arrivals one at a time. Where the paper's workflow (Figure 1)
+//! recomputes everything per run, this crate maintains the same state
+//! *deltas*: each arrival is joined only against the existing corpus,
+//! only the clusters it touches are re-clustered, and only their HITs
+//! are regenerated.
+//!
+//! ## Component map (paper / related-work sources)
+//!
+//! * [`StreamingDict`] — the corpus token order behind prefix filtering.
+//!   Batch CrowdER interns tokens once in ascending document-frequency
+//!   order (§7.1's token sets + the classic rarest-first prefix order of
+//!   Chaudhuri et al. 2006 / Bayardo et al. 2007). Streaming splits
+//!   stable token *ids* from mutable *ranks*: unseen tokens intern on
+//!   the fly into a reserved low-rank band (a fresh token has df 1 — the
+//!   rarest thing in the corpus), and an epoch-based
+//!   [`rerank`](StreamingDict::rerank) periodically restores the exact
+//!   df order as frequencies drift. Filter *correctness* needs only one
+//!   consistent total order, so rank staleness costs selectivity, never
+//!   results.
+//! * [`DeltaIndex`] — the machine pass (§2.1.1's likelihood = Jaccard,
+//!   §2.2's footnote on indexed joins) as an insert-capable PPJoin+
+//!   probe: symmetric prefix filter (an arrival may be shorter *or*
+//!   longer than indexed records), positional filter, suffix filter,
+//!   and resume-merge verification, all shared with the batch engine
+//!   via `crowder_simjoin::filters`. One arrival costs a handful of
+//!   posting-list probes instead of an `O(n)`–`O(n²)` re-join.
+//! * [`IncrementalResolver`] — dynamic clustering over the match edges:
+//!   the pair graph of §4.1, maintained by a growable
+//!   [`UnionFind`](crowder_graph::UnionFind) (`make_set` per arrival,
+//!   `union` per surfaced pair) with per-component pair lists merged
+//!   small-to-large, plus a dirty-component set recording what moved
+//!   since the last flush.
+//! * [`LiveHits`] — live HIT regeneration: dirty clusters re-enter the
+//!   paper's two-tiered generator (§5, Algorithms 1–2 + the
+//!   cutting-stock packing of §5.3) while untouched clusters keep their
+//!   published HITs under stable [`HitId`]s. This is the interleaving
+//!   regime of fault-tolerant crowd ER (Gruenheid et al. 2015) and
+//!   next-crowdsource selection (Yalavarthi et al. 2017): crowd answers
+//!   for stable HITs stay valid while new arrivals queue more work.
+//!
+//! ## The exactness contract
+//!
+//! After any arrival sequence, [`IncrementalResolver::ranked_pairs`] is
+//! **bit-identical** to a batch
+//! [`prefix_join`](crowder_simjoin::prefix_join) over the same corpus at
+//! the same threshold — same pairs, same `f64` likelihoods, same order.
+//! The property is enforced by proptests here and in the workspace
+//! integration suite across thresholds, batch splits, insertion orders,
+//! and thread counts of the batch reference. Degenerate thresholds
+//! degrade identically too (`≤ 0` exhaustive, `> 1` empty).
+//!
+//! The interactive half — interleaving arrival batches with simulated
+//! crowd sessions — lives in `crowder-core`'s `StreamingWorkflow`, which
+//! drives this crate together with `crowder-crowd`.
+
+pub mod delta;
+pub mod dict;
+pub mod live;
+pub mod resolver;
+
+pub use delta::DeltaIndex;
+pub use dict::StreamingDict;
+pub use live::{HitId, LiveHits};
+pub use resolver::{HitDelta, IncrementalResolver, InsertReport, StreamConfig};

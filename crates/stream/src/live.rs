@@ -1,0 +1,144 @@
+//! Live HIT bookkeeping: stable ids for unchanged work, regeneration
+//! only where the pair graph actually moved.
+//!
+//! A batch deployment regenerates its whole HIT set per run; published
+//! HITs on a real platform cannot be re-shuffled without forfeiting the
+//! assignments already in flight. [`LiveHits`] keys every generated HIT
+//! with a monotonically increasing [`HitId`] and groups ids by the
+//! cluster (union-find representative) they cover. When a cluster is
+//! dirtied by new arrivals, *its* HITs are retired and replaced under
+//! fresh ids; every other cluster's HITs — id and content — are
+//! untouched, which is what lets crowd sessions and arrivals interleave
+//! (the Gruenheid et al. 2015 / Yalavarthi et al. 2017 regime).
+
+use crowder_hitgen::Hit;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Stable identity of one published HIT. Ids are never reused; a
+/// regenerated cluster's HITs get fresh ids so platforms can tell
+/// retirement from mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HitId(pub u64);
+
+impl fmt::Display for HitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hit#{}", self.0)
+    }
+}
+
+/// The currently published HIT set, grouped by cluster representative.
+#[derive(Debug, Clone, Default)]
+pub struct LiveHits {
+    hits: BTreeMap<HitId, Hit>,
+    by_root: HashMap<usize, Vec<HitId>>,
+    next: u64,
+}
+
+impl LiveHits {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live HITs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// True iff nothing is published.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.hits.is_empty()
+    }
+
+    /// Look up one live HIT.
+    #[inline]
+    pub fn get(&self, id: HitId) -> Option<&Hit> {
+        self.hits.get(&id)
+    }
+
+    /// All live HITs in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (HitId, &Hit)> {
+        self.hits.iter().map(|(&id, hit)| (id, hit))
+    }
+
+    /// Two clusters merged: `absorbed`'s ids now belong to `winner`
+    /// (they will be retired when the merged cluster regenerates —
+    /// callers mark `winner` dirty).
+    pub fn merge_roots(&mut self, winner: usize, absorbed: usize) {
+        if let Some(mut ids) = self.by_root.remove(&absorbed) {
+            self.by_root.entry(winner).or_default().append(&mut ids);
+        }
+    }
+
+    /// Replace the HITs of cluster `root` with `fresh`, retiring
+    /// whatever it had. Returns `(retired, created)` id lists.
+    pub fn regenerate(&mut self, root: usize, fresh: Vec<Hit>) -> (Vec<HitId>, Vec<HitId>) {
+        let retired = self.by_root.remove(&root).unwrap_or_default();
+        for id in &retired {
+            self.hits.remove(id);
+        }
+        let mut created = Vec::with_capacity(fresh.len());
+        for hit in fresh {
+            let id = HitId(self.next);
+            self.next += 1;
+            self.hits.insert(id, hit);
+            created.push(id);
+        }
+        if !created.is_empty() {
+            self.by_root.insert(root, created.clone());
+        }
+        (retired, created)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowder_types::{Pair, RecordId};
+
+    fn pair_hit(a: u32, b: u32) -> Hit {
+        Hit::pairs(vec![Pair::of(a, b)])
+    }
+
+    #[test]
+    fn ids_are_stable_and_never_reused() {
+        let mut live = LiveHits::new();
+        let (_, c1) = live.regenerate(0, vec![pair_hit(0, 1)]);
+        let (_, c2) = live.regenerate(5, vec![pair_hit(2, 3), pair_hit(2, 4)]);
+        assert_eq!(c1, vec![HitId(0)]);
+        assert_eq!(c2, vec![HitId(1), HitId(2)]);
+        // Regenerating cluster 0 retires only its own id; cluster 5's
+        // ids and hits are untouched.
+        let (retired, created) = live.regenerate(0, vec![pair_hit(0, 2)]);
+        assert_eq!(retired, vec![HitId(0)]);
+        assert_eq!(created, vec![HitId(3)]);
+        assert!(live.get(HitId(0)).is_none());
+        assert!(live.get(HitId(1)).is_some());
+        assert_eq!(live.len(), 3);
+    }
+
+    #[test]
+    fn merge_moves_ids_to_winner() {
+        let mut live = LiveHits::new();
+        live.regenerate(1, vec![pair_hit(0, 1)]);
+        live.regenerate(2, vec![pair_hit(2, 3)]);
+        live.merge_roots(1, 2);
+        // Regenerating the winner retires the hits of both old clusters.
+        let (retired, _) = live.regenerate(1, vec![Hit::cluster((0..4).map(RecordId))]);
+        assert_eq!(retired.len(), 2);
+        assert_eq!(live.len(), 1);
+    }
+
+    #[test]
+    fn empty_regeneration_clears_the_root() {
+        let mut live = LiveHits::new();
+        live.regenerate(7, vec![pair_hit(0, 1)]);
+        let (retired, created) = live.regenerate(7, Vec::new());
+        assert_eq!(retired.len(), 1);
+        assert!(created.is_empty());
+        assert!(live.is_empty());
+    }
+}

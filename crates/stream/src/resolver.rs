@@ -1,0 +1,505 @@
+//! The incremental resolver: an appendable corpus whose pair set,
+//! clustering, and HIT set are maintained under record arrivals.
+
+use crowder_graph::UnionFind;
+use crowder_hitgen::{ClusterGenerator, TwoTieredConfig, TwoTieredGenerator};
+use crowder_simjoin::JoinStats;
+use crowder_text::tokenize;
+use crowder_types::{Dataset, Pair, PairSpace, RecordId, ScoredPair, SourceId};
+use std::collections::{BTreeSet, HashMap};
+
+use crate::delta::DeltaIndex;
+use crate::dict::{StreamingDict, FRESH_SPAN};
+use crate::live::{HitId, LiveHits};
+
+/// Tuning of the incremental resolver.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Machine-pass likelihood threshold: pairs below never surface.
+    /// Degrades exactly like the batch engine outside `(0, 1]`
+    /// (`≤ 0` keeps every candidate pair, `> 1` keeps none).
+    pub threshold: f64,
+    /// Cluster-HIT size threshold `k` (paper §5).
+    pub cluster_size: usize,
+    /// Two-tiered generator tuning for HIT regeneration.
+    pub two_tiered: TwoTieredConfig,
+    /// Minimum arrivals between dictionary re-rank epochs. The actual
+    /// spacing is `max(rebuild_min_interval, corpus/2)`, so rebuild work
+    /// stays O(1) amortized per arrival.
+    pub rebuild_min_interval: usize,
+}
+
+impl Default for StreamConfig {
+    /// The batch workflow's defaults: τ = 0.2, k = 10.
+    fn default() -> Self {
+        StreamConfig {
+            threshold: 0.2,
+            cluster_size: 10,
+            two_tiered: TwoTieredConfig::default(),
+            rebuild_min_interval: 256,
+        }
+    }
+}
+
+/// What one arrival did to the resolver state.
+#[derive(Debug, Clone)]
+pub struct InsertReport {
+    /// Id assigned to the arrived record.
+    pub record: RecordId,
+    /// Pairs the delta join surfaced (all involve `record`).
+    pub new_pairs: Vec<ScoredPair>,
+    /// Filter funnel of this arrival's delta join.
+    pub stats: JoinStats,
+    /// True iff this arrival triggered a dictionary re-rank epoch (and
+    /// therefore a full index rebuild).
+    pub rebuilt_index: bool,
+}
+
+/// Outcome of one HIT regeneration flush.
+#[derive(Debug, Clone)]
+pub struct HitDelta {
+    /// Ids retired by this flush (their HITs are withdrawn).
+    pub retired: Vec<HitId>,
+    /// Ids newly published by this flush.
+    pub created: Vec<HitId>,
+    /// Live HITs the flush did not touch (stable ids, stable content).
+    pub stable: usize,
+}
+
+/// An appendable ER corpus with incrementally-maintained pairs,
+/// clusters, and HITs. See the crate docs for the component map.
+///
+/// The per-arrival invariant — property-tested in this crate and in the
+/// workspace integration tests — is **exactness**: after any arrival
+/// sequence, [`IncrementalResolver::ranked_pairs`] is bit-identical to
+/// a batch [`prefix_join`](crowder_simjoin::prefix_join) over the same
+/// corpus at the same threshold.
+#[derive(Debug, Clone)]
+pub struct IncrementalResolver {
+    config: StreamConfig,
+    dataset: Dataset,
+    dict: StreamingDict,
+    index: DeltaIndex,
+    /// Per-record stable token ids (ascending id order) — the ground
+    /// truth the index re-encodes from at each epoch.
+    token_ids: Vec<Vec<u32>>,
+    /// Every pair surfaced so far, in discovery order.
+    pairs: Vec<ScoredPair>,
+    /// Funnel counters summed over all delta joins.
+    cumulative: JoinStats,
+    uf: UnionFind,
+    /// Match-pair lists keyed by current component representative.
+    component_pairs: HashMap<usize, Vec<Pair>>,
+    /// Representatives whose clusters changed since the last flush.
+    dirty: BTreeSet<usize>,
+    live: LiveHits,
+    generator: TwoTieredGenerator,
+    inserts_since_rebuild: usize,
+}
+
+impl IncrementalResolver {
+    /// An empty resolver over the given schema and candidate-pair space.
+    pub fn new(
+        name: impl Into<String>,
+        schema: Vec<String>,
+        pair_space: PairSpace,
+        config: StreamConfig,
+    ) -> Self {
+        let generator = TwoTieredGenerator::with_config(config.two_tiered.clone());
+        IncrementalResolver {
+            index: DeltaIndex::new(config.threshold),
+            config,
+            dataset: Dataset::new(name, schema, pair_space),
+            dict: StreamingDict::new(),
+            token_ids: Vec::new(),
+            pairs: Vec::new(),
+            cumulative: JoinStats::default(),
+            uf: UnionFind::new(0),
+            component_pairs: HashMap::new(),
+            dirty: BTreeSet::new(),
+            live: LiveHits::new(),
+            generator,
+            inserts_since_rebuild: 0,
+        }
+    }
+
+    /// An empty resolver mirroring an existing dataset's shape (name,
+    /// schema, pair space) — the usual way to stream a known corpus.
+    pub fn like(dataset: &Dataset, config: StreamConfig) -> Self {
+        Self::new(
+            dataset.name.clone(),
+            dataset.schema.clone(),
+            dataset.pair_space,
+            config,
+        )
+    }
+
+    /// Append one record: delta-join it against the corpus, grow the
+    /// clustering with any new match edges, and mark touched clusters
+    /// dirty. Errors only on schema mismatch (like
+    /// [`Dataset::push_record`]).
+    pub fn insert(
+        &mut self,
+        source: SourceId,
+        fields: Vec<String>,
+    ) -> crowder_types::Result<InsertReport> {
+        let record = self.dataset.push_record(source, fields)?;
+        let set = tokenize(&self.dataset.record(record)?.joined_text());
+        let ids = self.dict.encode_record(&set);
+        let mut doc: Vec<u32> = ids.iter().map(|&id| self.dict.rank(id)).collect();
+        doc.sort_unstable();
+
+        let mut new_pairs = Vec::new();
+        let mut stats = JoinStats::default();
+        self.index
+            .join_and_insert(&self.dataset, doc, &mut new_pairs, &mut stats);
+
+        self.token_ids.push(ids);
+        self.uf.make_set();
+        for sp in &new_pairs {
+            self.note_pair(sp.pair);
+        }
+        self.pairs.extend_from_slice(&new_pairs);
+        self.cumulative.absorb(&stats);
+        self.inserts_since_rebuild += 1;
+        let rebuilt_index = self.maybe_rebuild();
+
+        Ok(InsertReport {
+            record,
+            new_pairs,
+            stats,
+            rebuilt_index,
+        })
+    }
+
+    /// [`IncrementalResolver::insert`] over a whole batch; reports are
+    /// returned in arrival order.
+    pub fn insert_batch<I>(&mut self, records: I) -> crowder_types::Result<Vec<InsertReport>>
+    where
+        I: IntoIterator<Item = (SourceId, Vec<String>)>,
+    {
+        records
+            .into_iter()
+            .map(|(source, fields)| self.insert(source, fields))
+            .collect()
+    }
+
+    /// Thread a new match edge into the dynamic clustering.
+    fn note_pair(&mut self, pair: Pair) {
+        let (a, b) = (pair.lo().index(), pair.hi().index());
+        match self.uf.union_roots(a, b) {
+            Some((winner, absorbed)) => {
+                let mut kept = self.component_pairs.remove(&winner).unwrap_or_default();
+                let mut moved = self.component_pairs.remove(&absorbed).unwrap_or_default();
+                // Small-to-large: append the shorter list.
+                if moved.len() > kept.len() {
+                    std::mem::swap(&mut kept, &mut moved);
+                }
+                kept.append(&mut moved);
+                kept.push(pair);
+                self.component_pairs.insert(winner, kept);
+                self.live.merge_roots(winner, absorbed);
+                self.dirty.remove(&absorbed);
+                self.dirty.insert(winner);
+            }
+            None => {
+                // New edge inside an existing cluster still reshapes it.
+                let root = self.uf.find(a);
+                self.component_pairs.entry(root).or_default().push(pair);
+                self.dirty.insert(root);
+            }
+        }
+    }
+
+    /// Rebuild the rank order and index once enough arrivals accumulate
+    /// (see [`StreamConfig::rebuild_min_interval`]).
+    fn maybe_rebuild(&mut self) -> bool {
+        let spacing = self.config.rebuild_min_interval.max(self.index.len() / 2);
+        let due =
+            self.inserts_since_rebuild >= spacing || self.dict.fresh_tokens() >= FRESH_SPAN / 2;
+        if due {
+            self.dict.rerank();
+            self.index.rebuild(&self.dict, &self.token_ids);
+            self.inserts_since_rebuild = 0;
+        }
+        due
+    }
+
+    /// Rebuild the HITs of every dirty cluster through the two-tiered
+    /// generator, leaving untouched clusters' HITs (ids and content)
+    /// alone. Clears the dirty set.
+    pub fn regenerate_hits(&mut self) -> crowder_types::Result<HitDelta> {
+        let mut retired = Vec::new();
+        let mut created = Vec::new();
+        // BTreeSet iteration keeps the flush deterministic; roots leave
+        // the dirty set one by one so an error (e.g. an invalid `k`)
+        // does not silently un-dirty the rest.
+        let roots: Vec<usize> = self.dirty.iter().copied().collect();
+        for root in roots {
+            let pairs = self
+                .component_pairs
+                .get(&root)
+                .expect("dirty roots always have pairs");
+            let fresh = self.generator.generate(pairs, self.config.cluster_size)?;
+            let (r, c) = self.live.regenerate(root, fresh);
+            retired.extend(r);
+            created.extend(c);
+            self.dirty.remove(&root);
+        }
+        Ok(HitDelta {
+            stable: self.live.len() - created.len(),
+            retired,
+            created,
+        })
+    }
+
+    /// Every pair surfaced so far, in discovery order.
+    #[inline]
+    pub fn pairs(&self) -> &[ScoredPair] {
+        &self.pairs
+    }
+
+    /// The pair set in the deterministic ranked order — directly
+    /// comparable against a batch `prefix_join` over the same corpus.
+    pub fn ranked_pairs(&self) -> Vec<ScoredPair> {
+        let mut out = self.pairs.clone();
+        crowder_types::pair::sort_ranked(&mut out);
+        out
+    }
+
+    /// The corpus accumulated so far.
+    #[inline]
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Mutable access to the corpus gold standard (arriving labels).
+    #[inline]
+    pub fn gold_mut(&mut self) -> &mut crowder_types::GoldStandard {
+        &mut self.dataset.gold
+    }
+
+    /// Records resolved so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dataset.len()
+    }
+
+    /// True iff no record has arrived.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.dataset.is_empty()
+    }
+
+    /// Clusters (connected components with at least one match edge).
+    #[inline]
+    pub fn cluster_count(&self) -> usize {
+        self.component_pairs.len()
+    }
+
+    /// Clusters touched since the last [`IncrementalResolver::regenerate_hits`].
+    #[inline]
+    pub fn dirty_clusters(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// The live HIT set.
+    #[inline]
+    pub fn live_hits(&self) -> &LiveHits {
+        &self.live
+    }
+
+    /// Dictionary re-rank epochs completed so far.
+    #[inline]
+    pub fn epochs(&self) -> u64 {
+        self.dict.epochs()
+    }
+
+    /// Filter-funnel counters summed over every delta join so far.
+    #[inline]
+    pub fn cumulative_stats(&self) -> JoinStats {
+        self.cumulative
+    }
+
+    /// The join threshold the resolver maintains.
+    #[inline]
+    pub fn threshold(&self) -> f64 {
+        self.config.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowder_simjoin::{prefix_join, TokenTable};
+
+    fn resolver(threshold: f64) -> IncrementalResolver {
+        IncrementalResolver::new(
+            "t",
+            vec!["name".into()],
+            PairSpace::SelfJoin,
+            StreamConfig {
+                threshold,
+                cluster_size: 4,
+                ..StreamConfig::default()
+            },
+        )
+    }
+
+    fn feed(r: &mut IncrementalResolver, names: &[&str]) {
+        for n in names {
+            r.insert(SourceId(0), vec![n.to_string()]).unwrap();
+        }
+    }
+
+    /// Batch reference over the same record sequence.
+    fn batch_pairs(dataset: &Dataset, threshold: f64) -> Vec<ScoredPair> {
+        let tokens = TokenTable::build(dataset);
+        prefix_join(dataset, &tokens, threshold, 1)
+    }
+
+    #[test]
+    fn streaming_matches_batch_on_table1() {
+        let names = [
+            "iPad Two 16GB WiFi White",
+            "iPad 2nd generation 16GB WiFi White",
+            "iPhone 4th generation White 16GB",
+            "Apple iPhone 4 16GB White",
+            "Apple iPhone 3rd generation Black 16GB",
+            "iPhone 4 32GB White",
+            "Apple iPad2 16GB WiFi White",
+            "Apple iPod shuffle 2GB Blue",
+            "Apple iPod shuffle USB Cable",
+        ];
+        for thr in [0.0, 0.1, 0.3, 0.5, 0.9, 1.0] {
+            let mut r = resolver(thr);
+            feed(&mut r, &names);
+            assert_eq!(
+                r.ranked_pairs(),
+                batch_pairs(r.dataset(), thr),
+                "threshold {thr}"
+            );
+        }
+    }
+
+    #[test]
+    fn clusters_track_connected_components() {
+        let mut r = resolver(0.5);
+        feed(&mut r, &["a b c", "a b c", "x y z", "x y z w", "q"]);
+        assert_eq!(r.cluster_count(), 2);
+        assert_eq!(r.dirty_clusters(), 2);
+        let delta = r.regenerate_hits().unwrap();
+        assert_eq!(delta.stable, 0);
+        assert!(!delta.created.is_empty());
+        assert_eq!(r.dirty_clusters(), 0);
+    }
+
+    #[test]
+    fn untouched_clusters_keep_stable_hit_ids() {
+        let mut r = resolver(0.5);
+        feed(&mut r, &["a b c", "a b c", "x y z", "x y z w"]);
+        r.regenerate_hits().unwrap();
+        let before: Vec<_> = r
+            .live_hits()
+            .iter()
+            .map(|(id, h)| (id, h.clone()))
+            .collect();
+        // A record joining only the {x y z} cluster dirties that cluster
+        // alone: the {a b c} HIT survives with the same id.
+        r.insert(SourceId(0), vec!["x y z w v".into()]).unwrap();
+        assert_eq!(r.dirty_clusters(), 1);
+        let delta = r.regenerate_hits().unwrap();
+        assert_eq!(delta.stable, 1);
+        let after: Vec<_> = r
+            .live_hits()
+            .iter()
+            .map(|(id, h)| (id, h.clone()))
+            .collect();
+        let stable_before: Vec<_> = before
+            .iter()
+            .filter(|(id, _)| after.iter().any(|(aid, _)| aid == id))
+            .collect();
+        assert_eq!(stable_before.len(), 1, "exactly the a-b-c HIT persists");
+        let (sid, shit) = stable_before[0];
+        assert_eq!(
+            after.iter().find(|(aid, _)| aid == sid).map(|(_, h)| h),
+            Some(shit),
+            "stable id keeps stable content"
+        );
+    }
+
+    #[test]
+    fn merging_clusters_retires_both_sides() {
+        let mut r = resolver(0.5);
+        feed(&mut r, &["a b c d", "a b c d", "e f g h", "e f g h"]);
+        r.regenerate_hits().unwrap();
+        assert_eq!(r.cluster_count(), 2);
+        // A bridge record overlapping both clusters merges them.
+        r.insert(SourceId(0), vec!["a b c d e f g h".into()])
+            .unwrap();
+        assert_eq!(r.cluster_count(), 1);
+        let delta = r.regenerate_hits().unwrap();
+        assert_eq!(delta.retired.len(), 2, "both old clusters' HITs retire");
+        assert_eq!(delta.stable, 0);
+    }
+
+    #[test]
+    fn epoch_rebuild_preserves_exactness() {
+        let mut r = IncrementalResolver::new(
+            "t",
+            vec!["name".into()],
+            PairSpace::SelfJoin,
+            StreamConfig {
+                threshold: 0.3,
+                rebuild_min_interval: 4, // force frequent epochs
+                ..StreamConfig::default()
+            },
+        );
+        let names: Vec<String> = (0..40)
+            .map(|i| format!("tok{} tok{} tok{} shared common", i % 7, i % 5, i % 3))
+            .collect();
+        for n in &names {
+            r.insert(SourceId(0), vec![n.clone()]).unwrap();
+        }
+        assert!(r.epochs() >= 2, "rebuilds must actually fire");
+        assert_eq!(r.ranked_pairs(), batch_pairs(r.dataset(), 0.3));
+    }
+
+    #[test]
+    fn cross_source_space_is_respected() {
+        let mut r = IncrementalResolver::new(
+            "x",
+            vec!["name".into()],
+            PairSpace::CrossSource(SourceId(0), SourceId(1)),
+            StreamConfig {
+                threshold: 0.5,
+                ..StreamConfig::default()
+            },
+        );
+        r.insert(SourceId(0), vec!["alpha beta".into()]).unwrap();
+        r.insert(SourceId(0), vec!["alpha beta".into()]).unwrap();
+        r.insert(SourceId(1), vec!["alpha beta".into()]).unwrap();
+        let pairs: Vec<Pair> = r.ranked_pairs().iter().map(|s| s.pair).collect();
+        assert_eq!(pairs, vec![Pair::of(0, 2), Pair::of(1, 2)]);
+        assert!(r.cumulative_stats().space_pruned > 0);
+        assert_eq!(r.ranked_pairs(), batch_pairs(r.dataset(), 0.5));
+    }
+
+    #[test]
+    fn funnel_is_leak_free_cumulatively() {
+        let mut r = resolver(0.4);
+        let names: Vec<String> = (0..30)
+            .map(|i| format!("a{} b{} c{} common", i % 6, i % 4, i % 3))
+            .collect();
+        for n in &names {
+            r.insert(SourceId(0), vec![n.clone()]).unwrap();
+        }
+        let s = r.cumulative_stats();
+        assert_eq!(
+            s.candidates,
+            s.positional_pruned + s.space_pruned + s.suffix_pruned + s.verified,
+            "{s:?}"
+        );
+        assert_eq!(s.results as usize, r.pairs().len());
+    }
+}

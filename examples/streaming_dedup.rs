@@ -1,0 +1,77 @@
+//! Streaming deduplication: records arrive in batches, the incremental
+//! resolver delta-joins each arrival against the corpus, and only the
+//! clusters that moved get their HITs regenerated — crowd sessions run
+//! between batches on the fresh HITs alone.
+//!
+//! ```text
+//! cargo run --release --example streaming_dedup
+//! ```
+
+use crowder::prelude::*;
+
+fn main() {
+    // A Restaurant-style corpus arriving 40 records at a time.
+    let dataset = restaurant(&RestaurantConfig::default());
+    let population = WorkerPopulation::generate(&PopulationConfig::default(), 7);
+    let config = StreamingConfig {
+        likelihood_threshold: 0.5,
+        cluster_size: 6,
+        batch_size: 40,
+        ..StreamingConfig::default()
+    };
+
+    let outcome = run_streaming(&dataset, &population, &config).expect("streaming workflow runs");
+
+    println!(
+        "streamed {} records in {} rounds",
+        dataset.len(),
+        outcome.rounds.len()
+    );
+    println!();
+    println!("round  arrive  pairs  dirty  retired  created  stable  assign     cost");
+    for r in &outcome.rounds {
+        println!(
+            "{:>5}  {:>6}  {:>5}  {:>5}  {:>7}  {:>7}  {:>6}  {:>6}  ${:>6.2}",
+            r.round,
+            r.arrived,
+            r.new_pairs,
+            r.dirty_clusters,
+            r.hits_retired,
+            r.hits_created,
+            r.hits_stable,
+            r.assignments,
+            r.cost_dollars,
+        );
+    }
+
+    // The exactness contract: the streamed pair set is bit-identical to
+    // a batch prefix_join over the same corpus.
+    let tokens = TokenTable::build(&dataset);
+    let batch = prefix_join(&dataset, &tokens, config.likelihood_threshold, 0);
+    assert_eq!(
+        outcome.resolver.ranked_pairs(),
+        batch,
+        "streaming ≡ batch machine pass"
+    );
+
+    let matches = outcome.matching_pairs();
+    let correct = matches.iter().filter(|p| dataset.gold.is_match(p)).count();
+    println!();
+    println!(
+        "machine pass: {} candidate pairs (≡ batch join: verified)",
+        batch.len()
+    );
+    println!(
+        "crowd: {} assignments, ${:.2}, {} matches output ({} correct of {} gold)",
+        outcome.total_assignments,
+        outcome.total_cost_dollars,
+        matches.len(),
+        correct,
+        dataset.gold.len(),
+    );
+    println!(
+        "live HITs at shutdown: {}, epochs: {}",
+        outcome.resolver.live_hits().len(),
+        outcome.resolver.epochs(),
+    );
+}

@@ -1,0 +1,122 @@
+//! End-to-end invariants of the streaming workflow through the
+//! `crowder` facade: arrivals interleaved with crowd sessions must
+//! converge to the batch workflow's machine pass bit-for-bit, spend
+//! crowd effort only on new work, and keep untouched HITs stable.
+
+use crowder::prelude::*;
+
+fn population() -> WorkerPopulation {
+    WorkerPopulation::generate(&PopulationConfig::default(), 13)
+}
+
+/// The *last* `n` Restaurant records (ids remapped to 0..n): the
+/// generator appends duplicated entities after the unique ones, so the
+/// tail is where the matching pairs live.
+fn restaurant_slice(n: usize) -> Dataset {
+    let full = restaurant(&RestaurantConfig::default());
+    let start = full.len() - n;
+    let mut slice = Dataset::new(full.name.clone(), full.schema.clone(), full.pair_space);
+    for r in full.records().iter().skip(start) {
+        slice.push_record(r.source, r.fields.clone()).unwrap();
+    }
+    for pair in full.gold.iter() {
+        if pair.lo().index() >= start {
+            slice.gold.insert(Pair::of(
+                (pair.lo().index() - start) as u32,
+                (pair.hi().index() - start) as u32,
+            ));
+        }
+    }
+    assert!(!slice.gold.is_empty(), "tail slice must contain gold pairs");
+    slice
+}
+
+#[test]
+fn streaming_converges_to_batch_machine_pass() {
+    let dataset = restaurant_slice(200);
+    let config = StreamingConfig {
+        likelihood_threshold: 0.5,
+        cluster_size: 6,
+        batch_size: 33, // deliberately not a divisor of the corpus size
+        rebuild_min_interval: 64,
+        ..StreamingConfig::default()
+    };
+    let out = run_streaming(&dataset, &population(), &config).unwrap();
+    let tokens = TokenTable::build(&dataset);
+    assert_eq!(
+        out.resolver.ranked_pairs(),
+        prefix_join(&dataset, &tokens, 0.5, 0),
+        "streamed pair set must be bit-identical to the batch join"
+    );
+    assert_eq!(out.rounds.len(), 200usize.div_ceil(33));
+    assert!(out.resolver.epochs() >= 1, "re-rank epochs must fire");
+}
+
+#[test]
+fn crowd_effort_goes_only_to_fresh_hits() {
+    let dataset = restaurant_slice(150);
+    let config = StreamingConfig {
+        likelihood_threshold: 0.5,
+        cluster_size: 6,
+        batch_size: 30,
+        ..StreamingConfig::default()
+    };
+    let out = run_streaming(&dataset, &population(), &config).unwrap();
+    for r in &out.rounds {
+        assert_eq!(
+            r.assignments,
+            r.hits_created * 3,
+            "round {}: 3 assignments per fresh HIT, none for stable ones",
+            r.round
+        );
+    }
+    // Later rounds must leave some earlier clusters untouched.
+    assert!(
+        out.rounds.iter().any(|r| r.hits_stable > 0),
+        "no round left any HIT stable: {:?}",
+        out.rounds
+            .iter()
+            .map(|r| (r.hits_created, r.hits_stable))
+            .collect::<Vec<_>>()
+    );
+    // Cost accounting matches the per-assignment price.
+    let expected = out.total_assignments as f64 * 0.025;
+    assert!((out.total_cost_dollars - expected).abs() < 1e-9);
+}
+
+#[test]
+fn streaming_and_batch_workflows_agree_on_quality() {
+    // Same corpus, same crowd model: the streaming workflow's final
+    // ranked list must identify gold matches about as well as the batch
+    // workflow's (it sees the same pairs; only HIT grouping differs).
+    let dataset = restaurant_slice(120);
+    let streaming = run_streaming(
+        &dataset,
+        &population(),
+        &StreamingConfig {
+            likelihood_threshold: 0.5,
+            cluster_size: 6,
+            batch_size: 40,
+            ..StreamingConfig::default()
+        },
+    )
+    .unwrap();
+    let gold_total = dataset.gold.len();
+    if gold_total == 0 {
+        return; // degenerate truncation; nothing to measure
+    }
+    let matches = streaming.matching_pairs();
+    let correct = matches.iter().filter(|p| dataset.gold.is_match(p)).count();
+    // The machine pass at τ=0.5 keeps a subset of gold; the crowd must
+    // confirm most of what it saw.
+    let seen_gold = streaming
+        .resolver
+        .ranked_pairs()
+        .iter()
+        .filter(|sp| dataset.gold.is_match(&sp.pair))
+        .count();
+    assert!(
+        correct * 10 >= seen_gold * 7,
+        "crowd confirmed only {correct} of {seen_gold} machine-surfaced gold pairs"
+    );
+}

@@ -1,0 +1,85 @@
+//! Machine-readable fault-tolerance/churn benchmark: streams a corpus
+//! through the mutable `crowder-stream` resolver under a churn workload
+//! (interleaved inserts, record deletions, evidence commits/decommits,
+//! retractions) and writes `BENCH_faults.json` (see
+//! `crowder_bench::faultperf` for the schema) — churn throughput,
+//! per-operation and cluster-split latency percentiles, HIT-regeneration
+//! overhead, and the churn-vs-insert-only acceptance ratio (bounded at
+//! 10x by the validator).
+//!
+//! ```text
+//! bench_faults [--quick] [--out PATH]   generate a report
+//! bench_faults --check PATH             validate a report
+//! ```
+//!
+//! `--quick` streams the Restaurant corpus (the CI smoke
+//! configuration); the default streams Product — the corpus the
+//! acceptance ratio is quoted on. `--check` parses an existing report,
+//! verifies the schema, and *enforces the 10x churn bound* (the ratio
+//! is workload-relative, so it is machine-independent), exiting
+//! non-zero on any violation.
+
+use crowder_bench::faultperf::{
+    validate_faults_report_json, write_faults_report, FAULTS_REPORT_PATH,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = FAULTS_REPORT_PATH.to_string();
+    let mut check: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--check" => {
+                i += 1;
+                check = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--check needs a path")),
+                );
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    if let Some(path) = check {
+        let content = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        match validate_faults_report_json(&content) {
+            Ok(rounds) => println!("{path}: OK ({rounds} rounds)"),
+            Err(e) => die(&format!("{path}: schema violation: {e}")),
+        }
+        return;
+    }
+
+    let (corpus, dataset) = if quick {
+        ("restaurant", crowder_bench::harness::restaurant_full())
+    } else {
+        ("product", crowder_bench::harness::product_full())
+    };
+    let report = write_faults_report(&out, corpus, &dataset)
+        .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    print!("{}", report.render());
+    println!("\nwrote {out}");
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: bench_faults [--quick] [--out PATH] | --check PATH");
+    std::process::exit(2);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}

@@ -1,0 +1,584 @@
+//! Machine-readable churn/fault-tolerance report for the mutable
+//! streaming engine — `BENCH_faults.json`.
+//!
+//! The insert-only report (`BENCH_stream.json`, PR 3) measures the cost
+//! of *absorbing one arrival*. This suite measures what the
+//! fault-tolerant engine added: the cost of a **churn** workload —
+//! arrivals interleaved with record deletions, evidence
+//! commits/decommits, and retractions — against the insert-only
+//! baseline over the *same corpus*:
+//!
+//! * per-operation latency percentiles for inserts-under-churn,
+//!   deletions (including the ones that split clusters), and
+//!   retractions;
+//! * cluster-split latency percentiles (a deletion or decommit that
+//!   partitions a component pays a BFS over the smaller side);
+//! * HIT-regeneration overhead: total flush time under churn vs the
+//!   insert-only stream (splits retire and republish HITs the baseline
+//!   never touches);
+//! * the headline acceptance ratio: mean churn cost per operation vs
+//!   mean insert-only cost per arrival — the engine's contract is that
+//!   full mutability stays within **10×** of append-only ingest, and
+//!   the validator *enforces* that bound (it is workload-relative, so
+//!   it holds on any machine, unlike wall-clock assertions).
+//!
+//! Serialization shares the hand-rolled [`JsonReport`]/[`JsonRow`]
+//! writers and the recursive-descent [`parse_json`] validator with the
+//! other `BENCH_*.json` reports (see [`crate::perf`]).
+
+use crate::perf::{parse_json, Json, JsonReport, JsonRow};
+use crowder::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Default output path for the fault/churn report.
+pub const FAULTS_REPORT_PATH: &str = "BENCH_faults.json";
+
+/// Schema version stamped into the report; bump on breaking changes.
+pub const FAULTS_SCHEMA_VERSION: u32 = 1;
+
+/// Join threshold of the churn workload (same regime as the streaming
+/// report).
+pub const FAULTS_THRESHOLD: f64 = 0.3;
+
+/// Arrivals per round.
+pub const FAULTS_BATCH: usize = 128;
+
+/// Fraction of a round's arrivals deleted again during the round.
+pub const FAULTS_DELETE_FRACTION: f64 = 0.25;
+
+/// The churn/insert-only per-operation cost ratio the validator
+/// enforces (the PR's acceptance bound).
+pub const FAULTS_MAX_CHURN_RATIO: f64 = 10.0;
+
+/// One per-round row of the churn funnel.
+#[derive(Debug, Clone)]
+pub struct ChurnRound {
+    /// Round index.
+    pub round: usize,
+    /// Records ingested.
+    pub arrived: usize,
+    /// Records tombstoned.
+    pub deleted: usize,
+    /// Evidence votes recorded.
+    pub votes: usize,
+    /// Evidence retractions applied.
+    pub retracted: usize,
+    /// Cluster splits (deletions + decommits + vetoes).
+    pub splits: usize,
+    /// HITs retired / created / left untouched by the flush.
+    pub hits_retired: usize,
+    /// Newly published HITs.
+    pub hits_created: usize,
+    /// Live HITs untouched (stable ids).
+    pub hits_stable: usize,
+    /// Live surfaced pairs after the round.
+    pub live_pairs: usize,
+}
+
+/// The full churn perf report.
+#[derive(Debug, Clone)]
+pub struct FaultPerfReport {
+    /// Available parallelism of the producing machine.
+    pub available_parallelism: usize,
+    /// Corpus name (`product`, `restaurant`).
+    pub corpus: String,
+    /// Records streamed.
+    pub records: usize,
+    /// Join threshold.
+    pub threshold: f64,
+    /// Arrivals per round.
+    pub batch_size: usize,
+    /// Insert-only baseline: total ingest+flush nanoseconds.
+    pub baseline_total_ns: u128,
+    /// Insert-only baseline: mean cost per arrival (ns).
+    pub baseline_per_arrival_ns: u128,
+    /// Insert-only baseline: total flush (HIT-regeneration) time.
+    pub baseline_regen_ns: u128,
+    /// Churn workload: total mutation operations (inserts + deletes +
+    /// votes + retractions).
+    pub churn_ops: usize,
+    /// Churn workload: total nanoseconds (mutations + flushes).
+    pub churn_total_ns: u128,
+    /// Churn workload: mean cost per operation (ns).
+    pub churn_per_op_ns: u128,
+    /// Churn workload: total flush time.
+    pub churn_regen_ns: u128,
+    /// Sustained churn throughput (operations per second).
+    pub churn_ops_per_sec: f64,
+    /// `churn_per_op_ns / baseline_per_arrival_ns` — the acceptance
+    /// ratio, bounded by [`FAULTS_MAX_CHURN_RATIO`].
+    pub churn_ratio: f64,
+    /// `churn_regen_ns / baseline_regen_ns`: the HIT-regeneration
+    /// overhead churn adds (splits retire + republish).
+    pub regen_overhead: f64,
+    /// Deletion latency percentiles (ns).
+    pub delete_p50_ns: u128,
+    /// 99th percentile.
+    pub delete_p99_ns: u128,
+    /// Worst deletion.
+    pub delete_max_ns: u128,
+    /// Cluster splits observed across the churn run.
+    pub splits: usize,
+    /// Split-causing deletion latency percentiles (ns).
+    pub split_p50_ns: u128,
+    /// 99th percentile.
+    pub split_p99_ns: u128,
+    /// Retraction latency percentiles (ns).
+    pub retract_p50_ns: u128,
+    /// 99th percentile.
+    pub retract_p99_ns: u128,
+    /// Records alive at the end of the churn run.
+    pub live_records: usize,
+    /// Per-round churn funnel rows.
+    pub rounds: Vec<ChurnRound>,
+}
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// Run the insert-only baseline: stream every record, flush per round.
+/// Returns (total_ns, regen_ns).
+fn run_baseline(dataset: &Dataset, config: &StreamConfig) -> (u128, u128) {
+    let mut resolver = IncrementalResolver::like(dataset, config.clone());
+    let mut regen_ns = 0u128;
+    let t0 = Instant::now();
+    for chunk in dataset.records().chunks(FAULTS_BATCH) {
+        for record in chunk {
+            resolver
+                .insert(record.source, record.fields.clone())
+                .expect("schema matches");
+        }
+        let tr = Instant::now();
+        resolver.regenerate_hits().expect("k is valid");
+        regen_ns += tr.elapsed().as_nanos();
+    }
+    (t0.elapsed().as_nanos(), regen_ns)
+}
+
+/// Stream `dataset` through a churn workload and measure everything the
+/// report carries.
+pub fn run_faults_suite(corpus: &str, dataset: &Dataset) -> FaultPerfReport {
+    let config = StreamConfig {
+        threshold: FAULTS_THRESHOLD,
+        ..StreamConfig::default()
+    };
+    let (baseline_total_ns, baseline_regen_ns) = run_baseline(dataset, &config);
+
+    // Churn workload: per round — insert the chunk, commit evidence on
+    // some surfaced pairs, contradict (decommit) and retract others,
+    // delete a fraction of this round's arrivals, flush.
+    let mut resolver = IncrementalResolver::like(dataset, config.clone());
+    let mut rng = StdRng::seed_from_u64(0xFA_17);
+    let mut delete_ns: Vec<u128> = Vec::new();
+    let mut split_ns: Vec<u128> = Vec::new();
+    let mut retract_ns: Vec<u128> = Vec::new();
+    let mut rounds = Vec::new();
+    let mut churn_ops = 0usize;
+    let mut churn_regen_ns = 0u128;
+    let mut splits_total = 0usize;
+    let t0 = Instant::now();
+    for (round, chunk) in dataset.records().chunks(FAULTS_BATCH).enumerate() {
+        let mut arrived_ids: Vec<RecordId> = Vec::with_capacity(chunk.len());
+        let mut round_pairs: Vec<Pair> = Vec::new();
+        for record in chunk {
+            let report = resolver
+                .insert(record.source, record.fields.clone())
+                .expect("schema matches");
+            churn_ops += 1;
+            arrived_ids.push(report.record);
+            round_pairs.extend(report.new_pairs.iter().map(|sp| sp.pair));
+        }
+
+        // Evidence churn: commit every third surfaced pair, then flip
+        // half of those with contradicting votes (decommit — possible
+        // split), and retract the rest outright.
+        let mut votes = 0usize;
+        let mut retracted = 0usize;
+        let mut round_splits = 0usize;
+        for (i, &pair) in round_pairs.iter().enumerate().filter(|(i, _)| i % 3 == 0) {
+            let rep = resolver.record_evidence(pair, true, 1.0);
+            votes += 1;
+            churn_ops += 1;
+            round_splits += rep.split as usize;
+            if i % 6 == 0 {
+                let rep = resolver.record_evidence(pair, false, 2.0);
+                votes += 1;
+                churn_ops += 1;
+                round_splits += rep.split as usize;
+            } else {
+                let tr = Instant::now();
+                let rep = resolver.retract(pair);
+                retract_ns.push(tr.elapsed().as_nanos());
+                retracted += 1;
+                churn_ops += 1;
+                round_splits += rep.split as usize;
+            }
+        }
+
+        // Deletion churn: tombstone a deterministic fraction of this
+        // round's arrivals (they have live pairs with high likelihood).
+        let deletions = ((chunk.len() as f64) * FAULTS_DELETE_FRACTION) as usize;
+        let mut deleted = 0usize;
+        for _ in 0..deletions {
+            let victim = arrived_ids[rng.random_range(0..arrived_ids.len())];
+            if !resolver.is_alive(victim) {
+                continue;
+            }
+            let td = Instant::now();
+            let report = resolver.remove(victim).expect("victim is alive");
+            let dt = td.elapsed().as_nanos();
+            delete_ns.push(dt);
+            if report.splits > 0 {
+                split_ns.push(dt);
+                round_splits += report.splits;
+            }
+            deleted += 1;
+            churn_ops += 1;
+        }
+        splits_total += round_splits;
+
+        let tr = Instant::now();
+        let delta = resolver.regenerate_hits().expect("k is valid");
+        churn_regen_ns += tr.elapsed().as_nanos();
+        rounds.push(ChurnRound {
+            round,
+            arrived: chunk.len(),
+            deleted,
+            votes,
+            retracted,
+            splits: round_splits,
+            hits_retired: delta.retired.len(),
+            hits_created: delta.created.len(),
+            hits_stable: delta.stable,
+            live_pairs: resolver.pairs().len(),
+        });
+    }
+    let churn_total_ns = t0.elapsed().as_nanos();
+
+    delete_ns.sort_unstable();
+    split_ns.sort_unstable();
+    retract_ns.sort_unstable();
+    let baseline_per_arrival_ns = baseline_total_ns / dataset.len().max(1) as u128;
+    let churn_per_op_ns = churn_total_ns / churn_ops.max(1) as u128;
+    FaultPerfReport {
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        corpus: corpus.into(),
+        records: dataset.len(),
+        threshold: FAULTS_THRESHOLD,
+        batch_size: FAULTS_BATCH,
+        baseline_total_ns,
+        baseline_per_arrival_ns,
+        baseline_regen_ns,
+        churn_ops,
+        churn_total_ns,
+        churn_per_op_ns,
+        churn_regen_ns,
+        churn_ops_per_sec: churn_ops as f64 / (churn_total_ns as f64 / 1e9).max(1e-9),
+        churn_ratio: churn_per_op_ns as f64 / baseline_per_arrival_ns.max(1) as f64,
+        regen_overhead: churn_regen_ns as f64 / baseline_regen_ns.max(1) as f64,
+        delete_p50_ns: percentile(&delete_ns, 0.50),
+        delete_p99_ns: percentile(&delete_ns, 0.99),
+        delete_max_ns: delete_ns.last().copied().unwrap_or(0),
+        splits: splits_total,
+        split_p50_ns: percentile(&split_ns, 0.50),
+        split_p99_ns: percentile(&split_ns, 0.99),
+        retract_p50_ns: percentile(&retract_ns, 0.50),
+        retract_p99_ns: percentile(&retract_ns, 0.99),
+        live_records: resolver.live_len(),
+        rounds,
+    }
+}
+
+impl FaultPerfReport {
+    /// Serialize to the `BENCH_faults.json` schema.
+    pub fn to_json(&self) -> String {
+        JsonReport::new()
+            .num("schema_version", FAULTS_SCHEMA_VERSION)
+            .num("available_parallelism", self.available_parallelism)
+            .str("corpus", &self.corpus)
+            .num("records", self.records)
+            .num("threshold", self.threshold)
+            .num("batch_size", self.batch_size)
+            .num("baseline_total_ns", self.baseline_total_ns)
+            .num("baseline_per_arrival_ns", self.baseline_per_arrival_ns)
+            .num("baseline_regen_ns", self.baseline_regen_ns)
+            .num("churn_ops", self.churn_ops)
+            .num("churn_total_ns", self.churn_total_ns)
+            .num("churn_per_op_ns", self.churn_per_op_ns)
+            .num("churn_regen_ns", self.churn_regen_ns)
+            .num(
+                "churn_ops_per_sec",
+                format!("{:.1}", self.churn_ops_per_sec),
+            )
+            .num("churn_ratio", format!("{:.3}", self.churn_ratio))
+            .num("regen_overhead", format!("{:.3}", self.regen_overhead))
+            .num("delete_p50_ns", self.delete_p50_ns)
+            .num("delete_p99_ns", self.delete_p99_ns)
+            .num("delete_max_ns", self.delete_max_ns)
+            .num("splits", self.splits)
+            .num("split_p50_ns", self.split_p50_ns)
+            .num("split_p99_ns", self.split_p99_ns)
+            .num("retract_p50_ns", self.retract_p50_ns)
+            .num("retract_p99_ns", self.retract_p99_ns)
+            .num("live_records", self.live_records)
+            .rows(
+                "rounds",
+                self.rounds.iter().map(|r| {
+                    JsonRow::new()
+                        .num("round", r.round)
+                        .num("arrived", r.arrived)
+                        .num("deleted", r.deleted)
+                        .num("votes", r.votes)
+                        .num("retracted", r.retracted)
+                        .num("splits", r.splits)
+                        .num("hits_retired", r.hits_retired)
+                        .num("hits_created", r.hits_created)
+                        .num("hits_stable", r.hits_stable)
+                        .num("live_pairs", r.live_pairs)
+                        .build()
+                }),
+            )
+            .build()
+    }
+
+    /// Render a human-readable summary.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "fault/churn perf: {} ({} records, tau {}, batch {}, {} core(s))\n\
+             insert-only baseline: {} / arrival; regen total {}\n\
+             churn: {} ops at {} / op ({:.0} ops/sec) — ratio {:.2}x (bound {:.0}x)\n\
+             regen overhead vs baseline: {:.2}x\n\
+             delete p50 {} / p99 {} / max {}; {} splits (p50 {} / p99 {})\n\
+             retract p50 {} / p99 {}; {} of {} records live at end\n\n\
+             round  arrive  delete  votes  retract  splits  retired  created  stable  pairs\n",
+            self.corpus,
+            self.records,
+            self.threshold,
+            self.batch_size,
+            self.available_parallelism,
+            fmt_ns(self.baseline_per_arrival_ns),
+            fmt_ns(self.baseline_regen_ns),
+            self.churn_ops,
+            fmt_ns(self.churn_per_op_ns),
+            self.churn_ops_per_sec,
+            self.churn_ratio,
+            FAULTS_MAX_CHURN_RATIO,
+            self.regen_overhead,
+            fmt_ns(self.delete_p50_ns),
+            fmt_ns(self.delete_p99_ns),
+            fmt_ns(self.delete_max_ns),
+            self.splits,
+            fmt_ns(self.split_p50_ns),
+            fmt_ns(self.split_p99_ns),
+            fmt_ns(self.retract_p50_ns),
+            fmt_ns(self.retract_p99_ns),
+            self.live_records,
+            self.records,
+        );
+        for r in &self.rounds {
+            s.push_str(&format!(
+                "{:>5}  {:>6}  {:>6}  {:>5}  {:>7}  {:>6}  {:>7}  {:>7}  {:>6}  {:>5}\n",
+                r.round,
+                r.arrived,
+                r.deleted,
+                r.votes,
+                r.retracted,
+                r.splits,
+                r.hits_retired,
+                r.hits_created,
+                r.hits_stable,
+                r.live_pairs
+            ));
+        }
+        s
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Validate a `BENCH_faults.json` document: field presence, ordered
+/// percentiles, a well-formed non-empty rounds array, and the
+/// acceptance bound `churn_ratio ≤ 10`. The ratio is churn cost per op
+/// over insert-only cost per arrival *measured on the same machine in
+/// the same run*, so — unlike wall-clock numbers — it is meaningful to
+/// assert in CI.
+pub fn validate_faults_report_json(input: &str) -> Result<usize, String> {
+    let doc = parse_json(input)?;
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_f64)
+        .ok_or("missing schema_version")?;
+    if version != FAULTS_SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "schema_version {version} != {FAULTS_SCHEMA_VERSION}"
+        ));
+    }
+    doc.get("corpus")
+        .and_then(Json::as_str)
+        .ok_or("missing string field corpus")?;
+    let num = |key: &str| -> Result<f64, String> {
+        doc.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing numeric field {key}"))
+    };
+    for key in [
+        "available_parallelism",
+        "records",
+        "threshold",
+        "batch_size",
+        "baseline_total_ns",
+        "baseline_per_arrival_ns",
+        "baseline_regen_ns",
+        "churn_ops",
+        "churn_total_ns",
+        "churn_per_op_ns",
+        "churn_regen_ns",
+        "churn_ops_per_sec",
+        "regen_overhead",
+        "delete_max_ns",
+        "splits",
+        "live_records",
+    ] {
+        num(key)?;
+    }
+    let (d50, d99, dmax) = (
+        num("delete_p50_ns")?,
+        num("delete_p99_ns")?,
+        num("delete_max_ns")?,
+    );
+    if !(d50 <= d99 && d99 <= dmax) {
+        return Err("delete latency percentiles out of order".into());
+    }
+    if num("split_p50_ns")? > num("split_p99_ns")? {
+        return Err("split latency percentiles out of order".into());
+    }
+    if num("retract_p50_ns")? > num("retract_p99_ns")? {
+        return Err("retract latency percentiles out of order".into());
+    }
+    let ratio = num("churn_ratio")?;
+    if ratio > FAULTS_MAX_CHURN_RATIO {
+        return Err(format!(
+            "churn_ratio {ratio} exceeds the {FAULTS_MAX_CHURN_RATIO}x acceptance bound"
+        ));
+    }
+    if num("splits")? < 1.0 {
+        return Err("churn workload produced no cluster splits".into());
+    }
+    let rounds = doc
+        .get("rounds")
+        .and_then(Json::as_array)
+        .ok_or("missing rounds array")?;
+    if rounds.is_empty() {
+        return Err("rounds array is empty".into());
+    }
+    for (i, r) in rounds.iter().enumerate() {
+        for key in [
+            "round",
+            "arrived",
+            "deleted",
+            "votes",
+            "retracted",
+            "splits",
+            "hits_retired",
+            "hits_created",
+            "hits_stable",
+            "live_pairs",
+        ] {
+            r.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("round {i}: missing numeric field {key}"))?;
+        }
+    }
+    Ok(rounds.len())
+}
+
+/// Run the suite over the named corpus and write the report.
+pub fn write_faults_report(
+    path: &str,
+    corpus: &str,
+    dataset: &Dataset,
+) -> std::io::Result<FaultPerfReport> {
+    let report = run_faults_suite(corpus, dataset);
+    std::fs::write(path, report.to_json())?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dataset() -> Dataset {
+        let mut d = Dataset::new("t", vec!["name".into()], PairSpace::SelfJoin);
+        for i in 0..40 {
+            d.push_record(
+                SourceId(0),
+                vec![format!("tok{} tok{} shared common", i % 4, i % 3)],
+            )
+            .unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn report_roundtrips_through_validation() {
+        let report = run_faults_suite("tiny", &tiny_dataset());
+        assert_eq!(
+            validate_faults_report_json(&report.to_json()),
+            Ok(report.rounds.len())
+        );
+        assert!(report.splits > 0, "churn must exercise cluster splits");
+        assert!(report.live_records < report.records);
+    }
+
+    #[test]
+    fn validation_rejects_broken_documents() {
+        assert!(validate_faults_report_json("").is_err());
+        assert!(validate_faults_report_json("{}").is_err());
+        assert!(validate_faults_report_json("{\"schema_version\": 999}").is_err());
+        let mut report = run_faults_suite("tiny", &tiny_dataset());
+        report.delete_p50_ns = report.delete_max_ns + 1;
+        assert!(validate_faults_report_json(&report.to_json())
+            .unwrap_err()
+            .contains("percentiles"));
+        report = run_faults_suite("tiny", &tiny_dataset());
+        report.churn_ratio = FAULTS_MAX_CHURN_RATIO + 1.0;
+        assert!(validate_faults_report_json(&report.to_json())
+            .unwrap_err()
+            .contains("acceptance bound"));
+        report = run_faults_suite("tiny", &tiny_dataset());
+        report.rounds.clear();
+        assert!(validate_faults_report_json(&report.to_json())
+            .unwrap_err()
+            .contains("empty"));
+    }
+
+    #[test]
+    fn churn_stays_within_the_acceptance_bound() {
+        // The tiny corpus is the worst case for the ratio (fixed costs
+        // dominate); even here full mutability must stay within 10x of
+        // append-only ingest.
+        let report = run_faults_suite("tiny", &tiny_dataset());
+        assert!(
+            report.churn_ratio <= FAULTS_MAX_CHURN_RATIO,
+            "churn ratio {} exceeds bound",
+            report.churn_ratio
+        );
+    }
+}

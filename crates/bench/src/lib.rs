@@ -18,6 +18,7 @@
 
 pub mod baseline;
 pub mod experiments;
+pub mod faultperf;
 pub mod harness;
 pub mod perf;
 pub mod streamperf;

@@ -18,7 +18,7 @@ pub mod workflow;
 pub use baselines::{simjoin_ranking, svm_average_curve, svm_rankings};
 pub use budget::{plan_budget, BudgetPlan, BudgetPoint};
 pub use query::{CrowdJoin, CrowdJoinResult};
-pub use streaming::{run_streaming, RoundReport, StreamingConfig, StreamingOutcome};
+pub use streaming::{run_streaming, FaultPlan, RoundReport, StreamingConfig, StreamingOutcome};
 pub use workflow::{run_hybrid, Aggregation, HitStrategy, HybridConfig, HybridOutcome};
 
 /// One-stop imports for applications.
@@ -26,7 +26,9 @@ pub mod prelude {
     pub use crate::baselines::{simjoin_ranking, svm_average_curve, svm_rankings};
     pub use crate::budget::{plan_budget, BudgetPlan, BudgetPoint};
     pub use crate::query::{CrowdJoin, CrowdJoinResult};
-    pub use crate::streaming::{run_streaming, RoundReport, StreamingConfig, StreamingOutcome};
+    pub use crate::streaming::{
+        run_streaming, FaultPlan, RoundReport, StreamingConfig, StreamingOutcome,
+    };
     pub use crate::workflow::{run_hybrid, Aggregation, HitStrategy, HybridConfig, HybridOutcome};
     pub use crowder_aggregate::{majority_vote, DawidSkene};
     pub use crowder_crowd::{CrowdConfig, PopulationConfig, QualificationConfig, WorkerPopulation};
@@ -43,7 +45,8 @@ pub mod prelude {
         threshold_sweep, token_blocking_pairs, JoinStats, TokenTable,
     };
     pub use crowder_stream::{
-        HitDelta, HitId, IncrementalResolver, InsertReport, LiveHits, StreamConfig,
+        vote_weight, EvidenceConfig, EvidenceLedger, HitDelta, HitId, IncrementalResolver,
+        InsertReport, LiveHits, RemoveReport, StreamConfig,
     };
     pub use crowder_types::{
         Dataset, GoldStandard, Pair, PairSpace, Record, RecordId, ScoredPair, SourceId,

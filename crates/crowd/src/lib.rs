@@ -35,7 +35,10 @@ pub mod sampler;
 pub mod worker;
 
 pub use answer::{answer_hit, HitAnswer};
-pub use platform::{simulate, AssignmentRecord, CrowdConfig, SimOutcome};
+pub use platform::{
+    labeled_triples_of, simulate, simulate_session, AssignmentRecord, CrowdConfig, SessionState,
+    SimOutcome,
+};
 pub use population::{PopulationConfig, WorkerPopulation};
 pub use qualification::QualificationConfig;
 pub use sampler::OpenHitSampler;

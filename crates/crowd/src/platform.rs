@@ -52,6 +52,14 @@ pub struct CrowdConfig {
     /// requires a qualification test at all (the rest browse away) —
     /// friction beyond the pass/fail filtering itself.
     pub qualification_friction: f64,
+    /// Simulated minutes after which the session stops handing out new
+    /// assignments. Assignments *accepted* before the deadline still
+    /// complete, but land in [`SimOutcome::in_flight`] instead of
+    /// `assignments` when they finish past it — the caller (the
+    /// streaming workflow) delivers their answers next round. `None`
+    /// (the default) runs until the batch completes, as the batch
+    /// workflow expects.
+    pub session_deadline_min: Option<f64>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -68,6 +76,7 @@ impl Default for CrowdConfig {
             browse_limit: 40,
             effort_scale_rows: 40.0,
             qualification_friction: 0.35,
+            session_deadline_min: None,
             seed: 0,
         }
     }
@@ -91,11 +100,18 @@ pub struct AssignmentRecord {
 /// Result of simulating a full batch.
 #[derive(Debug, Clone)]
 pub struct SimOutcome {
-    /// All completed assignments.
+    /// Assignments completed within the session (before the deadline,
+    /// if one is set).
     pub assignments: Vec<AssignmentRecord>,
+    /// Assignments accepted before the session deadline but submitted
+    /// after it. Their answers address *pairs*, not HIT ids, so the
+    /// caller can deliver them in a later round even if the HITs they
+    /// came from have been retired by then. Empty without a deadline.
+    pub in_flight: Vec<AssignmentRecord>,
     /// Minutes from publication until the last assignment finished.
     pub elapsed_minutes: f64,
-    /// Total payment: assignments × (reward + fee).
+    /// Payment for the *completed* assignments; in-flight work is paid
+    /// on delivery.
     pub cost_dollars: f64,
     /// Distinct workers who completed at least one assignment.
     pub workers_participated: usize,
@@ -121,16 +137,51 @@ impl SimOutcome {
         }
     }
 
-    /// Flatten to `(pair, worker, verdict)` triples — the input shape of
-    /// the Dawid–Skene aggregator.
+    /// Flatten the completed assignments to `(pair, worker, verdict)`
+    /// triples — the input shape of the Dawid–Skene aggregator.
     pub fn labeled_triples(&self) -> Vec<(Pair, WorkerId, bool)> {
-        let mut out = Vec::new();
-        for a in &self.assignments {
-            for &(pair, verdict) in &a.answer.verdicts {
-                out.push((pair, a.worker, verdict));
-            }
+        labeled_triples_of(&self.assignments)
+    }
+}
+
+/// Flatten any assignment slice to `(pair, worker, verdict)` triples —
+/// used for both a session's completed work and carried-over in-flight
+/// assignments.
+pub fn labeled_triples_of(assignments: &[AssignmentRecord]) -> Vec<(Pair, WorkerId, bool)> {
+    let mut out = Vec::new();
+    for a in assignments {
+        for &(pair, verdict) in &a.answer.verdicts {
+            out.push((pair, a.worker, verdict));
         }
-        out
+    }
+    out
+}
+
+/// Per-worker platform history carried *across* sessions. The
+/// streaming workflow threads one of these through its rounds so
+/// experience-dependent archetypes (sleepers, flippers — see
+/// [`WorkerProfile::at_experience`]) evolve over the whole run, not
+/// per session.
+#[derive(Debug, Clone, Default)]
+pub struct SessionState {
+    completed: HashMap<WorkerId, u32>,
+}
+
+impl SessionState {
+    /// A blank history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assignments `worker` has completed across all sessions so far.
+    #[inline]
+    pub fn completed_by(&self, worker: WorkerId) -> u32 {
+        self.completed.get(&worker).copied().unwrap_or(0)
+    }
+
+    /// Total assignments recorded across all workers.
+    pub fn total_completed(&self) -> u64 {
+        self.completed.values().map(|&c| c as u64).sum()
     }
 }
 
@@ -161,7 +212,8 @@ enum QualificationState {
     Passed(WorkerProfile),
 }
 
-/// Simulate publishing `hits` to the crowd.
+/// Simulate publishing `hits` to the crowd with a blank worker
+/// history.
 ///
 /// Returns an error if the batch cannot be completed within the arrival
 /// budget (pathological configurations only: empty worker pool, or more
@@ -172,6 +224,22 @@ pub fn simulate(
     population: &WorkerPopulation,
     config: &CrowdConfig,
 ) -> Result<SimOutcome> {
+    simulate_session(hits, gold, population, config, &mut SessionState::new())
+}
+
+/// Simulate one crowd session, threading per-worker completion counts
+/// through `state` so experience-dependent archetypes carry across
+/// sessions. With [`CrowdConfig::session_deadline_min`] set, the
+/// session stops accepting at the deadline and reports late-finishing
+/// accepted work in [`SimOutcome::in_flight`] instead of erroring on an
+/// incomplete batch.
+pub fn simulate_session(
+    hits: &[Hit],
+    gold: &GoldStandard,
+    population: &WorkerPopulation,
+    config: &CrowdConfig,
+    state: &mut SessionState,
+) -> Result<SimOutcome> {
     if config.assignments_per_hit == 0 {
         return Err(Error::InvalidConfig {
             param: "assignments_per_hit",
@@ -181,6 +249,7 @@ pub fn simulate(
     if hits.is_empty() {
         return Ok(SimOutcome {
             assignments: Vec::new(),
+            in_flight: Vec::new(),
             elapsed_minutes: 0.0,
             cost_dollars: 0.0,
             workers_participated: 0,
@@ -224,6 +293,11 @@ pub fn simulate(
         // Poisson arrivals: exponential inter-arrival gap.
         let u: f64 = rng.random::<f64>().max(1e-12);
         clock_min += -u.ln() / config.arrival_rate_per_min;
+        if let Some(deadline) = config.session_deadline_min {
+            if clock_min > deadline {
+                break;
+            }
+        }
 
         let widx = rng.random_range(0..population.len());
         let base_worker = &population.workers()[widx];
@@ -267,6 +341,15 @@ pub fn simulate(
             if completed_this_session >= session_budget {
                 break;
             }
+            // No assignment starts after the session closes — a worker
+            // whose personal backlog runs past the deadline stops
+            // picking up new work.
+            if config
+                .session_deadline_min
+                .is_some_and(|deadline| worker_time > deadline)
+            {
+                break;
+            }
             if done_by[hit_idx].contains(&effective.id) {
                 continue;
             }
@@ -274,7 +357,11 @@ pub fn simulate(
             if rng.random::<f64>() >= p {
                 continue;
             }
-            let answer = answer_hit(&effective, &hits[hit_idx], gold, &mut rng);
+            // Adversarial archetypes answer with an experience-
+            // dependent profile (a sleeper turns after its onset, a
+            // flipper alternates) — honest kinds are unaffected.
+            let answering = effective.at_experience(state.completed_by(effective.id));
+            let answer = answer_hit(&answering, &hits[hit_idx], gold, &mut rng);
             let accepted_at = worker_time;
             worker_time += answer.duration_secs / 60.0;
             remaining[hit_idx] -= 1;
@@ -283,6 +370,7 @@ pub fn simulate(
             }
             done_by[hit_idx].insert(effective.id);
             participants.insert(effective.id);
+            *state.completed.entry(effective.id).or_insert(0) += 1;
             assignments.push(AssignmentRecord {
                 hit_index: hit_idx,
                 worker: effective.id,
@@ -295,15 +383,31 @@ pub fn simulate(
         busy_until.insert(effective.id, worker_time);
     }
 
-    if assignments.len() < total_needed {
-        return Err(Error::NoConvergence {
-            routine: "crowd-simulation",
-            iterations: max_arrivals,
-        });
-    }
+    let in_flight = match config.session_deadline_min {
+        None => {
+            // No deadline: the batch must complete (as in the batch
+            // workflow); a shortfall means the configuration starves.
+            if assignments.len() < total_needed {
+                return Err(Error::NoConvergence {
+                    routine: "crowd-simulation",
+                    iterations: max_arrivals,
+                });
+            }
+            Vec::new()
+        }
+        Some(deadline) => {
+            // Accepted-but-late work carries over to the next session.
+            let (done, late): (Vec<_>, Vec<_>) = assignments
+                .drain(..)
+                .partition(|a| a.completed_at_min <= deadline);
+            assignments = done;
+            late
+        }
+    };
 
     let elapsed_minutes = assignments
         .iter()
+        .chain(&in_flight)
         .map(|a| a.completed_at_min)
         .fold(0.0, f64::max);
     let cost_dollars =
@@ -311,6 +415,7 @@ pub fn simulate(
     Ok(SimOutcome {
         workers_participated: participants.len(),
         assignments,
+        in_flight,
         elapsed_minutes,
         cost_dollars,
     })
@@ -534,6 +639,106 @@ mod tests {
         );
         // And the batch still completes exactly.
         assert_eq!(out.assignments.len(), hits.len() * cfg.assignments_per_hit);
+    }
+
+    #[test]
+    fn deadline_carries_in_flight_work_instead_of_erroring() {
+        // A deadline short enough to interrupt the batch must split the
+        // work into completed + in-flight, never error — and everything
+        // accepted must land in exactly one of the two.
+        let hits: Vec<Hit> = (0..30)
+            .map(|i| Hit::pairs(vec![Pair::of(2 * i, 2 * i + 1)]))
+            .collect();
+        let gold = GoldStandard::new();
+        let pop = WorkerPopulation::generate(
+            &PopulationConfig {
+                size: 20,
+                ..Default::default()
+            },
+            5,
+        );
+        let cfg = CrowdConfig {
+            session_deadline_min: Some(3.0),
+            ..CrowdConfig::default()
+        };
+        let out = simulate(&hits, &gold, &pop, &cfg).unwrap();
+        assert!(
+            out.assignments.len() + out.in_flight.len() < 30 * cfg.assignments_per_hit,
+            "the deadline must actually interrupt this batch"
+        );
+        for a in &out.assignments {
+            assert!(a.completed_at_min <= 3.0);
+        }
+        for a in &out.in_flight {
+            assert!(a.accepted_at_min <= 3.0 && a.completed_at_min > 3.0);
+        }
+        // Cost covers only completed work; in-flight is paid on delivery.
+        assert!(
+            (out.cost_dollars - out.assignments.len() as f64 * 0.025).abs() < 1e-12,
+            "{}",
+            out.cost_dollars
+        );
+    }
+
+    #[test]
+    fn session_state_accumulates_and_wakes_sleepers() {
+        let hits: Vec<Hit> = (0..20)
+            .map(|i| Hit::pairs(vec![Pair::of(2 * i, 2 * i + 1)]))
+            .collect();
+        // Every pair is a true match; an awake sleeper answers NO.
+        let gold = GoldStandard::from_pairs((0..20).map(|i| Pair::of(2 * i, 2 * i + 1)));
+        let sleeper = WorkerProfile {
+            id: WorkerId(0),
+            kind: crate::worker::WorkerKind::Sleeper { after: 10 },
+            sensitivity: 1.0,
+            specificity: 1.0,
+            seconds_per_comparison: 1.0,
+            cluster_affinity: 0.5,
+        };
+        let diligent = WorkerProfile {
+            id: WorkerId(1),
+            kind: crate::worker::WorkerKind::Diligent,
+            ..sleeper.clone()
+        };
+        let pop = WorkerPopulation::from_workers(vec![
+            sleeper,
+            diligent.clone(),
+            WorkerProfile {
+                id: WorkerId(2),
+                ..diligent
+            },
+        ]);
+        let mut state = SessionState::new();
+        let cfg = CrowdConfig::default();
+        let first = simulate_session(&hits, &gold, &pop, &cfg, &mut state).unwrap();
+        assert_eq!(
+            state.total_completed(),
+            first.assignments.len() as u64,
+            "history records every completed assignment"
+        );
+        // Run more sessions against the same history: once the sleeper
+        // crosses 10 completions, its answers flip to NO on matches.
+        let mut woke_answers = Vec::new();
+        for round in 1..6 {
+            let cfg = CrowdConfig {
+                seed: round,
+                ..cfg.clone()
+            };
+            let out = simulate_session(&hits, &gold, &pop, &cfg, &mut state).unwrap();
+            for a in &out.assignments {
+                if a.worker == WorkerId(0) && state.completed_by(WorkerId(0)) > 10 {
+                    woke_answers.extend(a.answer.verdicts.iter().map(|&(_, v)| v));
+                }
+            }
+        }
+        assert!(
+            state.completed_by(WorkerId(0)) > 10,
+            "sleeper must get past its onset in five rounds"
+        );
+        assert!(
+            woke_answers.iter().filter(|&&v| !v).count() > woke_answers.len() / 2,
+            "an awake sleeper answers mostly NO on true matches"
+        );
     }
 
     #[test]

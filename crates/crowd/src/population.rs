@@ -18,6 +18,19 @@ pub struct PopulationConfig {
     /// Fraction of spammers (split evenly between random, always-yes and
     /// always-no archetypes).
     pub spammer_fraction: f64,
+    /// Fraction of non-spammers who are systematic liars (every answer
+    /// mirrors the truth). Their *base* accuracy is sampled like a
+    /// diligent worker's — the deception is behavioural, not
+    /// parametric, so qualification tests are gamed.
+    pub liar_fraction: f64,
+    /// Fraction of non-spammers who flip between diligent and mirrored
+    /// answers by assignment parity.
+    pub flipper_fraction: f64,
+    /// Fraction of non-spammers who answer diligently for
+    /// `sleeper_onset` assignments and then turn into liars.
+    pub sleeper_fraction: f64,
+    /// Completed assignments before a sleeper turns.
+    pub sleeper_onset: u32,
     /// Mean seconds per record comparison (log-normal-ish spread).
     pub mean_seconds_per_comparison: f64,
     /// Mean affinity for the unfamiliar cluster interface in `[0, 1]`.
@@ -36,6 +49,10 @@ impl Default for PopulationConfig {
             mean_specificity: 0.95,
             accuracy_stddev: 0.05,
             spammer_fraction: 0.12,
+            liar_fraction: 0.0,
+            flipper_fraction: 0.0,
+            sleeper_fraction: 0.0,
+            sleeper_onset: 8,
             mean_seconds_per_comparison: 2.5,
             mean_cluster_affinity: 0.45,
         }
@@ -64,17 +81,42 @@ impl WorkerPopulation {
         let mut workers = Vec::with_capacity(config.size);
         for i in 0..config.size {
             let spam_roll: f64 = rng.random();
+            let adversary_total =
+                config.liar_fraction + config.flipper_fraction + config.sleeper_fraction;
             let kind = if spam_roll < config.spammer_fraction {
                 match (spam_roll / config.spammer_fraction * 3.0) as usize {
                     0 => WorkerKind::RandomSpammer,
                     1 => WorkerKind::AlwaysYesSpammer,
                     _ => WorkerKind::AlwaysNoSpammer,
                 }
+            } else if adversary_total > 0.0 {
+                // Only drawn when adversaries are configured, so the
+                // default (all-zero) config replays the exact RNG
+                // stream of the pre-adversary sampler.
+                let adv_roll: f64 = rng.random();
+                if adv_roll < config.liar_fraction {
+                    WorkerKind::SystematicLiar
+                } else if adv_roll < config.liar_fraction + config.flipper_fraction {
+                    WorkerKind::RandomFlipper
+                } else if adv_roll < adversary_total {
+                    WorkerKind::Sleeper {
+                        after: config.sleeper_onset,
+                    }
+                } else {
+                    WorkerKind::Diligent
+                }
             } else {
                 WorkerKind::Diligent
             };
             let (sensitivity, specificity) = match kind {
-                WorkerKind::Diligent => (
+                // Adversaries masquerade as diligent: their base
+                // accuracy is sampled from the same distribution (the
+                // mirroring happens at answer time — see
+                // `WorkerProfile::at_experience`).
+                WorkerKind::Diligent
+                | WorkerKind::SystematicLiar
+                | WorkerKind::RandomFlipper
+                | WorkerKind::Sleeper { .. } => (
                     truncated_normal(
                         &mut rng,
                         config.mean_sensitivity,
@@ -192,6 +234,49 @@ mod tests {
             }
             assert!(w.seconds_per_comparison >= 0.5);
             assert!((0.0..=1.0).contains(&w.cluster_affinity));
+        }
+    }
+
+    #[test]
+    fn zero_adversary_config_replays_legacy_stream() {
+        // The adversary fractions must be RNG-transparent when zero:
+        // every downstream deterministic test depends on the default
+        // population being byte-identical to the pre-adversary one.
+        let a = WorkerPopulation::generate(&PopulationConfig::default(), 42);
+        for w in a.workers() {
+            assert!(!w.kind.is_adversarial());
+        }
+    }
+
+    #[test]
+    fn adversary_fractions_roughly_respected() {
+        let cfg = PopulationConfig {
+            size: 3000,
+            liar_fraction: 0.1,
+            flipper_fraction: 0.1,
+            sleeper_fraction: 0.1,
+            ..Default::default()
+        };
+        let pop = WorkerPopulation::generate(&cfg, 7);
+        let count = |pred: fn(&WorkerKind) -> bool| {
+            pop.workers().iter().filter(|w| pred(&w.kind)).count() as f64 / pop.len() as f64
+        };
+        let liars = count(|k| matches!(k, WorkerKind::SystematicLiar));
+        let flippers = count(|k| matches!(k, WorkerKind::RandomFlipper));
+        let sleepers = count(|k| matches!(k, WorkerKind::Sleeper { .. }));
+        for (name, frac) in [
+            ("liar", liars),
+            ("flipper", flippers),
+            ("sleeper", sleepers),
+        ] {
+            assert!((frac - 0.088).abs() < 0.03, "{name} fraction {frac}");
+        }
+        // Adversaries still look diligent parametrically.
+        for w in pop.workers() {
+            if w.kind.is_adversarial() {
+                assert!(w.sensitivity >= 0.55, "{:?}", w.kind);
+                assert!(w.specificity >= 0.55);
+            }
         }
     }
 

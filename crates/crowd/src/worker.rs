@@ -28,6 +28,21 @@ pub enum WorkerKind {
     AlwaysYesSpammer,
     /// Answers NO to everything (sensitivity 0, specificity 1).
     AlwaysNoSpammer,
+    /// Inverts the truth on every answer. The *base* profile looks
+    /// diligent (so qualification tests are passed), but every verdict
+    /// is produced with the confusion matrix mirrored.
+    SystematicLiar,
+    /// Alternates between diligent and inverted answers by assignment
+    /// parity — time-correlated noise that averages to a random
+    /// clicker but is bursty round-to-round.
+    RandomFlipper,
+    /// Behaves diligently for the first `after` assignments (building
+    /// reputation, passing any qualification), then turns into a
+    /// systematic liar.
+    Sleeper {
+        /// Completed assignments before the worker turns.
+        after: u32,
+    },
 }
 
 impl WorkerKind {
@@ -38,7 +53,19 @@ impl WorkerKind {
             WorkerKind::RandomSpammer => "random-spammer",
             WorkerKind::AlwaysYesSpammer => "always-yes",
             WorkerKind::AlwaysNoSpammer => "always-no",
+            WorkerKind::SystematicLiar => "systematic-liar",
+            WorkerKind::RandomFlipper => "random-flipper",
+            WorkerKind::Sleeper { .. } => "sleeper",
         }
+    }
+
+    /// Archetypes that deliberately answer against the truth (at least
+    /// some of the time). Spammers are noise; these are adversaries.
+    pub fn is_adversarial(self) -> bool {
+        matches!(
+            self,
+            WorkerKind::SystematicLiar | WorkerKind::RandomFlipper | WorkerKind::Sleeper { .. }
+        )
     }
 }
 
@@ -75,6 +102,40 @@ impl WorkerProfile {
     /// Human-readable archetype name.
     pub fn kind_name(&self) -> &'static str {
         self.kind.name()
+    }
+
+    /// The profile this worker *actually answers with* after having
+    /// completed `completed` assignments. Honest archetypes are
+    /// experience-invariant; adversaries are where the platform's
+    /// per-worker completion counter matters:
+    ///
+    /// * a [`SystematicLiar`](WorkerKind::SystematicLiar) always
+    ///   answers with the mirrored confusion matrix,
+    /// * a [`RandomFlipper`](WorkerKind::RandomFlipper) mirrors on
+    ///   odd-numbered assignments only,
+    /// * a [`Sleeper`](WorkerKind::Sleeper) mirrors once `completed`
+    ///   reaches its onset.
+    ///
+    /// The *base* sensitivity/specificity of all three is sampled like
+    /// a diligent worker's, so qualification tests (which administer
+    /// the base profile) are passed — gaming the gate is the point of
+    /// these archetypes.
+    pub fn at_experience(&self, completed: u32) -> WorkerProfile {
+        let lie = match self.kind {
+            WorkerKind::SystematicLiar => true,
+            WorkerKind::RandomFlipper => completed % 2 == 1,
+            WorkerKind::Sleeper { after } => completed >= after,
+            _ => false,
+        };
+        if lie {
+            WorkerProfile {
+                sensitivity: 1.0 - self.sensitivity,
+                specificity: 1.0 - self.specificity,
+                ..self.clone()
+            }
+        } else {
+            self.clone()
+        }
     }
 
     /// Apply the qualification-test "attention boost": the paper argues
@@ -129,6 +190,52 @@ mod tests {
         let boosted = w.with_attention_boost(0.9);
         assert_eq!(boosted.sensitivity, 0.5);
         assert_eq!(boosted.specificity, 0.5);
+    }
+
+    #[test]
+    fn liar_always_mirrors() {
+        let mut w = diligent();
+        w.kind = WorkerKind::SystematicLiar;
+        for completed in [0, 1, 7, 100] {
+            let e = w.at_experience(completed);
+            assert!((e.sensitivity - 0.1).abs() < 1e-12);
+            assert!((e.specificity - 0.2).abs() < 1e-12);
+        }
+        assert!(w.kind.is_adversarial());
+    }
+
+    #[test]
+    fn flipper_alternates_by_parity() {
+        let mut w = diligent();
+        w.kind = WorkerKind::RandomFlipper;
+        assert_eq!(w.at_experience(0).sensitivity, 0.9);
+        assert!((w.at_experience(1).sensitivity - 0.1).abs() < 1e-12);
+        assert_eq!(w.at_experience(2).sensitivity, 0.9);
+    }
+
+    #[test]
+    fn sleeper_turns_at_onset() {
+        let mut w = diligent();
+        w.kind = WorkerKind::Sleeper { after: 3 };
+        assert_eq!(w.at_experience(0).sensitivity, 0.9);
+        assert_eq!(w.at_experience(2).sensitivity, 0.9);
+        assert!((w.at_experience(3).sensitivity - 0.1).abs() < 1e-12);
+        assert!((w.at_experience(9).specificity - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn honest_kinds_ignore_experience() {
+        for kind in [
+            WorkerKind::Diligent,
+            WorkerKind::RandomSpammer,
+            WorkerKind::AlwaysYesSpammer,
+            WorkerKind::AlwaysNoSpammer,
+        ] {
+            let mut w = diligent();
+            w.kind = kind;
+            assert_eq!(w.at_experience(50).sensitivity, w.sensitivity);
+            assert!(!kind.is_adversarial());
+        }
     }
 
     #[test]

@@ -12,14 +12,21 @@
 //!   step, Algorithm 1 line 2),
 //! * [`MutGraph`] — an adjacency-set graph supporting the edge removals
 //!   every generator performs ("remove the edges covered by H"),
-//! * [`UnionFind`] — disjoint sets for component labelling.
+//! * [`UnionFind`] — disjoint sets for component labelling (grow-only),
+//! * [`DynamicConnectivity`] — fully-dynamic connectivity with edge
+//!   *removal* and split detection, the substrate of fault-tolerant
+//!   clustering in `crowder-stream` (wrong crowd answers decommit
+//!   edges; record deletions take their pairs with them — both can
+//!   split a cluster, which a union-find cannot express).
 
 pub mod components;
+pub mod dynforest;
 pub mod graph;
 pub mod mutgraph;
 pub mod unionfind;
 
 pub use components::connected_components;
+pub use dynforest::{DynamicConnectivity, EdgeCut, EdgeLink};
 pub use graph::PairGraph;
 pub use mutgraph::MutGraph;
 pub use unionfind::UnionFind;

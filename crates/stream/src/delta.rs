@@ -48,7 +48,11 @@ struct Posting {
 /// Marker value meaning "never seen" in the per-probe dedup array.
 const UNSEEN: u32 = u32::MAX;
 
-/// Mutable prefix-filter index over an appendable corpus.
+/// Mutable prefix-filter index over an appendable corpus, with
+/// tombstoned deletion: a removed record's postings stay in place but
+/// are skipped by every probe, and the next epoch rebuild drops them
+/// for good — deletion is O(1), the cleanup amortized into the rebuild
+/// the resolver already schedules.
 #[derive(Debug, Clone)]
 pub struct DeltaIndex {
     threshold: f64,
@@ -60,6 +64,11 @@ pub struct DeltaIndex {
     /// Per-probe candidate dedup: the record id of the probe that last
     /// reached each indexed record.
     seen: Vec<u32>,
+    /// Tombstones: `false` for deleted records (slots are never
+    /// reused — record ids stay dense in arrival order).
+    alive: Vec<bool>,
+    /// Live (non-tombstoned) record count.
+    live: usize,
 }
 
 impl DeltaIndex {
@@ -70,19 +79,44 @@ impl DeltaIndex {
             postings: HashMap::new(),
             docs: Vec::new(),
             seen: Vec::new(),
+            alive: Vec::new(),
+            live: 0,
         }
     }
 
-    /// Number of records indexed.
+    /// Number of record slots (arrivals ever indexed, deletions
+    /// included).
     #[inline]
     pub fn len(&self) -> usize {
         self.docs.len()
+    }
+
+    /// Number of live (non-deleted) records.
+    #[inline]
+    pub fn live(&self) -> usize {
+        self.live
     }
 
     /// True iff no record was indexed.
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.docs.is_empty()
+    }
+
+    /// Is `record` still live?
+    #[inline]
+    pub fn is_alive(&self, record: RecordId) -> bool {
+        self.alive[record.index()]
+    }
+
+    /// Tombstone one record: every future probe skips it. Its postings
+    /// are garbage until the next [`DeltaIndex::rebuild`] sweeps them.
+    /// Idempotent.
+    pub fn remove(&mut self, record: RecordId) {
+        let slot = record.index();
+        if std::mem::replace(&mut self.alive[slot], false) {
+            self.live -= 1;
+        }
     }
 
     /// The rank-sorted token list of an indexed record.
@@ -116,14 +150,12 @@ impl DeltaIndex {
         if self.threshold > 1.0 {
             // Jaccard never exceeds 1: nothing to join, nothing worth
             // indexing.
-            self.docs.push(doc);
-            self.seen.push(UNSEEN);
+            self.push_slot(doc);
             return;
         }
         if self.threshold <= 0.0 {
             self.exhaustive_probe(dataset, x, &doc, out, stats);
-            self.docs.push(doc);
-            self.seen.push(UNSEEN);
+            self.push_slot(doc);
             return;
         }
         self.filtered_probe(dataset, x, &doc, out, stats);
@@ -137,8 +169,14 @@ impl DeltaIndex {
                 });
             }
         }
+        self.push_slot(doc);
+    }
+
+    fn push_slot(&mut self, doc: Vec<u32>) {
         self.docs.push(doc);
         self.seen.push(UNSEEN);
+        self.alive.push(true);
+        self.live += 1;
     }
 
     /// The `threshold ≤ 0` degradation: every candidate pair is scored
@@ -153,6 +191,9 @@ impl DeltaIndex {
         stats: &mut JoinStats,
     ) {
         for y in 0..self.docs.len() as u32 {
+            if !self.alive[y as usize] {
+                continue;
+            }
             let pair = Pair::new(RecordId(x), RecordId(y)).expect("y < x");
             if !dataset.is_candidate(&pair) {
                 continue;
@@ -180,7 +221,8 @@ impl DeltaIndex {
             return; // Jaccard with an empty set is 0 < threshold.
         }
         let t = self.threshold;
-        let (postings, docs, seen) = (&self.postings, &self.docs, &mut self.seen);
+        let (postings, docs, seen, alive) =
+            (&self.postings, &self.docs, &mut self.seen, &self.alive);
         let lx = doc.len();
         let plen = prefix_len(lx, t);
         let (min_ly, max_ly) = (min_match_len(lx, t), max_match_len(lx, t));
@@ -190,7 +232,10 @@ impl DeltaIndex {
             };
             for p in plist {
                 let y = p.record;
-                if seen[y as usize] == x {
+                // Tombstoned records stay in the postings until the
+                // next rebuild; skip them before any accounting so the
+                // funnel matches a live-only corpus.
+                if !alive[y as usize] || seen[y as usize] == x {
                     continue;
                 }
                 seen[y as usize] = x;
@@ -250,6 +295,11 @@ impl DeltaIndex {
         for (r, ids) in token_ids.iter().enumerate() {
             let doc = &mut self.docs[r];
             doc.clear();
+            if !self.alive[r] {
+                // Tombstone sweep: a deleted record keeps its slot but
+                // loses its doc and postings for good.
+                continue;
+            }
             doc.extend(ids.iter().map(|&id| dict.rank(id)));
             doc.sort_unstable();
             if self.threshold > 0.0 && self.threshold <= 1.0 && !doc.is_empty() {
@@ -328,5 +378,96 @@ mod tests {
     fn empty_records_never_match_at_positive_threshold() {
         let (out, _) = feed(&["", "---", "a", ""], 0.1);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn tombstoned_records_stop_matching() {
+        let mut dataset = Dataset::new("t", vec!["name".into()], PairSpace::SelfJoin);
+        let mut dict = StreamingDict::new();
+        let mut index = DeltaIndex::new(0.5);
+        let mut out = Vec::new();
+        let mut stats = JoinStats::default();
+        let push = |dataset: &mut Dataset,
+                    dict: &mut StreamingDict,
+                    index: &mut DeltaIndex,
+                    out: &mut Vec<ScoredPair>,
+                    stats: &mut JoinStats,
+                    name: &str| {
+            dataset
+                .push_record(SourceId(0), vec![name.to_string()])
+                .unwrap();
+            let ids = dict.encode_record(&tokenize(name));
+            let mut doc: Vec<u32> = ids.iter().map(|&id| dict.rank(id)).collect();
+            doc.sort_unstable();
+            index.join_and_insert(dataset, doc, out, stats);
+        };
+        push(
+            &mut dataset,
+            &mut dict,
+            &mut index,
+            &mut out,
+            &mut stats,
+            "a b c d",
+        );
+        index.remove(RecordId(0));
+        assert_eq!(index.live(), 0);
+        assert!(!index.is_alive(RecordId(0)));
+        // An identical arrival finds nothing: the only indexed record
+        // is tombstoned (filtered probe path).
+        push(
+            &mut dataset,
+            &mut dict,
+            &mut index,
+            &mut out,
+            &mut stats,
+            "a b c d",
+        );
+        assert!(out.is_empty(), "{out:?}");
+        // The exhaustive path (threshold 0) also honors tombstones.
+        let mut dataset0 = Dataset::new("z", vec!["name".into()], PairSpace::SelfJoin);
+        let mut dict0 = StreamingDict::new();
+        let mut index0 = DeltaIndex::new(0.0);
+        let mut out0 = Vec::new();
+        let mut stats0 = JoinStats::default();
+        push(
+            &mut dataset0,
+            &mut dict0,
+            &mut index0,
+            &mut out0,
+            &mut stats0,
+            "x y",
+        );
+        index0.remove(RecordId(0));
+        push(
+            &mut dataset0,
+            &mut dict0,
+            &mut index0,
+            &mut out0,
+            &mut stats0,
+            "x y",
+        );
+        assert!(out0.is_empty());
+        // A rebuild sweeps the dead postings; live records still match.
+        push(
+            &mut dataset,
+            &mut dict,
+            &mut index,
+            &mut out,
+            &mut stats,
+            "a b c e",
+        );
+        assert_eq!(out.len(), 1, "record 1 (live) matches record 2");
+        dict.rerank();
+        let token_ids: Vec<Vec<u32>> = (0..dataset.len())
+            .map(|r| {
+                let mut ids = dict.encode_record(&tokenize(&dataset.records()[r].joined_text()));
+                // encode_record bumps dfs; acceptable in a test.
+                ids.sort_unstable();
+                ids
+            })
+            .collect();
+        index.rebuild(&dict, &token_ids);
+        assert!(index.doc(RecordId(0)).is_empty(), "dead doc swept");
+        assert!(!index.doc(RecordId(1)).is_empty());
     }
 }

@@ -2,11 +2,11 @@
 //!
 //! The incremental ER engine: CrowdER's batch pipeline (machine pass →
 //! HIT generation → crowd) re-cast as an always-on system that absorbs
-//! record arrivals one at a time. Where the paper's workflow (Figure 1)
-//! recomputes everything per run, this crate maintains the same state
-//! *deltas*: each arrival is joined only against the existing corpus,
-//! only the clusters it touches are re-clustered, and only their HITs
-//! are regenerated.
+//! record arrivals one at a time — and, since the fault-tolerance PR,
+//! record *deletions* and crowd-answer *retractions* too. Where the
+//! paper's workflow (Figure 1) recomputes everything per run, this
+//! crate maintains the same state *deltas*: each mutation touches only
+//! the postings, clusters, and HITs it actually affects.
 //!
 //! ## Component map (paper / related-work sources)
 //!
@@ -23,46 +23,63 @@
 //!   results.
 //! * [`DeltaIndex`] — the machine pass (§2.1.1's likelihood = Jaccard,
 //!   §2.2's footnote on indexed joins) as an insert-capable PPJoin+
-//!   probe: symmetric prefix filter (an arrival may be shorter *or*
-//!   longer than indexed records), positional filter, suffix filter,
-//!   and resume-merge verification, all shared with the batch engine
-//!   via `crowder_simjoin::filters`. One arrival costs a handful of
-//!   posting-list probes instead of an `O(n)`–`O(n²)` re-join.
-//! * [`IncrementalResolver`] — dynamic clustering over the match edges:
-//!   the pair graph of §4.1, maintained by a growable
-//!   [`UnionFind`](crowder_graph::UnionFind) (`make_set` per arrival,
-//!   `union` per surfaced pair) with per-component pair lists merged
-//!   small-to-large, plus a dirty-component set recording what moved
-//!   since the last flush.
+//!   probe: symmetric prefix filter, positional filter, suffix filter,
+//!   and resume-merge verification, shared with the batch engine via
+//!   `crowder_simjoin::filters`. Deletion is a **tombstone**: the dead
+//!   slot is skipped by every probe immediately (O(1) to delete) and its
+//!   postings are swept out at the next epoch rebuild, so churn never
+//!   degrades the index permanently.
+//! * [`EvidenceLedger`] — crowd answers as signed, weighted, revocable
+//!   votes (Gruenheid et al. 2015's fault-tolerant ER model). A pair's
+//!   edge **commits** while its net weight reaches the commit margin and
+//!   decommits when contradicting answers pull it back; a machine edge
+//!   is **vetoed** when net weight falls past the veto margin. Vote
+//!   weights are Youden's J over Dawid–Skene worker-quality estimates
+//!   ([`vote_weight`](evidence::vote_weight)), so spammers weigh ~0 and
+//!   estimated liars are silenced.
+//! * [`IncrementalResolver`] — the mutable core. Clustering lives in a
+//!   [`DynamicConnectivity`](crowder_graph::DynamicConnectivity) graph
+//!   (not a union-find): edges appear when a pair is machine-surfaced
+//!   and un-vetoed *or* crowd-committed, and disappear when deletions or
+//!   evidence shifts deactivate them — so clusters can **split**, not
+//!   just grow. The mutation API is `insert` / `remove` / `retract` /
+//!   `record_evidence`; see the [`resolver`] module docs for the exact
+//!   edge-state rule and the per-mutation reports.
 //! * [`LiveHits`] — live HIT regeneration: dirty clusters re-enter the
 //!   paper's two-tiered generator (§5, Algorithms 1–2 + the
 //!   cutting-stock packing of §5.3) while untouched clusters keep their
-//!   published HITs under stable [`HitId`]s. This is the interleaving
-//!   regime of fault-tolerant crowd ER (Gruenheid et al. 2015) and
-//!   next-crowdsource selection (Yalavarthi et al. 2017): crowd answers
-//!   for stable HITs stay valid while new arrivals queue more work.
+//!   published HITs under stable [`HitId`]s. Splits retire the old
+//!   cluster's HITs and publish fresh ones for each side; a cluster that
+//!   loses its last to-verify pair just has its HITs withdrawn.
 //!
 //! ## The exactness contract
 //!
-//! After any arrival sequence, [`IncrementalResolver::ranked_pairs`] is
+//! After any interleaving of arrivals and deletions,
+//! [`IncrementalResolver::ranked_pairs`] restricted to live records is
 //! **bit-identical** to a batch
-//! [`prefix_join`](crowder_simjoin::prefix_join) over the same corpus at
-//! the same threshold — same pairs, same `f64` likelihoods, same order.
-//! The property is enforced by proptests here and in the workspace
-//! integration suite across thresholds, batch splits, insertion orders,
-//! and thread counts of the batch reference. Degenerate thresholds
-//! degrade identically too (`≤ 0` exhaustive, `> 1` empty).
+//! [`prefix_join`](crowder_simjoin::prefix_join) over the live corpus at
+//! the same threshold — same pairs, same `f64` likelihoods, same order
+//! (up to the monotone dense re-numbering returned by
+//! [`IncrementalResolver::live_dataset`]). And evidence is exactly
+//! revocable: retracting every vote for a pair restores the clustering
+//! to its pre-evidence shape. Both properties are enforced by proptests
+//! here and in the workspace integration suite.
 //!
-//! The interactive half — interleaving arrival batches with simulated
-//! crowd sessions — lives in `crowder-core`'s `StreamingWorkflow`, which
-//! drives this crate together with `crowder-crowd`.
+//! The interactive half — interleaving arrival batches, deletions, and
+//! simulated crowd sessions with fault injection — lives in
+//! `crowder-core`'s `StreamingWorkflow`, which drives this crate
+//! together with `crowder-crowd` and `crowder-aggregate`.
 
 pub mod delta;
 pub mod dict;
+pub mod evidence;
 pub mod live;
 pub mod resolver;
 
 pub use delta::DeltaIndex;
 pub use dict::StreamingDict;
+pub use evidence::{vote_weight, EvidenceConfig, EvidenceLedger, EvidenceShift, Tally};
 pub use live::{HitId, LiveHits};
-pub use resolver::{HitDelta, IncrementalResolver, InsertReport, StreamConfig};
+pub use resolver::{
+    EvidenceReport, HitDelta, IncrementalResolver, InsertReport, RemoveReport, StreamConfig,
+};

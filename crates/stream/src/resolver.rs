@@ -1,15 +1,52 @@
-//! The incremental resolver: an appendable corpus whose pair set,
-//! clustering, and HIT set are maintained under record arrivals.
+//! The incremental resolver: a fully-mutable ER corpus whose pair set,
+//! clustering, and HIT set are maintained under record arrivals,
+//! record *deletions*, and revocable crowd evidence.
+//!
+//! ## The mutation API
+//!
+//! * [`IncrementalResolver::insert`] — append a record: delta-join it
+//!   against the live corpus, thread new match edges into the dynamic
+//!   cluster graph, mark touched clusters dirty.
+//! * [`IncrementalResolver::remove`] — tombstone a record (GDPR-style
+//!   deletion): its index postings are skipped from now on, every pair
+//!   touching it is dropped from the pair set, its evidence is purged,
+//!   and each of its cluster edges is cut — clusters *shrink or split*
+//!   and are marked dirty so the next flush retires their HITs.
+//! * [`IncrementalResolver::retract`] — forget all crowd evidence for
+//!   one pair. If the evidence was what committed the edge, the edge
+//!   decommits and the clustering reverts to its pre-edge shape.
+//! * [`IncrementalResolver::record_evidence`] — one signed, weighted
+//!   crowd vote (see [`EvidenceLedger`]). Votes can commit an edge
+//!   (possibly merging clusters), decommit it again (possibly
+//!   splitting), or veto a machine edge outright.
+//!
+//! ## Edge state
+//!
+//! A pair's edge is **active** in the cluster graph iff
+//!
+//! ```text
+//! (machine-surfaced ∧ ¬vetoed) ∨ crowd-committed
+//! ```
+//!
+//! where *vetoed* and *crowd-committed* are threshold predicates over
+//! the signed vote tally ([`EvidenceConfig`]). The same pair is
+//! **listed** for HIT generation iff it is machine-surfaced, both
+//! records are alive, and it is neither vetoed nor committed — the
+//! crowd has answered those, so republishing them would only re-ask.
+//! A decommit re-lists the pair for re-verification. Every listed pair
+//! has an active edge, so its endpoints always share a cluster and the
+//! per-cluster pair lists partition cleanly on splits.
 
-use crowder_graph::UnionFind;
+use crowder_graph::{DynamicConnectivity, EdgeCut, EdgeLink};
 use crowder_hitgen::{ClusterGenerator, TwoTieredConfig, TwoTieredGenerator};
 use crowder_simjoin::JoinStats;
 use crowder_text::tokenize;
-use crowder_types::{Dataset, Pair, PairSpace, RecordId, ScoredPair, SourceId};
-use std::collections::{BTreeSet, HashMap};
+use crowder_types::{Dataset, Error, Pair, PairSpace, RecordId, ScoredPair, SourceId};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use crate::delta::DeltaIndex;
 use crate::dict::{StreamingDict, FRESH_SPAN};
+use crate::evidence::{EvidenceConfig, EvidenceLedger, EvidenceShift};
 use crate::live::{HitId, LiveHits};
 
 /// Tuning of the incremental resolver.
@@ -27,6 +64,8 @@ pub struct StreamConfig {
     /// spacing is `max(rebuild_min_interval, corpus/2)`, so rebuild work
     /// stays O(1) amortized per arrival.
     pub rebuild_min_interval: usize,
+    /// Commit/veto thresholds of the signed evidence ledger.
+    pub evidence: EvidenceConfig,
 }
 
 impl Default for StreamConfig {
@@ -37,6 +76,7 @@ impl Default for StreamConfig {
             cluster_size: 10,
             two_tiered: TwoTieredConfig::default(),
             rebuild_min_interval: 256,
+            evidence: EvidenceConfig::default(),
         }
     }
 }
@@ -53,6 +93,34 @@ pub struct InsertReport {
     /// True iff this arrival triggered a dictionary re-rank epoch (and
     /// therefore a full index rebuild).
     pub rebuilt_index: bool,
+    /// Cluster merges caused by the new edges.
+    pub merges: usize,
+}
+
+/// What one record deletion did.
+#[derive(Debug, Clone)]
+pub struct RemoveReport {
+    /// The tombstoned record.
+    pub record: RecordId,
+    /// Machine pairs dropped from the pair set.
+    pub dropped_pairs: usize,
+    /// Pairs whose crowd evidence was purged.
+    pub purged_evidence: usize,
+    /// Cluster splits caused by cutting the record's edges.
+    pub splits: usize,
+}
+
+/// What recording one piece of evidence (or a retraction) did.
+#[derive(Debug, Clone, Default)]
+pub struct EvidenceReport {
+    /// Did the pair's commit state shift?
+    pub committed: bool,
+    /// Did the pair fall out of the committed state?
+    pub decommitted: bool,
+    /// Did clusters merge (edge activated across two clusters)?
+    pub merged: bool,
+    /// Did a cluster split (a bridge edge deactivated)?
+    pub split: bool,
 }
 
 /// Outcome of one HIT regeneration flush.
@@ -66,14 +134,18 @@ pub struct HitDelta {
     pub stable: usize,
 }
 
-/// An appendable ER corpus with incrementally-maintained pairs,
-/// clusters, and HITs. See the crate docs for the component map.
+/// A fully-mutable ER corpus with incrementally-maintained pairs,
+/// clusters, and HITs. See the crate docs for the component map and
+/// the module docs for the mutation API.
 ///
-/// The per-arrival invariant — property-tested in this crate and in the
-/// workspace integration tests — is **exactness**: after any arrival
-/// sequence, [`IncrementalResolver::ranked_pairs`] is bit-identical to
-/// a batch [`prefix_join`](crowder_simjoin::prefix_join) over the same
-/// corpus at the same threshold.
+/// The per-mutation invariant — property-tested in this crate and in
+/// the workspace integration tests — is **exactness**: after any
+/// interleaving of inserts and removes,
+/// [`IncrementalResolver::ranked_pairs`] restricted to live records is
+/// bit-identical to a batch
+/// [`prefix_join`](crowder_simjoin::prefix_join) over the live corpus
+/// at the same threshold (up to the dense re-numbering of record ids —
+/// see [`IncrementalResolver::live_dataset`]).
 #[derive(Debug, Clone)]
 pub struct IncrementalResolver {
     config: StreamConfig,
@@ -83,18 +155,27 @@ pub struct IncrementalResolver {
     /// Per-record stable token ids (ascending id order) — the ground
     /// truth the index re-encodes from at each epoch.
     token_ids: Vec<Vec<u32>>,
-    /// Every pair surfaced so far, in discovery order.
+    /// Live machine pairs in discovery order (deletions compact it).
     pairs: Vec<ScoredPair>,
+    /// Live machine pairs for O(1) membership.
+    machine: HashSet<Pair>,
+    /// Signed crowd-vote tallies.
+    ledger: EvidenceLedger,
     /// Funnel counters summed over all delta joins.
     cumulative: JoinStats,
-    uf: UnionFind,
-    /// Match-pair lists keyed by current component representative.
+    /// The dynamic cluster graph (machine + committed crowd edges).
+    conn: DynamicConnectivity,
+    /// Pairs awaiting crowd verification, keyed by current component
+    /// label (see module docs for the listing rule).
     component_pairs: HashMap<usize, Vec<Pair>>,
-    /// Representatives whose clusters changed since the last flush.
+    /// Pairs currently listed in some component list.
+    listed: HashSet<Pair>,
+    /// Component labels whose clusters changed since the last flush.
     dirty: BTreeSet<usize>,
     live: LiveHits,
     generator: TwoTieredGenerator,
     inserts_since_rebuild: usize,
+    removed: usize,
 }
 
 impl IncrementalResolver {
@@ -108,18 +189,22 @@ impl IncrementalResolver {
         let generator = TwoTieredGenerator::with_config(config.two_tiered.clone());
         IncrementalResolver {
             index: DeltaIndex::new(config.threshold),
+            ledger: EvidenceLedger::new(config.evidence),
             config,
             dataset: Dataset::new(name, schema, pair_space),
             dict: StreamingDict::new(),
             token_ids: Vec::new(),
             pairs: Vec::new(),
+            machine: HashSet::new(),
             cumulative: JoinStats::default(),
-            uf: UnionFind::new(0),
+            conn: DynamicConnectivity::new(0),
             component_pairs: HashMap::new(),
+            listed: HashSet::new(),
             dirty: BTreeSet::new(),
             live: LiveHits::new(),
             generator,
             inserts_since_rebuild: 0,
+            removed: 0,
         }
     }
 
@@ -134,9 +219,9 @@ impl IncrementalResolver {
         )
     }
 
-    /// Append one record: delta-join it against the corpus, grow the
-    /// clustering with any new match edges, and mark touched clusters
-    /// dirty. Errors only on schema mismatch (like
+    /// Append one record: delta-join it against the live corpus, grow
+    /// the clustering with any new match edges, and mark touched
+    /// clusters dirty. Errors only on schema mismatch (like
     /// [`Dataset::push_record`]).
     pub fn insert(
         &mut self,
@@ -155,9 +240,12 @@ impl IncrementalResolver {
             .join_and_insert(&self.dataset, doc, &mut new_pairs, &mut stats);
 
         self.token_ids.push(ids);
-        self.uf.make_set();
+        self.conn.make_vertex();
+        let mut merges = 0usize;
         for sp in &new_pairs {
-            self.note_pair(sp.pair);
+            self.machine.insert(sp.pair);
+            let shift = self.sync_pair(sp.pair);
+            merges += shift.merged as usize;
         }
         self.pairs.extend_from_slice(&new_pairs);
         self.cumulative.absorb(&stats);
@@ -169,6 +257,7 @@ impl IncrementalResolver {
             new_pairs,
             stats,
             rebuilt_index,
+            merges,
         })
     }
 
@@ -184,31 +273,192 @@ impl IncrementalResolver {
             .collect()
     }
 
-    /// Thread a new match edge into the dynamic clustering.
-    fn note_pair(&mut self, pair: Pair) {
+    /// Tombstone one record. Every pair touching it is dropped from
+    /// the machine pair set, its evidence is purged, and its cluster
+    /// edges are cut — clusters can shrink or split; all touched
+    /// clusters are marked dirty. Errors on an unknown or already
+    /// deleted record. The record id is never reused.
+    pub fn remove(&mut self, record: RecordId) -> crowder_types::Result<RemoveReport> {
+        if record.index() >= self.dataset.len() {
+            return Err(Error::UnknownRecord(record.0));
+        }
+        if !self.index.is_alive(record) {
+            return Err(Error::InvalidData(format!(
+                "record {record} is already deleted"
+            )));
+        }
+        self.index.remove(record);
+
+        // Every pair with machine support or crowd evidence goes.
+        let mut touching: BTreeSet<Pair> = self
+            .machine
+            .iter()
+            .filter(|p| p.contains(record))
+            .copied()
+            .collect();
+        let dropped_pairs = touching.len();
+        let evidence_pairs = self.ledger.pairs_touching(record);
+        let purged_evidence = evidence_pairs.len();
+        touching.extend(evidence_pairs);
+
+        let mut splits = 0usize;
+        for pair in touching {
+            self.machine.remove(&pair);
+            self.ledger.purge(&pair);
+            let shift = self.sync_pair(pair);
+            splits += shift.split as usize;
+        }
+        self.pairs.retain(|sp| !sp.pair.contains(record));
+        self.removed += 1;
+        Ok(RemoveReport {
+            record,
+            dropped_pairs,
+            purged_evidence,
+            splits,
+        })
+    }
+
+    /// Record one signed crowd vote for `pair` with the given worker
+    /// weight (see [`crate::evidence::vote_weight`]). Votes addressed
+    /// to deleted or unknown records are dropped (the carry-over path
+    /// delivers answers for retired HITs, whose records may since have
+    /// been removed). Edge commits can merge clusters; decommits and
+    /// vetoes can split them.
+    pub fn record_evidence(&mut self, pair: Pair, verdict: bool, weight: f64) -> EvidenceReport {
+        if pair.hi().index() >= self.dataset.len()
+            || !self.index.is_alive(pair.lo())
+            || !self.index.is_alive(pair.hi())
+        {
+            return EvidenceReport::default();
+        }
+        let shift = self.ledger.record(pair, verdict, weight);
+        let cluster = self.sync_pair(pair);
+        EvidenceReport {
+            committed: shift == EvidenceShift::Committed,
+            decommitted: shift == EvidenceShift::Decommitted,
+            merged: cluster.merged,
+            split: cluster.split,
+        }
+    }
+
+    /// Forget all crowd evidence for `pair`. If the evidence was
+    /// holding a committed edge (or a veto), the clustering reverts to
+    /// the machine-only state for that pair.
+    pub fn retract(&mut self, pair: Pair) -> EvidenceReport {
+        let shift = self.ledger.purge(&pair);
+        let cluster = self.sync_pair(pair);
+        EvidenceReport {
+            committed: false,
+            decommitted: shift == EvidenceShift::Decommitted,
+            merged: cluster.merged,
+            split: cluster.split,
+        }
+    }
+
+    /// Should `pair` be an edge of the cluster graph right now?
+    fn edge_desired(&self, pair: &Pair) -> bool {
+        if !self.index.is_alive(pair.lo()) || !self.index.is_alive(pair.hi()) {
+            return false;
+        }
+        (self.machine.contains(pair) && !self.ledger.vetoed(pair)) || self.ledger.committed(pair)
+    }
+
+    /// Should `pair` sit in a cluster's to-verify list right now?
+    /// Committed and vetoed pairs have been answered — republishing
+    /// them would re-ask the crowd what it already said. A decommit
+    /// (contradicting evidence) re-lists the pair for re-verification.
+    fn listed_desired(&self, pair: &Pair) -> bool {
+        self.machine.contains(pair)
+            && !self.ledger.vetoed(pair)
+            && !self.ledger.committed(pair)
+            && self.index.is_alive(pair.lo())
+            && self.index.is_alive(pair.hi())
+    }
+
+    /// Reconcile one pair's edge and listing state with the cluster
+    /// graph, marking every touched component dirty.
+    fn sync_pair(&mut self, pair: Pair) -> ClusterShift {
         let (a, b) = (pair.lo().index(), pair.hi().index());
-        match self.uf.union_roots(a, b) {
-            Some((winner, absorbed)) => {
-                let mut kept = self.component_pairs.remove(&winner).unwrap_or_default();
-                let mut moved = self.component_pairs.remove(&absorbed).unwrap_or_default();
-                // Small-to-large: append the shorter list.
-                if moved.len() > kept.len() {
-                    std::mem::swap(&mut kept, &mut moved);
+        let mut shift = ClusterShift::default();
+
+        // 1. Unlist before cutting: the pair may be about to cross a
+        //    split boundary.
+        if self.listed.contains(&pair) && !self.listed_desired(&pair) {
+            self.listed.remove(&pair);
+            let root = self.conn.root(a);
+            if let Some(list) = self.component_pairs.get_mut(&root) {
+                list.retain(|p| *p != pair);
+                if list.is_empty() {
+                    self.component_pairs.remove(&root);
                 }
-                kept.append(&mut moved);
-                kept.push(pair);
-                self.component_pairs.insert(winner, kept);
-                self.live.merge_roots(winner, absorbed);
-                self.dirty.remove(&absorbed);
-                self.dirty.insert(winner);
             }
-            None => {
-                // New edge inside an existing cluster still reshapes it.
-                let root = self.uf.find(a);
-                self.component_pairs.entry(root).or_default().push(pair);
-                self.dirty.insert(root);
+            self.dirty.insert(root);
+        }
+
+        // 2. Edge reconciliation.
+        let desired = self.edge_desired(&pair);
+        if desired && !self.conn.has_edge(a, b) {
+            match self.conn.add_edge(a, b) {
+                EdgeLink::Merged { winner, absorbed } => {
+                    let mut kept = self.component_pairs.remove(&winner).unwrap_or_default();
+                    let mut moved = self.component_pairs.remove(&absorbed).unwrap_or_default();
+                    // Small-to-large: append the shorter list.
+                    if moved.len() > kept.len() {
+                        std::mem::swap(&mut kept, &mut moved);
+                    }
+                    kept.append(&mut moved);
+                    if !kept.is_empty() {
+                        self.component_pairs.insert(winner, kept);
+                    }
+                    self.live.merge_roots(winner, absorbed);
+                    self.dirty.remove(&absorbed);
+                    self.dirty.insert(winner);
+                    shift.merged = true;
+                }
+                EdgeLink::Internal => {
+                    self.dirty.insert(self.conn.root(a));
+                }
+                EdgeLink::Duplicate => unreachable!("guarded by has_edge"),
+            }
+        } else if !desired && self.conn.has_edge(a, b) {
+            match self.conn.remove_edge(a, b) {
+                EdgeCut::Kept => {
+                    self.dirty.insert(self.conn.root(a));
+                }
+                EdgeCut::Split {
+                    kept, split_off, ..
+                } => {
+                    // Re-partition the to-verify list between the two
+                    // sides. Every listed pair has an active edge, so
+                    // its endpoints landed on the same side.
+                    if let Some(list) = self.component_pairs.remove(&kept) {
+                        let (keep, moved): (Vec<Pair>, Vec<Pair>) = list
+                            .into_iter()
+                            .partition(|p| self.conn.root(p.lo().index()) == kept);
+                        if !keep.is_empty() {
+                            self.component_pairs.insert(kept, keep);
+                        }
+                        if !moved.is_empty() {
+                            self.component_pairs.insert(split_off, moved);
+                        }
+                    }
+                    self.dirty.insert(kept);
+                    self.dirty.insert(split_off);
+                    shift.split = true;
+                }
+                EdgeCut::Missing => unreachable!("guarded by has_edge"),
             }
         }
+
+        // 3. List after any merge so the pair lands under the final
+        //    component label.
+        if !self.listed.contains(&pair) && self.listed_desired(&pair) {
+            self.listed.insert(pair);
+            let root = self.conn.root(a);
+            self.component_pairs.entry(root).or_default().push(pair);
+            self.dirty.insert(root);
+        }
+        shift
     }
 
     /// Rebuild the rank order and index once enough arrivals accumulate
@@ -227,7 +477,9 @@ impl IncrementalResolver {
 
     /// Rebuild the HITs of every dirty cluster through the two-tiered
     /// generator, leaving untouched clusters' HITs (ids and content)
-    /// alone. Clears the dirty set.
+    /// alone. A dirty cluster that lost all its to-verify pairs (its
+    /// records were deleted or its edges decommitted) simply has its
+    /// HITs retired. Clears the dirty set.
     pub fn regenerate_hits(&mut self) -> crowder_types::Result<HitDelta> {
         let mut retired = Vec::new();
         let mut created = Vec::new();
@@ -236,11 +488,12 @@ impl IncrementalResolver {
         // does not silently un-dirty the rest.
         let roots: Vec<usize> = self.dirty.iter().copied().collect();
         for root in roots {
-            let pairs = self
-                .component_pairs
-                .get(&root)
-                .expect("dirty roots always have pairs");
-            let fresh = self.generator.generate(pairs, self.config.cluster_size)?;
+            let fresh = match self.component_pairs.get(&root) {
+                Some(pairs) if !pairs.is_empty() => {
+                    self.generator.generate(pairs, self.config.cluster_size)?
+                }
+                _ => Vec::new(),
+            };
             let (r, c) = self.live.regenerate(root, fresh);
             retired.extend(r);
             created.extend(c);
@@ -253,24 +506,48 @@ impl IncrementalResolver {
         })
     }
 
-    /// Every pair surfaced so far, in discovery order.
+    /// Every live machine pair, in discovery order.
     #[inline]
     pub fn pairs(&self) -> &[ScoredPair] {
         &self.pairs
     }
 
-    /// The pair set in the deterministic ranked order — directly
-    /// comparable against a batch `prefix_join` over the same corpus.
+    /// The live pair set in the deterministic ranked order — directly
+    /// comparable against a batch `prefix_join` over the live corpus
+    /// (see [`IncrementalResolver::live_dataset`] for the id mapping).
     pub fn ranked_pairs(&self) -> Vec<ScoredPair> {
         let mut out = self.pairs.clone();
         crowder_types::pair::sort_ranked(&mut out);
         out
     }
 
-    /// The corpus accumulated so far.
+    /// The corpus accumulated so far — including tombstoned records
+    /// (ids are stable and never reused).
     #[inline]
     pub fn dataset(&self) -> &Dataset {
         &self.dataset
+    }
+
+    /// The live records as a dense batch dataset, plus the original id
+    /// of each dense record — the reference corpus of the exactness
+    /// contract under deletions. The mapping is monotone, so ranked
+    /// order is preserved by the re-numbering.
+    pub fn live_dataset(&self) -> (Dataset, Vec<RecordId>) {
+        let mut dense = Dataset::new(
+            self.dataset.name.clone(),
+            self.dataset.schema.clone(),
+            self.dataset.pair_space,
+        );
+        let mut original = Vec::new();
+        for record in self.dataset.records() {
+            if self.index.is_alive(record.id) {
+                dense
+                    .push_record(record.source, record.fields.clone())
+                    .expect("schema matches by construction");
+                original.push(record.id);
+            }
+        }
+        (dense, original)
     }
 
     /// Mutable access to the corpus gold standard (arriving labels).
@@ -279,10 +556,22 @@ impl IncrementalResolver {
         &mut self.dataset.gold
     }
 
-    /// Records resolved so far.
+    /// Records ever inserted (deletions included — slots are stable).
     #[inline]
     pub fn len(&self) -> usize {
         self.dataset.len()
+    }
+
+    /// Live (non-deleted) records.
+    #[inline]
+    pub fn live_len(&self) -> usize {
+        self.index.live()
+    }
+
+    /// Is `record` present and not deleted?
+    #[inline]
+    pub fn is_alive(&self, record: RecordId) -> bool {
+        record.index() < self.dataset.len() && self.index.is_alive(record)
     }
 
     /// True iff no record has arrived.
@@ -291,10 +580,27 @@ impl IncrementalResolver {
         self.dataset.is_empty()
     }
 
-    /// Clusters (connected components with at least one match edge).
+    /// Clusters (connected components with at least one pair awaiting
+    /// verification).
     #[inline]
     pub fn cluster_count(&self) -> usize {
         self.component_pairs.len()
+    }
+
+    /// The cluster label of a record (its component in the dynamic
+    /// graph). Singletons are their own label.
+    #[inline]
+    pub fn cluster_of(&self, record: RecordId) -> usize {
+        self.conn.root(record.index())
+    }
+
+    /// The records of the cluster labelled `label` (unordered).
+    pub fn cluster_members(&self, label: usize) -> Vec<RecordId> {
+        self.conn
+            .component_members(label)
+            .iter()
+            .map(|&v| RecordId(v))
+            .collect()
     }
 
     /// Clusters touched since the last [`IncrementalResolver::regenerate_hits`].
@@ -307,6 +613,31 @@ impl IncrementalResolver {
     #[inline]
     pub fn live_hits(&self) -> &LiveHits {
         &self.live
+    }
+
+    /// The signed evidence ledger (read-only).
+    #[inline]
+    pub fn ledger(&self) -> &EvidenceLedger {
+        &self.ledger
+    }
+
+    /// All currently crowd-committed pairs (sorted). The fault-
+    /// tolerance suite counts wrong merges against this set.
+    pub fn committed_pairs(&self) -> Vec<Pair> {
+        let mut out: Vec<Pair> = self
+            .ledger
+            .iter()
+            .filter(|(p, _)| self.ledger.committed(p))
+            .map(|(p, _)| *p)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Is `pair` machine-surfaced and live?
+    #[inline]
+    pub fn machine_pair(&self, pair: &Pair) -> bool {
+        self.machine.contains(pair)
     }
 
     /// Dictionary re-rank epochs completed so far.
@@ -326,6 +657,19 @@ impl IncrementalResolver {
     pub fn threshold(&self) -> f64 {
         self.config.threshold
     }
+
+    /// Records deleted so far.
+    #[inline]
+    pub fn removed(&self) -> usize {
+        self.removed
+    }
+}
+
+/// Internal: how one pair sync moved the cluster structure.
+#[derive(Debug, Clone, Copy, Default)]
+struct ClusterShift {
+    merged: bool,
+    split: bool,
 }
 
 #[cfg(test)]
@@ -501,5 +845,160 @@ mod tests {
             "{s:?}"
         );
         assert_eq!(s.results as usize, r.pairs().len());
+    }
+
+    #[test]
+    fn deletion_matches_batch_over_live_corpus() {
+        let mut r = resolver(0.4);
+        feed(
+            &mut r,
+            &["a b c d", "a b c e", "a b c f", "x y z", "x y z w"],
+        );
+        r.remove(RecordId(1)).unwrap();
+        assert_eq!(r.live_len(), 4);
+        let (dense, original) = r.live_dataset();
+        let to_dense: HashMap<RecordId, u32> = original
+            .iter()
+            .enumerate()
+            .map(|(d, &o)| (o, d as u32))
+            .collect();
+        let remapped: Vec<ScoredPair> = r
+            .ranked_pairs()
+            .iter()
+            .map(|sp| {
+                ScoredPair::new(
+                    Pair::of(to_dense[&sp.pair.lo()], to_dense[&sp.pair.hi()]),
+                    sp.likelihood,
+                )
+            })
+            .collect();
+        assert_eq!(remapped, batch_pairs(&dense, 0.4));
+    }
+
+    #[test]
+    fn deletion_splits_a_chain_cluster() {
+        let mut r = resolver(0.5);
+        // A chain: 0-1 (J=0.8) and 1-2 (J=0.6) match; 0-2 (J=0.4) does not.
+        feed(&mut r, &["a b c d", "a b c d e", "c d e"]);
+        assert_eq!(r.cluster_count(), 1);
+        r.regenerate_hits().unwrap();
+        // Deleting the middle record severs the chain into singletons.
+        let report = r.remove(RecordId(1)).unwrap();
+        assert_eq!(report.dropped_pairs, 2);
+        assert!(report.splits >= 1, "{report:?}");
+        assert_eq!(r.cluster_count(), 0);
+        let delta = r.regenerate_hits().unwrap();
+        assert!(!delta.retired.is_empty(), "the chain's HITs retire");
+        assert!(delta.created.is_empty());
+        assert!(r.live_hits().is_empty());
+    }
+
+    #[test]
+    fn double_delete_and_unknown_record_error() {
+        let mut r = resolver(0.5);
+        feed(&mut r, &["a b", "a b"]);
+        r.remove(RecordId(0)).unwrap();
+        assert!(r.remove(RecordId(0)).is_err());
+        assert!(r.remove(RecordId(9)).is_err());
+        assert!(!r.is_alive(RecordId(0)));
+        assert!(r.is_alive(RecordId(1)));
+    }
+
+    #[test]
+    fn reinsert_after_delete_rematches() {
+        let mut r = resolver(0.5);
+        feed(&mut r, &["a b c", "a b c"]);
+        assert_eq!(r.pairs().len(), 1);
+        r.remove(RecordId(1)).unwrap();
+        assert!(r.pairs().is_empty());
+        r.insert(SourceId(0), vec!["a b c".into()]).unwrap();
+        let pairs: Vec<Pair> = r.ranked_pairs().iter().map(|s| s.pair).collect();
+        assert_eq!(pairs, vec![Pair::of(0, 2)], "fresh id, same match");
+    }
+
+    #[test]
+    fn committed_evidence_merges_and_decommit_splits() {
+        let mut r = resolver(0.6);
+        feed(&mut r, &["a b c d", "a b c d", "w x y z", "w x y z"]);
+        assert_eq!(r.cluster_count(), 2);
+        r.regenerate_hits().unwrap();
+        let bridge = Pair::of(1, 2);
+        // A wrong YES commits the bridge (default margin 1.0): the two
+        // clusters merge.
+        let rep = r.record_evidence(bridge, true, 1.0);
+        assert!(rep.committed && rep.merged, "{rep:?}");
+        assert_eq!(r.cluster_of(RecordId(0)), r.cluster_of(RecordId(3)));
+        let delta = r.regenerate_hits().unwrap();
+        assert_eq!(delta.retired.len(), 2, "both halves' HITs retire");
+        // Contradicting evidence decommits the bridge: the cluster
+        // splits back apart.
+        let rep = r.record_evidence(bridge, false, 1.0);
+        assert!(rep.decommitted && rep.split, "{rep:?}");
+        assert_ne!(r.cluster_of(RecordId(0)), r.cluster_of(RecordId(3)));
+        let delta = r.regenerate_hits().unwrap();
+        assert!(!delta.created.is_empty(), "split sides get fresh HITs");
+        assert_eq!(r.cluster_count(), 2);
+    }
+
+    #[test]
+    fn veto_suppresses_a_machine_edge() {
+        let mut r = resolver(0.5);
+        feed(&mut r, &["a b c d", "a b c d"]);
+        let p = Pair::of(0, 1);
+        assert_eq!(r.cluster_count(), 1);
+        // Two unit NO votes reach the default veto margin (2.0).
+        r.record_evidence(p, false, 1.0);
+        let rep = r.record_evidence(p, false, 1.0);
+        assert!(rep.split, "{rep:?}");
+        assert_ne!(r.cluster_of(RecordId(0)), r.cluster_of(RecordId(1)));
+        assert_eq!(r.cluster_count(), 0, "vetoed pair leaves the HIT list");
+        // The machine pair itself survives in the ranked list — the
+        // exactness contract is about the join, not the crowd.
+        assert_eq!(r.pairs().len(), 1);
+        // Retracting the veto restores the machine edge.
+        let rep = r.retract(p);
+        assert!(rep.merged);
+        assert_eq!(r.cluster_of(RecordId(0)), r.cluster_of(RecordId(1)));
+        assert_eq!(r.cluster_count(), 1);
+    }
+
+    #[test]
+    fn retracting_all_evidence_restores_pre_edge_clustering() {
+        let mut r = resolver(0.6);
+        feed(&mut r, &["a b c d", "a b c d", "w x y z", "w x y z"]);
+        let roots_before: Vec<usize> = (0..4).map(|i| r.cluster_of(RecordId(i))).collect();
+        let bridge = Pair::of(0, 3);
+        r.record_evidence(bridge, true, 3.0);
+        assert_eq!(r.cluster_of(RecordId(0)), r.cluster_of(RecordId(3)));
+        r.retract(bridge);
+        let roots_after: Vec<usize> = (0..4).map(|i| r.cluster_of(RecordId(i))).collect();
+        // Same partition: records 0,1 together; 2,3 together; sides apart.
+        assert_eq!(roots_after[0], roots_after[1]);
+        assert_eq!(roots_after[2], roots_after[3]);
+        assert_ne!(roots_after[0], roots_after[2]);
+        // And the partition matches the pre-evidence one.
+        let part = |roots: &[usize]| {
+            let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+            for (i, &root) in roots.iter().enumerate() {
+                groups.entry(root).or_default().push(i);
+            }
+            let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+            out.sort();
+            out
+        };
+        assert_eq!(part(&roots_before), part(&roots_after));
+        assert!(r.ledger().is_empty());
+    }
+
+    #[test]
+    fn evidence_for_dead_records_is_dropped() {
+        let mut r = resolver(0.5);
+        feed(&mut r, &["a b", "a b"]);
+        r.remove(RecordId(1)).unwrap();
+        let rep = r.record_evidence(Pair::of(0, 1), true, 5.0);
+        assert!(!rep.committed && !rep.merged);
+        assert!(r.ledger().is_empty());
+        let rep = r.record_evidence(Pair::of(0, 7), true, 5.0);
+        assert!(!rep.committed, "{rep:?}");
     }
 }

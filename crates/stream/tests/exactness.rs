@@ -1,12 +1,17 @@
 //! The exactness contract, property-tested: streaming insertion ≡ batch
 //! `prefix_join`, bit-identically, for every tested threshold, batch
-//! split, insertion order, and batch-engine thread count.
+//! split, insertion order, and batch-engine thread count — and, under
+//! any interleaving of inserts, deletions, and re-inserts, ≡ batch over
+//! whatever corpus is live at the end. Crowd evidence is likewise
+//! exactly revocable: retracting every vote restores the machine-only
+//! clustering.
 
 use crowder_datagen::{restaurant, RestaurantConfig};
 use crowder_simjoin::{prefix_join, TokenTable};
 use crowder_stream::{IncrementalResolver, StreamConfig};
-use crowder_types::{Dataset, PairSpace, ScoredPair, SourceId};
+use crowder_types::{Dataset, Pair, PairSpace, RecordId, ScoredPair, SourceId};
 use proptest::prelude::*;
+use std::collections::HashMap;
 
 /// Batch reference over a finished corpus.
 fn batch_pairs(dataset: &Dataset, threshold: f64, threads: usize) -> Vec<ScoredPair> {
@@ -100,6 +105,127 @@ proptest! {
         let (resolver, dataset) = stream_and_batch(&names, false, thr, 16);
         prop_assert_eq!(resolver.ranked_pairs(), batch_pairs(&dataset, thr, 1));
     }
+
+    /// The exactness contract *under mutation*: any interleaving of
+    /// inserts, deletions of live records, and re-inserts of previously
+    /// deleted records ends bit-identical to a batch `prefix_join` over
+    /// the final live corpus (through the monotone dense re-numbering
+    /// of `live_dataset`).
+    #[test]
+    fn mutation_interleavings_match_batch_over_live_corpus(
+        names in proptest::collection::vec("[a-e]{1,3}( [a-e]{1,3}){0,4}", 3..20),
+        seed in 0u64..=1_000_000,
+        thr in 0.05f64..=1.0,
+        rebuild in 2usize..=32,
+    ) {
+        let mut resolver = IncrementalResolver::new(
+            "t",
+            vec!["name".into()],
+            PairSpace::SelfJoin,
+            StreamConfig { threshold: thr, rebuild_min_interval: rebuild, ..StreamConfig::default() },
+        );
+        let mut state = seed | 1;
+        let mut roll = |m: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize % m
+        };
+        let mut alive: Vec<RecordId> = Vec::new();
+        let mut graveyard: Vec<Vec<String>> = Vec::new();
+        let mut pending: Vec<&String> = names.iter().rev().collect();
+        // 2x the corpus length of ops: every record arrives, and there is
+        // room for deletions and re-inserts in between.
+        for _ in 0..names.len() * 2 {
+            match roll(4) {
+                // Delete a random live record.
+                0 if !alive.is_empty() => {
+                    let victim = alive.swap_remove(roll(alive.len()));
+                    graveyard.push(resolver.dataset().record(victim).unwrap().fields.clone());
+                    resolver.remove(victim).unwrap();
+                }
+                // Re-insert a previously deleted record's fields (a new
+                // id: slots are never reused).
+                1 if !graveyard.is_empty() => {
+                    let fields = graveyard.swap_remove(roll(graveyard.len()));
+                    alive.push(resolver.insert(SourceId(0), fields).unwrap().record);
+                }
+                // Fresh arrival.
+                _ => {
+                    if let Some(name) = pending.pop() {
+                        alive.push(resolver.insert(SourceId(0), vec![name.clone()]).unwrap().record);
+                    }
+                }
+            }
+        }
+        let (dense, original) = resolver.live_dataset();
+        prop_assert_eq!(dense.len(), alive.len());
+        let to_dense: HashMap<RecordId, u32> =
+            original.iter().enumerate().map(|(d, &o)| (o, d as u32)).collect();
+        let remapped: Vec<ScoredPair> = resolver
+            .ranked_pairs()
+            .iter()
+            .map(|sp| ScoredPair::new(
+                Pair::of(to_dense[&sp.pair.lo()], to_dense[&sp.pair.hi()]),
+                sp.likelihood,
+            ))
+            .collect();
+        prop_assert_eq!(remapped, batch_pairs(&dense, thr, 0));
+    }
+
+    /// Exact revocability: after any burst of signed crowd votes —
+    /// commits, vetoes, contradictions, on machine pairs and arbitrary
+    /// live pairs alike — retracting every vote restores the clustering
+    /// to the machine-only partition, exactly.
+    #[test]
+    fn retracting_all_evidence_restores_machine_clustering(
+        names in proptest::collection::vec("[a-d]{1,2}( [a-d]{1,2}){0,4}", 3..16),
+        seed in 0u64..=1_000_000,
+        votes in 1usize..=40,
+    ) {
+        let (mut resolver, _) = stream_and_batch(&names, false, 0.4, 16);
+        let baseline = partition_signature(&resolver);
+        let mut state = seed | 1;
+        let mut roll = |m: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize % m
+        };
+        let n = resolver.len() as u32;
+        for _ in 0..votes {
+            let a = roll(n as usize) as u32;
+            let b = roll(n as usize) as u32;
+            if a == b {
+                continue;
+            }
+            let verdict = roll(2) == 0;
+            let weight = 0.5 + roll(5) as f64 * 0.5;
+            resolver.record_evidence(Pair::of(a, b), verdict, weight);
+        }
+        let touched: Vec<Pair> = resolver.ledger().iter().map(|(p, _)| *p).collect();
+        for pair in touched {
+            resolver.retract(pair);
+        }
+        prop_assert!(resolver.ledger().is_empty());
+        prop_assert_eq!(partition_signature(&resolver), baseline);
+    }
+}
+
+/// Label-independent clustering signature: each live record mapped to
+/// the smallest record id in its component.
+fn partition_signature(resolver: &IncrementalResolver) -> Vec<(RecordId, RecordId)> {
+    let mut members: HashMap<usize, RecordId> = HashMap::new();
+    let live: Vec<RecordId> = (0..resolver.len() as u32)
+        .map(RecordId)
+        .filter(|&r| resolver.is_alive(r))
+        .collect();
+    for &r in &live {
+        let root = resolver.cluster_of(r);
+        let entry = members.entry(root).or_insert(r);
+        if r < *entry {
+            *entry = r;
+        }
+    }
+    live.iter()
+        .map(|&r| (r, members[&resolver.cluster_of(r)]))
+        .collect()
 }
 
 /// Random batch splits are a presentation detail — `insert_batch` is a

@@ -1,0 +1,141 @@
+//! Fault-tolerant streaming ER under churn: records arrive in batches
+//! *and leave again* (GDPR-style deletions mid-run), the crowd contains
+//! adversarial workers (a systematic liar, random flippers, sleepers),
+//! crowd sessions are time-boxed so unfinished assignments carry over
+//! across HIT regenerations, and previously-recorded answers get
+//! retracted. The signed evidence ledger absorbs all of it: edges
+//! commit only when net weighted evidence clears the margin, conflicting
+//! answers decommit them again (splitting clusters and re-publishing
+//! HITs), and the machine pair set stays bit-identical to a batch join
+//! over whatever corpus is *currently live*.
+//!
+//! ```text
+//! cargo run --release --example streaming_churn
+//! ```
+
+use crowder::prelude::*;
+use std::collections::HashMap;
+
+fn main() {
+    // A Restaurant-style corpus arriving 40 records at a time, judged by
+    // a crowd where ~15% of workers are adversarial — and they pass the
+    // qualification test, because they answer gold questions honestly.
+    let dataset = restaurant(&RestaurantConfig::default());
+    let population = WorkerPopulation::generate(
+        &PopulationConfig {
+            liar_fraction: 0.05,
+            flipper_fraction: 0.05,
+            sleeper_fraction: 0.05,
+            ..PopulationConfig::default()
+        },
+        7,
+    );
+
+    // Mid-run faults: three records are deleted after their clusters
+    // formed, and one pair's crowd evidence is retracted wholesale.
+    let faults = FaultPlan {
+        deletions: vec![(2, RecordId(3)), (3, RecordId(17)), (4, RecordId(55))],
+        retractions: vec![(3, Pair::of(0, 1)), (4, Pair::of(10, 12))],
+    };
+    let config = StreamingConfig {
+        likelihood_threshold: 0.5,
+        cluster_size: 6,
+        batch_size: 40,
+        crowd: CrowdConfig {
+            // Time-boxed sessions: assignments still open at the
+            // deadline carry into the next round instead of being lost.
+            session_deadline_min: Some(30.0),
+            ..CrowdConfig::default()
+        },
+        faults,
+        ..StreamingConfig::default()
+    };
+
+    let outcome = run_streaming(&dataset, &population, &config).expect("streaming workflow runs");
+
+    println!(
+        "streamed {} records in {} rounds ({} deleted mid-run)",
+        dataset.len(),
+        outcome.rounds.len(),
+        outcome.resolver.removed(),
+    );
+    println!();
+    println!(
+        "round  arrive  del  rtr  pairs  retired  created  stable  assign  carry  commit  decommit  merge  split"
+    );
+    for r in &outcome.rounds {
+        println!(
+            "{:>5}  {:>6}  {:>3}  {:>3}  {:>5}  {:>7}  {:>7}  {:>6}  {:>6}  {:>5}  {:>6}  {:>8}  {:>5}  {:>5}",
+            r.round,
+            r.arrived,
+            r.deleted,
+            r.retracted,
+            r.new_pairs,
+            r.hits_retired,
+            r.hits_created,
+            r.hits_stable,
+            r.assignments,
+            r.carried_assignments,
+            r.edges_committed,
+            r.edges_decommitted,
+            r.cluster_merges,
+            r.cluster_splits,
+        );
+    }
+
+    // The exactness contract *under deletions*: the streamed pair set,
+    // re-numbered through the live-corpus dense mapping, is
+    // bit-identical to a batch prefix_join over only the live records.
+    let (dense, original) = outcome.resolver.live_dataset();
+    let to_dense: HashMap<RecordId, u32> = original
+        .iter()
+        .enumerate()
+        .map(|(d, &o)| (o, d as u32))
+        .collect();
+    let remapped: Vec<ScoredPair> = outcome
+        .resolver
+        .ranked_pairs()
+        .iter()
+        .map(|sp| {
+            ScoredPair::new(
+                Pair::of(to_dense[&sp.pair.lo()], to_dense[&sp.pair.hi()]),
+                sp.likelihood,
+            )
+        })
+        .collect();
+    let tokens = TokenTable::build(&dense);
+    let batch = prefix_join(&dense, &tokens, config.likelihood_threshold, 0);
+    assert_eq!(
+        remapped, batch,
+        "streaming-under-deletions ≡ batch over live corpus"
+    );
+
+    let committed = outcome.resolver.committed_pairs();
+    let wrong = outcome.wrong_merges(&dataset.gold);
+    let matches = outcome.matching_pairs();
+    let correct = matches.iter().filter(|p| dataset.gold.is_match(p)).count();
+    println!();
+    println!(
+        "machine pass over live corpus: {} pairs (≡ batch join: verified)",
+        batch.len()
+    );
+    println!(
+        "crowd: {} assignments, ${:.2}, {} matches output ({} correct of {} gold)",
+        outcome.total_assignments,
+        outcome.total_cost_dollars,
+        matches.len(),
+        correct,
+        dataset.gold.len(),
+    );
+    println!(
+        "evidence ledger: {} committed edges, {} surviving wrong merges despite adversaries",
+        committed.len(),
+        wrong.len(),
+    );
+    println!(
+        "final flush: {} HITs retired, {} created; live HITs at shutdown: {}",
+        outcome.final_hits_retired,
+        outcome.final_hits_created,
+        outcome.resolver.live_hits().len(),
+    );
+}

@@ -1,0 +1,88 @@
+//! Machine-readable durability benchmark: applies one deterministic
+//! mutation script to the in-memory resolver and to the WAL/snapshot
+//! engine (`crowder-durable`) at the default group-commit cadence, then
+//! times recovery across a log-length × snapshot-cadence matrix, and
+//! writes `BENCH_durable.json` (see `crowder_bench::durperf` for the
+//! schema) — WAL overhead per op vs in-memory (bounded at 3x by the
+//! validator) and recovery time with a bit-exact digest check per cell.
+//!
+//! ```text
+//! bench_durable [--quick] [--out PATH]   generate a report
+//! bench_durable --check PATH             validate a report
+//! ```
+//!
+//! `--quick` streams the Restaurant corpus (the CI smoke
+//! configuration); the default streams Product — the corpus the
+//! overhead bound is quoted on. `--check` parses an existing report,
+//! verifies the schema, and *enforces the 3x overhead bound and the
+//! per-cell digest checks* (both are workload-relative, so they are
+//! machine-independent), exiting non-zero on any violation.
+
+use crowder_bench::durperf::{
+    validate_durable_report_json, write_durable_report, DURABLE_REPORT_PATH,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = DURABLE_REPORT_PATH.to_string();
+    let mut check: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--check" => {
+                i += 1;
+                check = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--check needs a path")),
+                );
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    if let Some(path) = check {
+        let content = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        match validate_durable_report_json(&content) {
+            Ok(cells) => println!("{path}: OK ({cells} recovery cells)"),
+            Err(e) => die(&format!("{path}: schema violation: {e}")),
+        }
+        return;
+    }
+
+    let (corpus, dataset, limit) = if quick {
+        ("restaurant", crowder_bench::harness::restaurant_full(), 512)
+    } else {
+        (
+            "product",
+            crowder_bench::harness::product_full(),
+            usize::MAX,
+        )
+    };
+    let report = write_durable_report(&out, corpus, &dataset, limit)
+        .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    print!("{}", report.render());
+    println!("\nwrote {out}");
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: bench_durable [--quick] [--out PATH] | --check PATH");
+    std::process::exit(2);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}

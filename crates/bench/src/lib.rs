@@ -17,6 +17,7 @@
 //! `cargo run --release -p crowder-bench --bin bench_simjoin`.
 
 pub mod baseline;
+pub mod durperf;
 pub mod experiments;
 pub mod faultperf;
 pub mod harness;

@@ -171,9 +171,23 @@ pub fn run_suite(scope: SuiteScope, iters: usize) -> PerfReport {
 // serde_json when the real registry crates land — see ROADMAP.)
 // ---------------------------------------------------------------------
 
-/// Escape the characters the report strings could possibly carry.
+/// Escape a string for embedding in a JSON document: backslash, quote,
+/// and every control character (named escapes for the common three,
+/// `\u00XX` for the rest — RFC 8259 requires all of U+0000..U+001F).
 fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Builder for one single-line JSON object — an array row like
@@ -487,23 +501,43 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
 
 fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     expect(b, pos, b'"')?;
-    let mut out = String::new();
+    // Collect raw bytes and decode once at the closing quote: pushing
+    // each byte as a `char` would mangle multi-byte UTF-8 sequences.
+    let mut bytes = Vec::new();
     while let Some(&c) = b.get(*pos) {
         *pos += 1;
         match c {
-            b'"' => return Ok(out),
+            b'"' => {
+                return String::from_utf8(bytes).map_err(|_| "invalid utf-8 in string".to_string())
+            }
             b'\\' => {
                 let esc = b.get(*pos).copied().ok_or("unterminated escape")?;
                 *pos += 1;
-                out.push(match esc {
-                    b'"' => '"',
-                    b'\\' => '\\',
-                    b'n' => '\n',
-                    b't' => '\t',
+                match esc {
+                    b'"' => bytes.push(b'"'),
+                    b'\\' => bytes.push(b'\\'),
+                    b'/' => bytes.push(b'/'),
+                    b'n' => bytes.push(b'\n'),
+                    b't' => bytes.push(b'\t'),
+                    b'r' => bytes.push(b'\r'),
+                    b'u' => {
+                        let hex = b.get(*pos..*pos + 4).ok_or("truncated \\u escape")?;
+                        *pos += 4;
+                        let code = std::str::from_utf8(hex)
+                            .ok()
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or("invalid \\u escape")?;
+                        // Surrogates are rejected rather than paired: the
+                        // writer only emits \u for control characters.
+                        let c = char::from_u32(code)
+                            .ok_or("\\u escape is not a unicode scalar value")?;
+                        let mut buf = [0u8; 4];
+                        bytes.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                    }
                     other => return Err(format!("unsupported escape '\\{}'", other as char)),
-                });
+                }
             }
-            other => out.push(other as char),
+            other => bytes.push(other),
         }
     }
     Err("unterminated string".into())
@@ -701,6 +735,29 @@ mod tests {
         assert!(parse_json("[1, 2").is_err());
         assert!(parse_json("{\"k\" 1}").is_err());
         assert!(parse_json("[1] trailing").is_err());
+    }
+
+    #[test]
+    fn string_escaping_roundtrips_control_chars_and_utf8() {
+        // Every byte the writer could meet: quotes, backslashes, the
+        // named control escapes, an unnamed control char, and
+        // multi-byte UTF-8 (which the parser must not mangle).
+        let nasty = "a\"b\\c\nd\re\tf\u{1}g café 日本語";
+        let json = format!("{{\"k\": \"{}\"}}", json_escape(nasty));
+        let parsed = parse_json(&json).unwrap();
+        assert_eq!(parsed.get("k").unwrap().as_str(), Some(nasty));
+        // The document itself carries no raw control characters.
+        assert!(json.bytes().all(|b| b >= 0x20));
+        // \uXXXX escapes decode, including ones the writer never emits.
+        let v = parse_json("{\"k\": \"\\u0041\\u00e9\\u0001\"}").unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some("A\u{e9}\u{1}"));
+        // Lone surrogates and truncated escapes are rejected, not mangled.
+        assert!(parse_json("{\"k\": \"\\ud800\"}").is_err());
+        assert!(parse_json("{\"k\": \"\\u00\"}").is_err());
+        // A row built from a hostile string stays one well-formed line.
+        let row = JsonRow::new().str("name", "line1\nline2\t\"x\"").build();
+        assert!(!row.contains('\n'));
+        assert!(parse_json(&row).is_ok());
     }
 
     #[test]

@@ -18,7 +18,9 @@ pub mod workflow;
 pub use baselines::{simjoin_ranking, svm_average_curve, svm_rankings};
 pub use budget::{plan_budget, BudgetPlan, BudgetPoint};
 pub use query::{CrowdJoin, CrowdJoinResult};
-pub use streaming::{run_streaming, FaultPlan, RoundReport, StreamingConfig, StreamingOutcome};
+pub use streaming::{
+    run_streaming, DurabilityOptions, FaultPlan, RoundReport, StreamingConfig, StreamingOutcome,
+};
 pub use workflow::{run_hybrid, Aggregation, HitStrategy, HybridConfig, HybridOutcome};
 
 /// One-stop imports for applications.
@@ -27,13 +29,17 @@ pub mod prelude {
     pub use crate::budget::{plan_budget, BudgetPlan, BudgetPoint};
     pub use crate::query::{CrowdJoin, CrowdJoinResult};
     pub use crate::streaming::{
-        run_streaming, FaultPlan, RoundReport, StreamingConfig, StreamingOutcome,
+        run_streaming, DurabilityOptions, FaultPlan, RoundReport, StreamingConfig, StreamingOutcome,
     };
     pub use crate::workflow::{run_hybrid, Aggregation, HitStrategy, HybridConfig, HybridOutcome};
     pub use crowder_aggregate::{majority_vote, DawidSkene};
     pub use crowder_crowd::{CrowdConfig, PopulationConfig, QualificationConfig, WorkerPopulation};
     pub use crowder_datagen::{
         product, product_dup, restaurant, table1, ProductConfig, ProductDupConfig, RestaurantConfig,
+    };
+    pub use crowder_durable::{
+        digest, Dir, DurabilityConfig, DurableResolver, FaultyDir, FsDir, MemDir, RecoveryReport,
+        StateDigest, WalOp,
     };
     pub use crowder_hitgen::{
         generate_pair_hits, ApproxGenerator, BfsGenerator, ClusterGenerator, DfsGenerator, Hit,
@@ -46,7 +52,7 @@ pub mod prelude {
     };
     pub use crowder_stream::{
         vote_weight, EvidenceConfig, EvidenceLedger, HitDelta, HitId, IncrementalResolver,
-        InsertReport, LiveHits, RemoveReport, StreamConfig,
+        InsertReport, LiveHits, RemoveReport, ResolverState, StreamConfig, UpdateReport,
     };
     pub use crowder_types::{
         Dataset, GoldStandard, Pair, PairSpace, Record, RecordId, ScoredPair, SourceId,

@@ -32,11 +32,16 @@ use crowder_crowd::{
     labeled_triples_of, simulate_session, AssignmentRecord, CrowdConfig, SessionState,
     WorkerPopulation,
 };
+use crowder_durable::{DurabilityConfig, DurableResolver, FsDir};
 use crowder_hitgen::{Hit, TwoTieredConfig};
 use crowder_simjoin::JoinStats;
-use crowder_stream::{vote_weight, EvidenceConfig, IncrementalResolver, StreamConfig};
-use crowder_types::{Dataset, Error, Pair, RecordId, Result, ScoredPair};
+use crowder_stream::{
+    vote_weight, EvidenceConfig, EvidenceReport, HitDelta, IncrementalResolver, InsertReport,
+    RemoveReport, StreamConfig,
+};
+use crowder_types::{Dataset, Error, Pair, RecordId, Result, ScoredPair, SourceId};
 use std::collections::HashMap;
+use std::path::PathBuf;
 
 use crate::workflow::Aggregation;
 
@@ -64,6 +69,109 @@ impl FaultPlan {
     /// True iff the plan injects nothing.
     pub fn is_empty(&self) -> bool {
         self.deletions.is_empty() && self.retractions.is_empty()
+    }
+}
+
+/// Opt-in durability for a streaming run: where the write-ahead log
+/// and snapshots live, and how often they are synced.
+///
+/// With this set, every resolver mutation the workflow performs —
+/// arrivals, fault-plan deletions and retractions, evidence votes,
+/// HIT flushes, worker-weight refreshes — is logged through a
+/// [`DurableResolver`] before the round proceeds, and the run ends
+/// with a checkpoint, so a crashed process recovers via
+/// [`DurableResolver::recover`] to a state bit-for-bit consistent
+/// with the acknowledged prefix of the run.
+#[derive(Debug, Clone)]
+pub struct DurabilityOptions {
+    /// Directory for `wal.log` and snapshots. Created if absent; must
+    /// not already contain a log (recover instead of re-running).
+    pub dir: PathBuf,
+    /// Group-commit and checkpoint cadences.
+    pub config: DurabilityConfig,
+}
+
+impl DurabilityOptions {
+    /// Default cadences in the given directory.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        DurabilityOptions {
+            dir: dir.into(),
+            config: DurabilityConfig::default(),
+        }
+    }
+}
+
+/// The workflow's mutation funnel: either a bare resolver or a
+/// durable one that logs every call. Reads go through
+/// [`view`](Engine::view) — mutating the resolver around the log
+/// would break the recovery contract.
+enum Engine {
+    Plain(Box<IncrementalResolver>),
+    Durable(Box<DurableResolver<FsDir>>),
+}
+
+impl Engine {
+    fn view(&self) -> &IncrementalResolver {
+        match self {
+            Engine::Plain(r) => r,
+            Engine::Durable(d) => d.resolver(),
+        }
+    }
+
+    fn insert(&mut self, source: SourceId, fields: Vec<String>) -> Result<InsertReport> {
+        match self {
+            Engine::Plain(r) => r.insert(source, fields),
+            Engine::Durable(d) => d.insert(source, fields),
+        }
+    }
+
+    fn remove(&mut self, record: RecordId) -> Result<RemoveReport> {
+        match self {
+            Engine::Plain(r) => r.remove(record),
+            Engine::Durable(d) => d.remove(record),
+        }
+    }
+
+    fn retract(&mut self, pair: Pair) -> Result<EvidenceReport> {
+        match self {
+            Engine::Plain(r) => Ok(r.retract(pair)),
+            Engine::Durable(d) => d.retract(pair),
+        }
+    }
+
+    fn record_evidence(
+        &mut self,
+        pair: Pair,
+        verdict: bool,
+        weight: f64,
+    ) -> Result<EvidenceReport> {
+        match self {
+            Engine::Plain(r) => Ok(r.record_evidence(pair, verdict, weight)),
+            Engine::Durable(d) => d.record_evidence(pair, verdict, weight),
+        }
+    }
+
+    fn regenerate_hits(&mut self) -> Result<HitDelta> {
+        match self {
+            Engine::Plain(r) => r.regenerate_hits(),
+            Engine::Durable(d) => d.regenerate_hits(),
+        }
+    }
+
+    fn set_worker_weights(&mut self, weights: Vec<(u64, f64)>) -> Result<()> {
+        match self {
+            Engine::Plain(_) => Ok(()),
+            Engine::Durable(d) => d.set_worker_weights(weights),
+        }
+    }
+
+    /// Finish the run: a durable engine syncs and checkpoints so the
+    /// directory recovers instantly; both variants yield the resolver.
+    fn finish(self) -> Result<IncrementalResolver> {
+        match self {
+            Engine::Plain(r) => Ok(*r),
+            Engine::Durable(d) => d.close(),
+        }
     }
 }
 
@@ -95,6 +203,9 @@ pub struct StreamingConfig {
     pub evidence: EvidenceConfig,
     /// Injected faults (none by default).
     pub faults: FaultPlan,
+    /// Write-ahead logging + snapshots (off by default; see
+    /// [`DurabilityOptions`]).
+    pub durability: Option<DurabilityOptions>,
 }
 
 impl Default for StreamingConfig {
@@ -111,6 +222,7 @@ impl Default for StreamingConfig {
             rebuild_min_interval: 256,
             evidence: EvidenceConfig::default(),
             faults: FaultPlan::default(),
+            durability: None,
         }
     }
 }
@@ -268,6 +380,14 @@ pub fn run_streaming(
     // The resolver sees gold labels as they would arrive in a live
     // system; the crowd simulator needs them up front.
     *resolver.gold_mut() = dataset.gold.clone();
+    let mut engine = match &config.durability {
+        None => Engine::Plain(Box::new(resolver)),
+        Some(opts) => Engine::Durable(Box::new(DurableResolver::create_with(
+            FsDir::new(&opts.dir)?,
+            resolver,
+            opts.config,
+        )?)),
+    };
 
     let mut rounds = Vec::new();
     let mut votes: Vec<Vote> = Vec::new();
@@ -285,13 +405,13 @@ pub fn run_streaming(
         let carried_cost = carried.len() as f64 * per_assignment_cost;
 
         // Stage 1: ingest the arrivals (delta join + clustering).
-        let epochs_before = resolver.epochs();
+        let epochs_before = engine.view().epochs();
         let mut join_stats = JoinStats::default();
         let mut new_pairs = 0usize;
         let mut cluster_merges = 0usize;
         let mut cluster_splits = 0usize;
         for record in chunk {
-            let report = resolver.insert(record.source, record.fields.clone())?;
+            let report = engine.insert(record.source, record.fields.clone())?;
             join_stats.absorb(&report.stats);
             new_pairs += report.new_pairs.len();
             cluster_merges += report.merges;
@@ -301,7 +421,7 @@ pub fn run_streaming(
         let mut deleted = 0usize;
         for &(r, record) in &config.faults.deletions {
             if r == round {
-                let report = resolver.remove(record)?;
+                let report = engine.remove(record)?;
                 cluster_splits += report.splits;
                 deleted += 1;
             }
@@ -310,22 +430,23 @@ pub fn run_streaming(
         let mut edges_decommitted = 0usize;
         for &(r, pair) in &config.faults.retractions {
             if r == round {
-                let report = resolver.retract(pair);
+                let report = engine.retract(pair)?;
                 edges_decommitted += report.decommitted as usize;
                 cluster_merges += report.merged as usize;
                 cluster_splits += report.split as usize;
                 retracted += 1;
             }
         }
-        let dirty_clusters = resolver.dirty_clusters();
+        let dirty_clusters = engine.view().dirty_clusters();
 
         // Stage 3: regenerate HITs only where the clustering moved.
-        let delta = resolver.regenerate_hits()?;
+        let delta = engine.regenerate_hits()?;
         let fresh: Vec<Hit> = delta
             .created
             .iter()
             .map(|&id| {
-                resolver
+                engine
+                    .view()
                     .live_hits()
                     .get(id)
                     .expect("created ids are live")
@@ -358,10 +479,14 @@ pub fn run_streaming(
                 .map(|&(pair, worker, verdict)| (pair, worker.0 as usize, verdict)),
         );
         let weights = worker_weights(&votes, config.aggregation)?;
+        if !weights.is_empty() {
+            let table: Vec<(u64, f64)> = weights.iter().map(|(&w, &x)| (w as u64, x)).collect();
+            engine.set_worker_weights(table)?;
+        }
         let mut edges_committed = 0usize;
         for &(pair, worker, verdict) in &round_triples {
             let weight = weights.get(&(worker.0 as usize)).copied().unwrap_or(1.0);
-            let report = resolver.record_evidence(pair, verdict, weight);
+            let report = engine.record_evidence(pair, verdict, weight)?;
             edges_committed += report.committed as usize;
             edges_decommitted += report.decommitted as usize;
             cluster_merges += report.merged as usize;
@@ -377,7 +502,7 @@ pub fn run_streaming(
             retracted,
             new_pairs,
             join_stats,
-            index_rebuilds: resolver.epochs() - epochs_before,
+            index_rebuilds: engine.view().epochs() - epochs_before,
             dirty_clusters,
             hits_retired: delta.retired.len(),
             hits_created: delta.created.len(),
@@ -390,8 +515,8 @@ pub fn run_streaming(
             cluster_splits,
             cost_dollars: sim.cost_dollars + carried_cost,
             elapsed_minutes: sim.elapsed_minutes,
-            corpus: resolver.len(),
-            cumulative_pairs: resolver.pairs().len(),
+            corpus: engine.view().len(),
+            cumulative_pairs: engine.view().pairs().len(),
         });
         // Evidence may have dirtied clusters (merges from commits,
         // splits from decommits/vetoes); the next round's flush — or
@@ -414,10 +539,11 @@ pub fn run_streaming(
         let weights = worker_weights(&votes, config.aggregation)?;
         for &(pair, worker, verdict) in &round_triples {
             let weight = weights.get(&(worker.0 as usize)).copied().unwrap_or(1.0);
-            resolver.record_evidence(pair, verdict, weight);
+            engine.record_evidence(pair, verdict, weight)?;
         }
     }
-    let final_delta = resolver.regenerate_hits()?;
+    let final_delta = engine.regenerate_hits()?;
+    let resolver = engine.finish()?;
 
     // Stage 6: aggregate every round's verdicts into one ranked list.
     let ranked = if votes.is_empty() {
@@ -620,6 +746,52 @@ mod tests {
         let per_round: f64 = out.rounds.iter().map(|r| r.cost_dollars).sum();
         assert!(out.total_cost_dollars >= per_round);
         assert!(out.total_assignments > 0);
+    }
+
+    #[test]
+    fn durable_run_matches_plain_and_recovers() {
+        use crowder_durable::digest;
+        let dataset = table1();
+        let plain = run_streaming(&dataset, &crowd(), &config()).unwrap();
+        let dir =
+            std::env::temp_dir().join(format!("crowder-durable-core-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = StreamingConfig {
+            durability: Some(DurabilityOptions::at(&dir)),
+            ..config()
+        };
+        let durable = run_streaming(&dataset, &crowd(), &cfg).unwrap();
+        // Logging around every mutation must not change the run.
+        assert_eq!(
+            durable.resolver.ranked_pairs(),
+            plain.resolver.ranked_pairs()
+        );
+        assert_eq!(durable.ranked, plain.ranked);
+        assert_eq!(durable.total_assignments, plain.total_assignments);
+        // A directory that already holds a log refuses a fresh run.
+        assert!(run_streaming(&dataset, &crowd(), &cfg).is_err());
+        // Recovery from the checkpointed directory lands on the exact
+        // final state (clean close ⇒ snapshot only, nothing to replay).
+        let stream = StreamConfig {
+            threshold: cfg.likelihood_threshold,
+            cluster_size: cfg.cluster_size,
+            two_tiered: cfg.two_tiered.clone(),
+            rebuild_min_interval: cfg.rebuild_min_interval,
+            evidence: cfg.evidence,
+        };
+        let (recovered, report) = DurableResolver::recover(
+            FsDir::new(&dir).unwrap(),
+            stream,
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.replayed, 0, "clean close leaves an empty log");
+        assert_eq!(
+            recovered.digest(),
+            digest(&durable.resolver, recovered.worker_weights()),
+            "recovered state ≡ the outcome's resolver, bit-for-bit"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,452 @@
+//! The durable resolver: an [`IncrementalResolver`] whose every
+//! mutation is written ahead to a log, checkpointed into snapshots,
+//! and recoverable after a crash at any byte.
+//!
+//! The engine follows **apply-then-log**: a mutation is applied to
+//! the in-memory resolver first and logged only if it succeeded, so
+//! the WAL replays cleanly by construction. Group commit batches
+//! frames ([`DurabilityConfig::sync_every_ops`]); snapshots are taken
+//! at flush boundaries ([`DurableResolver::regenerate_hits`]) once
+//! [`DurabilityConfig::snapshot_every_ops`] operations have been
+//! logged since the last one — the only points where the resolver has
+//! no dirty clusters and
+//! [`export_state`](IncrementalResolver::export_state) is legal.
+
+use crowder_hitgen::Hit;
+use crowder_simjoin::JoinStats;
+use crowder_stream::{
+    EvidenceReport, HitDelta, IncrementalResolver, InsertReport, RemoveReport, StreamConfig,
+    UpdateReport,
+};
+use crowder_types::{Error, Pair, PairSpace, RecordId, Result, SourceId};
+
+use crate::snapshot::{load_latest_snapshot, prune_snapshots, write_snapshot};
+use crate::storage::Dir;
+use crate::wal::{read_wal, WalOp, WalWriter, WAL_NAME};
+
+/// Durability tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct DurabilityConfig {
+    /// Group-commit cadence: flush + fsync the WAL every this many
+    /// logged operations. `1` is classic per-op durability; larger
+    /// values amortize the fsync at the cost of losing up to that
+    /// many trailing operations in a crash.
+    pub sync_every_ops: usize,
+    /// Checkpoint cadence: at the next flush boundary after this many
+    /// logged operations, write a snapshot and reset the log.
+    pub snapshot_every_ops: usize,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            sync_every_ops: 256,
+            snapshot_every_ops: 4096,
+        }
+    }
+}
+
+/// What recovery found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sequence number of the snapshot recovery started from.
+    pub snapshot_seq: u64,
+    /// WAL operations replayed on top of it.
+    pub replayed: usize,
+    /// Torn-tail bytes truncated from the log.
+    pub torn_bytes: u64,
+    /// Last durable operation — the recovered state reflects exactly
+    /// operations `1..=last_seq` of the acknowledged history.
+    pub last_seq: u64,
+}
+
+/// An [`IncrementalResolver`] with a write-ahead log and snapshots in
+/// a [`Dir`]. All mutations go through this wrapper; reads go through
+/// [`resolver`](Self::resolver).
+#[derive(Debug)]
+pub struct DurableResolver<D: Dir + Clone> {
+    resolver: IncrementalResolver,
+    wal: WalWriter<D>,
+    dir: D,
+    config: DurabilityConfig,
+    /// Engine-level serving state: `(worker, weight)`, sorted by
+    /// worker id. Snapshot-carried so recovered engines weigh
+    /// post-crash votes identically.
+    weights: Vec<(u64, f64)>,
+    ops_since_snapshot: usize,
+}
+
+impl<D: Dir + Clone> DurableResolver<D> {
+    /// Initialize a fresh durable resolver in an empty `dir`: writes
+    /// snapshot 0 of the empty resolver and an empty WAL. Errors if
+    /// the directory already holds a log.
+    pub fn create(
+        dir: D,
+        name: impl Into<String>,
+        schema: Vec<String>,
+        pair_space: PairSpace,
+        stream: StreamConfig,
+        config: DurabilityConfig,
+    ) -> Result<Self> {
+        let resolver = IncrementalResolver::new(name, schema, pair_space, stream);
+        Self::create_with(dir, resolver, config)
+    }
+
+    /// Initialize a fresh durable resolver in an empty `dir` around a
+    /// pre-built resolver (e.g. one whose gold standard is already
+    /// loaded). The resolver must be at a flush boundary — snapshot 0
+    /// captures it as the recovery baseline.
+    pub fn create_with(
+        dir: D,
+        resolver: IncrementalResolver,
+        config: DurabilityConfig,
+    ) -> Result<Self> {
+        if dir.read(WAL_NAME)?.is_some() {
+            return Err(Error::InvalidData(
+                "durable create: directory already holds a WAL — use recover".into(),
+            ));
+        }
+        write_snapshot(&dir, 0, &resolver.export_state()?, &[])?;
+        let wal = WalWriter::create(dir.clone(), 0)?;
+        Ok(DurableResolver {
+            resolver,
+            wal,
+            dir,
+            config,
+            weights: Vec::new(),
+            ops_since_snapshot: 0,
+        })
+    }
+
+    /// Shut down cleanly: make every logged operation durable and
+    /// return the inner resolver. If the resolver is at a flush
+    /// boundary a final checkpoint is written too, so the directory
+    /// recovers instantly (snapshot only, empty log).
+    pub fn close(mut self) -> Result<IncrementalResolver> {
+        self.wal.flush()?;
+        if self.resolver.export_state().is_ok() {
+            self.checkpoint()?;
+        }
+        Ok(self.resolver)
+    }
+
+    /// Recover from whatever a crashed (or cleanly stopped) engine
+    /// left in `dir`: validate the WAL, truncate its torn tail, load
+    /// the newest intact snapshot, and replay the log suffix. The
+    /// recovered engine's future behavior is bit-for-bit identical to
+    /// an engine that executed operations `1..=last_seq` and never
+    /// crashed.
+    pub fn recover(
+        dir: D,
+        stream: StreamConfig,
+        config: DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport)> {
+        let contents = read_wal(&dir)?;
+        if contents.torn_bytes > 0 {
+            dir.truncate(WAL_NAME, contents.valid_len)?;
+            dir.sync(WAL_NAME)?;
+        }
+        let (snap_seq, state, mut weights) = load_latest_snapshot(&dir)?.ok_or_else(|| {
+            Error::InvalidData("recover: no intact snapshot in the directory".into())
+        })?;
+        let mut resolver = IncrementalResolver::import_state(stream, state)?;
+        resolver.compact_index();
+        let mut replayed = 0;
+        for (seq, op) in &contents.frames {
+            if *seq <= snap_seq {
+                continue;
+            }
+            replay(&mut resolver, &mut weights, op).map_err(|e| {
+                Error::InvalidData(format!("recover: replay of op {seq} failed: {e}"))
+            })?;
+            replayed += 1;
+        }
+        let last_seq = contents.last_seq().max(snap_seq);
+        let wal = WalWriter::resume(dir.clone(), last_seq)?;
+        let report = RecoveryReport {
+            snapshot_seq: snap_seq,
+            replayed,
+            torn_bytes: contents.torn_bytes,
+            last_seq,
+        };
+        Ok((
+            DurableResolver {
+                resolver,
+                wal,
+                dir,
+                config,
+                weights,
+                ops_since_snapshot: replayed,
+            },
+            report,
+        ))
+    }
+
+    /// The underlying resolver, read-only. Mutations must go through
+    /// the engine or they would not be logged.
+    pub fn resolver(&self) -> &IncrementalResolver {
+        &self.resolver
+    }
+
+    /// The engine's worker-weight table, sorted by worker id.
+    pub fn worker_weights(&self) -> &[(u64, f64)] {
+        &self.weights
+    }
+
+    /// Sequence number of the last logged operation.
+    pub fn last_seq(&self) -> u64 {
+        self.wal.next_seq() - 1
+    }
+
+    /// Logged operations not yet made durable by a flush.
+    pub fn unsynced_ops(&self) -> usize {
+        self.wal.buffered()
+    }
+
+    fn log(&mut self, op: WalOp) -> Result<u64> {
+        let seq = self.wal.log(&op);
+        self.ops_since_snapshot += 1;
+        if self.wal.buffered() >= self.config.sync_every_ops {
+            self.wal.flush()?;
+        }
+        Ok(seq)
+    }
+
+    /// Durably flush every logged-but-buffered operation now.
+    pub fn sync(&mut self) -> Result<()> {
+        self.wal.flush()
+    }
+
+    /// A record arrival (logged).
+    pub fn insert(&mut self, source: SourceId, fields: Vec<String>) -> Result<InsertReport> {
+        let report = self.resolver.insert(source, fields.clone())?;
+        self.log(WalOp::Insert {
+            source: source.0,
+            fields,
+        })?;
+        Ok(report)
+    }
+
+    /// A record deletion (logged).
+    pub fn remove(&mut self, record: RecordId) -> Result<RemoveReport> {
+        let report = self.resolver.remove(record)?;
+        self.log(WalOp::Remove(record))?;
+        Ok(report)
+    }
+
+    /// An in-place correction (logged as one operation).
+    pub fn update(&mut self, record: RecordId, fields: Vec<String>) -> Result<UpdateReport> {
+        let report = self.resolver.update(record, fields.clone())?;
+        self.log(WalOp::Update { record, fields })?;
+        Ok(report)
+    }
+
+    /// One signed, weighted crowd vote (logged with its resolved
+    /// weight, so replay does not depend on the weight table).
+    pub fn record_evidence(
+        &mut self,
+        pair: Pair,
+        verdict: bool,
+        weight: f64,
+    ) -> Result<EvidenceReport> {
+        let report = self.resolver.record_evidence(pair, verdict, weight);
+        self.log(WalOp::Evidence {
+            pair,
+            verdict,
+            weight,
+        })?;
+        Ok(report)
+    }
+
+    /// Forget all evidence for a pair (logged).
+    pub fn retract(&mut self, pair: Pair) -> Result<EvidenceReport> {
+        let report = self.resolver.retract(pair);
+        self.log(WalOp::Retract(pair))?;
+        Ok(report)
+    }
+
+    /// Explicit dictionary re-rank + index rebuild (logged).
+    pub fn rerank_now(&mut self) -> Result<()> {
+        self.resolver.rerank_now();
+        self.log(WalOp::EpochRerank)?;
+        Ok(())
+    }
+
+    /// Replace the worker-weight table (logged).
+    pub fn set_worker_weights(&mut self, mut weights: Vec<(u64, f64)>) -> Result<()> {
+        weights.sort_unstable_by_key(|&(worker, _)| worker);
+        self.weights = weights.clone();
+        self.log(WalOp::Weights(weights))?;
+        Ok(())
+    }
+
+    /// Flush dirty clusters into regenerated HITs (logged — replay
+    /// must flush at the same points to assign the same
+    /// [`HitId`](crowder_stream::HitId)s), then checkpoint if the
+    /// snapshot cadence has come due.
+    pub fn regenerate_hits(&mut self) -> Result<HitDelta> {
+        let delta = self.resolver.regenerate_hits()?;
+        self.log(WalOp::Flush)?;
+        if self.ops_since_snapshot >= self.config.snapshot_every_ops {
+            self.checkpoint()?;
+        }
+        Ok(delta)
+    }
+
+    /// Take a snapshot now and reset the log. Legal only at a flush
+    /// boundary (no dirty clusters) — call
+    /// [`regenerate_hits`](Self::regenerate_hits) first, which does
+    /// this automatically on cadence.
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        self.wal.flush()?;
+        let seq = self.last_seq();
+        write_snapshot(
+            &self.dir,
+            seq,
+            &self.resolver.export_state()?,
+            &self.weights,
+        )?;
+        self.wal = WalWriter::create(self.dir.clone(), seq)?;
+        prune_snapshots(&self.dir, seq)?;
+        self.ops_since_snapshot = 0;
+        Ok(seq)
+    }
+
+    /// Apply one logged-operation value through the engine (it is
+    /// applied *and* logged — this is the scripting entry point the
+    /// fault harness and benchmarks drive).
+    pub fn apply(&mut self, op: WalOp) -> Result<()> {
+        match op {
+            WalOp::Insert { source, fields } => {
+                self.insert(SourceId(source), fields)?;
+            }
+            WalOp::Remove(record) => {
+                self.remove(record)?;
+            }
+            WalOp::Update { record, fields } => {
+                self.update(record, fields)?;
+            }
+            WalOp::Retract(pair) => {
+                self.retract(pair)?;
+            }
+            WalOp::Evidence {
+                pair,
+                verdict,
+                weight,
+            } => {
+                self.record_evidence(pair, verdict, weight)?;
+            }
+            WalOp::EpochRerank => self.rerank_now()?,
+            WalOp::Flush => {
+                self.regenerate_hits()?;
+            }
+            WalOp::Weights(weights) => self.set_worker_weights(weights)?,
+        }
+        Ok(())
+    }
+
+    /// The digest of the current state (see [`digest`]).
+    pub fn digest(&self) -> StateDigest {
+        digest(&self.resolver, &self.weights)
+    }
+}
+
+/// Apply one WAL operation to a bare resolver + weight table — the
+/// recovery replay path. Must mirror the engine's mutation methods
+/// exactly (minus the logging).
+fn replay(
+    resolver: &mut IncrementalResolver,
+    weights: &mut Vec<(u64, f64)>,
+    op: &WalOp,
+) -> Result<()> {
+    match op {
+        WalOp::Insert { source, fields } => {
+            resolver.insert(SourceId(*source), fields.clone())?;
+        }
+        WalOp::Remove(record) => {
+            resolver.remove(*record)?;
+        }
+        WalOp::Update { record, fields } => {
+            resolver.update(*record, fields.clone())?;
+        }
+        WalOp::Retract(pair) => {
+            resolver.retract(*pair);
+        }
+        WalOp::Evidence {
+            pair,
+            verdict,
+            weight,
+        } => {
+            resolver.record_evidence(*pair, *verdict, *weight);
+        }
+        WalOp::EpochRerank => resolver.rerank_now(),
+        WalOp::Flush => {
+            resolver.regenerate_hits()?;
+        }
+        WalOp::Weights(w) => *weights = w.clone(),
+    }
+    Ok(())
+}
+
+/// Everything observable about a resolver's serving state, in
+/// deterministic order — the equality witness of the durability
+/// contract. Two engines with equal digests answer every query
+/// identically: same ranked pairs (exact likelihood bits), same
+/// cluster labels, same live HITs under the same ids, same evidence
+/// tallies, same join-funnel counters, same worker weights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateDigest {
+    /// Ranked pairs as `(lo, hi, likelihood bits)`.
+    pub ranked: Vec<(u32, u32, u64)>,
+    /// Cluster label per record slot.
+    pub labels: Vec<usize>,
+    /// Live HITs in ascending id order.
+    pub hits: Vec<(u64, Hit)>,
+    /// Evidence tallies, sorted by pair, weights as bits.
+    pub tallies: Vec<(Pair, u64, u64, u32)>,
+    /// Cumulative join funnel.
+    pub cumulative: JoinStats,
+    /// Dictionary re-rank epochs.
+    pub epochs: u64,
+    /// Live record count.
+    pub live_len: usize,
+    /// Deletions so far.
+    pub removed: usize,
+    /// Worker weights as `(worker, weight bits)`.
+    pub weights: Vec<(u64, u64)>,
+}
+
+/// Compute the [`StateDigest`] of a resolver + weight table. Works in
+/// any state (flush boundary not required).
+pub fn digest(resolver: &IncrementalResolver, weights: &[(u64, f64)]) -> StateDigest {
+    let ranked = resolver
+        .ranked_pairs()
+        .iter()
+        .map(|sp| (sp.pair.lo().0, sp.pair.hi().0, sp.likelihood.to_bits()))
+        .collect();
+    let labels = (0..resolver.len() as u32)
+        .map(|r| resolver.cluster_of(RecordId(r)))
+        .collect();
+    let hits = resolver
+        .live_hits()
+        .iter()
+        .map(|(id, hit)| (id.0, hit.clone()))
+        .collect();
+    let mut tallies: Vec<(Pair, u64, u64, u32)> = resolver
+        .ledger()
+        .iter()
+        .map(|(pair, t)| (*pair, t.yes.to_bits(), t.no.to_bits(), t.votes))
+        .collect();
+    tallies.sort_unstable_by_key(|&(pair, ..)| pair);
+    StateDigest {
+        ranked,
+        labels,
+        hits,
+        tallies,
+        cumulative: resolver.cumulative_stats(),
+        epochs: resolver.epochs(),
+        live_len: resolver.live_len(),
+        removed: resolver.removed(),
+        weights: weights.iter().map(|&(w, x)| (w, x.to_bits())).collect(),
+    }
+}

@@ -1,0 +1,404 @@
+//! Storage abstraction: a flat directory of named blobs.
+//!
+//! The WAL and snapshot layers speak [`Dir`], not `std::fs`, so the
+//! same code runs against a real directory ([`FsDir`]), an in-memory
+//! map ([`MemDir`] — fast, hermetic tests), or a crash simulator
+//! ([`FaultyDir`] — a byte budget after which writes tear and the
+//! "process" dies). That last one is what makes the crash-matrix
+//! property tests possible: power loss at byte `N` is just
+//! `FaultyDir::arm(N)`.
+//!
+//! Contract notes:
+//!
+//! * [`append`](Dir::append) buffers in the OS; data is durable only
+//!   after [`sync`](Dir::sync) returns.
+//! * [`replace`](Dir::replace) is atomic (write-temp + rename on the
+//!   filesystem): a crash leaves either the old or the new content,
+//!   never a mix. It syncs before returning.
+//! * [`truncate`](Dir::truncate) discards a torn tail in place.
+
+use crowder_types::{Error, Result};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+fn io_err(what: &str, name: &str, e: std::io::Error) -> Error {
+    Error::InvalidData(format!("durable io: {what} `{name}`: {e}"))
+}
+
+/// A flat directory of named blobs — everything durability needs
+/// from a filesystem.
+pub trait Dir {
+    /// Append `bytes` to blob `name`, creating it if absent.
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<()>;
+    /// Make every past `append`/`truncate` of `name` durable (fsync).
+    fn sync(&self, name: &str) -> Result<()>;
+    /// Read a whole blob; `None` if it does not exist.
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>>;
+    /// Atomically replace blob `name` with `bytes` (durable on return).
+    fn replace(&self, name: &str, bytes: &[u8]) -> Result<()>;
+    /// Cut blob `name` down to `len` bytes.
+    fn truncate(&self, name: &str, len: u64) -> Result<()>;
+    /// Delete blob `name` (ok if absent).
+    fn remove(&self, name: &str) -> Result<()>;
+    /// All blob names, sorted.
+    fn list(&self) -> Result<Vec<String>>;
+}
+
+/// [`Dir`] over a real filesystem directory (created on first use).
+#[derive(Debug, Clone)]
+pub struct FsDir {
+    root: PathBuf,
+}
+
+impl FsDir {
+    /// A directory rooted at `root`; created (with parents) if absent.
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| io_err("create dir", &root.display().to_string(), e))?;
+        Ok(FsDir { root })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.root
+    }
+}
+
+impl Dir for FsDir {
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.root.join(name))
+            .map_err(|e| io_err("open", name, e))?;
+        f.write_all(bytes).map_err(|e| io_err("append", name, e))
+    }
+
+    fn sync(&self, name: &str) -> Result<()> {
+        let f = std::fs::File::open(self.root.join(name)).map_err(|e| io_err("open", name, e))?;
+        f.sync_all().map_err(|e| io_err("fsync", name, e))
+    }
+
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>> {
+        match std::fs::read(self.root.join(name)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(io_err("read", name, e)),
+        }
+    }
+
+    fn replace(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        let tmp = self.root.join(format!("{name}.tmp"));
+        let path = self.root.join(name);
+        std::fs::write(&tmp, bytes).map_err(|e| io_err("write tmp", name, e))?;
+        let f = std::fs::File::open(&tmp).map_err(|e| io_err("open tmp", name, e))?;
+        f.sync_all().map_err(|e| io_err("fsync tmp", name, e))?;
+        std::fs::rename(&tmp, &path).map_err(|e| io_err("rename", name, e))?;
+        // Make the rename itself durable.
+        let dir = std::fs::File::open(&self.root).map_err(|e| io_err("open dir", name, e))?;
+        dir.sync_all().map_err(|e| io_err("fsync dir", name, e))
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> Result<()> {
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(self.root.join(name))
+            .map_err(|e| io_err("open", name, e))?;
+        f.set_len(len).map_err(|e| io_err("truncate", name, e))?;
+        f.sync_all().map_err(|e| io_err("fsync", name, e))
+    }
+
+    fn remove(&self, name: &str) -> Result<()> {
+        match std::fs::remove_file(self.root.join(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err("remove", name, e)),
+        }
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        let mut names = Vec::new();
+        let entries = std::fs::read_dir(&self.root)
+            .map_err(|e| io_err("list", &self.root.display().to_string(), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("list", "entry", e))?;
+            if entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort_unstable();
+        Ok(names)
+    }
+}
+
+/// [`Dir`] over an in-memory map. Clones share the same storage, so a
+/// "recovered process" can reopen the blobs a crashed [`FaultyDir`]
+/// left behind.
+#[derive(Debug, Clone, Default)]
+pub struct MemDir {
+    blobs: Rc<RefCell<HashMap<String, Vec<u8>>>>,
+}
+
+impl MemDir {
+    /// An empty in-memory directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Dir for MemDir {
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        self.blobs
+            .borrow_mut()
+            .entry(name.to_string())
+            .or_default()
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&self, _name: &str) -> Result<()> {
+        Ok(())
+    }
+
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>> {
+        Ok(self.blobs.borrow().get(name).cloned())
+    }
+
+    fn replace(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        self.blobs
+            .borrow_mut()
+            .insert(name.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> Result<()> {
+        match self.blobs.borrow_mut().get_mut(name) {
+            Some(blob) => {
+                blob.truncate(len as usize);
+                Ok(())
+            }
+            None => Err(Error::InvalidData(format!(
+                "durable io: truncate `{name}`: no such blob"
+            ))),
+        }
+    }
+
+    fn remove(&self, name: &str) -> Result<()> {
+        self.blobs.borrow_mut().remove(name);
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        let mut names: Vec<String> = self.blobs.borrow().keys().cloned().collect();
+        names.sort_unstable();
+        Ok(names)
+    }
+}
+
+#[derive(Debug)]
+struct FaultState {
+    /// Mutated bytes remaining before the crash, if armed.
+    remaining: Option<usize>,
+    crashed: bool,
+    /// Mutated bytes ever attempted (armed or not) — lets a harness
+    /// measure a scenario once and then sweep every crash byte in it.
+    total: usize,
+}
+
+/// A crash-injecting [`Dir`]: once [armed](FaultyDir::arm) with a byte
+/// budget, the write that exhausts it is applied **partially** (a torn
+/// write) and every subsequent operation — including `sync` — fails.
+/// The underlying [`MemDir`] (via [`disk`](FaultyDir::disk)) then
+/// plays the surviving disk image for recovery.
+#[derive(Debug, Clone)]
+pub struct FaultyDir {
+    inner: MemDir,
+    state: Rc<RefCell<FaultState>>,
+}
+
+impl FaultyDir {
+    /// Wrap a fresh in-memory directory, no fault armed.
+    pub fn new() -> Self {
+        FaultyDir {
+            inner: MemDir::new(),
+            state: Rc::new(RefCell::new(FaultState {
+                remaining: None,
+                crashed: false,
+                total: 0,
+            })),
+        }
+    }
+
+    /// Crash after `budget` more mutated bytes (appends, replaces, and
+    /// truncations all count; the write that crosses the budget tears).
+    pub fn arm(&self, budget: usize) {
+        let mut s = self.state.borrow_mut();
+        s.remaining = Some(budget);
+        s.crashed = false;
+    }
+
+    /// Has the injected crash fired yet?
+    pub fn crashed(&self) -> bool {
+        self.state.borrow().crashed
+    }
+
+    /// Mutated bytes attempted so far (torn parts included).
+    pub fn mutated(&self) -> usize {
+        self.state.borrow().total
+    }
+
+    /// The surviving disk image — what a recovering process would see.
+    pub fn disk(&self) -> MemDir {
+        self.inner.clone()
+    }
+
+    fn dead() -> Error {
+        Error::InvalidData("durable io: injected crash".into())
+    }
+
+    /// Charge `len` mutated bytes against the budget. Returns how many
+    /// of them actually hit the disk (possibly fewer: the torn write).
+    fn charge(&self, len: usize) -> Result<usize> {
+        let mut s = self.state.borrow_mut();
+        if s.crashed {
+            return Err(Self::dead());
+        }
+        s.total += len;
+        match s.remaining {
+            None => Ok(len),
+            Some(rem) if len <= rem => {
+                s.remaining = Some(rem - len);
+                Ok(len)
+            }
+            Some(rem) => {
+                s.crashed = true;
+                s.remaining = Some(0);
+                Ok(rem)
+            }
+        }
+    }
+}
+
+impl Default for FaultyDir {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Dir for FaultyDir {
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        let survive = self.charge(bytes.len())?;
+        self.inner.append(name, &bytes[..survive])?;
+        if survive < bytes.len() {
+            return Err(Self::dead());
+        }
+        Ok(())
+    }
+
+    fn sync(&self, name: &str) -> Result<()> {
+        if self.crashed() {
+            return Err(Self::dead());
+        }
+        self.inner.sync(name)
+    }
+
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>> {
+        if self.crashed() {
+            return Err(Self::dead());
+        }
+        self.inner.read(name)
+    }
+
+    fn replace(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        // An atomic replace cannot tear, but it can fail to happen: if
+        // the budget dies mid-replace the old content survives intact.
+        let survive = self.charge(bytes.len())?;
+        if survive < bytes.len() {
+            return Err(Self::dead());
+        }
+        self.inner.replace(name, bytes)
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> Result<()> {
+        self.charge(1)?;
+        self.inner.truncate(name, len)
+    }
+
+    fn remove(&self, name: &str) -> Result<()> {
+        self.charge(1)?;
+        self.inner.remove(name)
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        if self.crashed() {
+            return Err(Self::dead());
+        }
+        self.inner.list()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(dir: &impl Dir) {
+        dir.append("a", b"hello ").unwrap();
+        dir.append("a", b"world").unwrap();
+        dir.sync("a").unwrap();
+        assert_eq!(dir.read("a").unwrap().unwrap(), b"hello world");
+        dir.truncate("a", 5).unwrap();
+        assert_eq!(dir.read("a").unwrap().unwrap(), b"hello");
+        dir.replace("a", b"fresh").unwrap();
+        assert_eq!(dir.read("a").unwrap().unwrap(), b"fresh");
+        dir.append("b", b"x").unwrap();
+        assert_eq!(dir.list().unwrap(), vec!["a".to_string(), "b".to_string()]);
+        dir.remove("b").unwrap();
+        dir.remove("b").unwrap();
+        assert!(dir.read("b").unwrap().is_none());
+        assert_eq!(dir.list().unwrap(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn mem_dir_behaves() {
+        exercise(&MemDir::new());
+    }
+
+    #[test]
+    fn fs_dir_behaves() {
+        let root =
+            std::env::temp_dir().join(format!("crowder-durable-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        exercise(&FsDir::new(&root).unwrap());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn faulty_dir_tears_the_fatal_write_and_stays_dead() {
+        let dir = FaultyDir::new();
+        dir.append("w", b"0123456789").unwrap();
+        dir.arm(7);
+        dir.append("w", b"abcd").unwrap();
+        assert!(!dir.crashed());
+        // 3 bytes of budget left: this 5-byte write tears after 3.
+        assert!(dir.append("w", b"efghi").is_err());
+        assert!(dir.crashed());
+        assert!(dir.append("w", b"z").is_err(), "dead after the crash");
+        assert!(dir.sync("w").is_err());
+        assert!(dir.read("w").is_err());
+        // The surviving image holds the torn prefix.
+        assert_eq!(dir.disk().read("w").unwrap().unwrap(), b"0123456789abcdefg");
+    }
+
+    #[test]
+    fn faulty_replace_is_all_or_nothing() {
+        let dir = FaultyDir::new();
+        dir.replace("s", b"old-content").unwrap();
+        dir.arm(3);
+        assert!(dir.replace("s", b"new-content").is_err());
+        assert_eq!(dir.disk().read("s").unwrap().unwrap(), b"old-content");
+    }
+}

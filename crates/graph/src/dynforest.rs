@@ -27,6 +27,7 @@
 //! Side tables keyed by label (HIT books, pair lists) therefore never
 //! see two distinct components under the same key.
 
+use crowder_types::{Error, Result};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// What [`DynamicConnectivity::add_edge`] did to the component
@@ -91,6 +92,81 @@ impl DynamicConnectivity {
         let mut g = DynamicConnectivity::default();
         g.grow(n);
         g
+    }
+
+    /// Rebuild a graph from exported parts: one component label per
+    /// vertex (see [`labels`](DynamicConnectivity::labels)) and the
+    /// edge list. Validates that edges stay inside one component and
+    /// that every label obeys the label invariant (`labels[l] == l`),
+    /// so a corrupted snapshot fails loudly instead of silently
+    /// desynchronizing label-keyed side tables.
+    ///
+    /// Member lists are regrouped in ascending vertex order. Label
+    /// *evolution* under future mutations does not depend on member
+    /// order — merge winners are chosen by list length, splits
+    /// partition by set membership — so a rebuilt graph relabels
+    /// exactly like the original would have.
+    pub fn from_parts(labels: Vec<u32>, edge_list: &[(u32, u32)]) -> Result<Self> {
+        let n = labels.len();
+        let mut adj: Vec<HashSet<u32>> = vec![HashSet::new(); n];
+        let mut edges = 0usize;
+        for &(a, b) in edge_list {
+            if a == b || a as usize >= n || b as usize >= n {
+                return Err(Error::InvalidData(format!(
+                    "edge ({a}, {b}) is not valid over {n} vertices"
+                )));
+            }
+            if labels[a as usize] != labels[b as usize] {
+                return Err(Error::InvalidData(format!(
+                    "edge ({a}, {b}) spans two component labels"
+                )));
+            }
+            if adj[a as usize].insert(b) {
+                adj[b as usize].insert(a);
+                edges += 1;
+            }
+        }
+        let mut members: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (v, &label) in labels.iter().enumerate() {
+            members.entry(label).or_default().push(v as u32);
+        }
+        for (&label, list) in &members {
+            if label as usize >= n || !list.contains(&label) {
+                return Err(Error::InvalidData(format!(
+                    "component label {label} is not one of its members"
+                )));
+            }
+        }
+        let components = members.len();
+        Ok(DynamicConnectivity {
+            adj,
+            comp: labels,
+            members,
+            edges,
+            components,
+        })
+    }
+
+    /// The per-vertex component labels — the export counterpart of
+    /// [`from_parts`](DynamicConnectivity::from_parts).
+    #[inline]
+    pub fn labels(&self) -> &[u32] {
+        &self.comp
+    }
+
+    /// All current edges as canonical `(min, max)` tuples, sorted — a
+    /// deterministic export for snapshots.
+    pub fn edge_list(&self) -> Vec<(u32, u32)> {
+        let mut out: Vec<(u32, u32)> = Vec::with_capacity(self.edges);
+        for (v, nbrs) in self.adj.iter().enumerate() {
+            for &u in nbrs {
+                if (v as u32) < u {
+                    out.push((v as u32, u));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
     }
 
     /// Append one isolated vertex; returns its id.
@@ -382,6 +458,43 @@ mod tests {
             other => panic!("expected split, got {other:?}"),
         }
         assert_eq!(g.component_size(0), 4);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_relabels_identically() {
+        let mut g = DynamicConnectivity::new(8);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(4, 5);
+        g.add_edge(5, 6);
+        let mut h = DynamicConnectivity::from_parts(g.labels().to_vec(), &g.edge_list()).unwrap();
+        assert_eq!(h.labels(), g.labels());
+        assert_eq!(h.edge_list(), g.edge_list());
+        assert_eq!(h.component_count(), g.component_count());
+        // Future mutations evolve labels identically.
+        for (a, b, add) in [(5, 6, false), (3, 7, true), (0, 1, false), (1, 2, false)] {
+            if add {
+                g.add_edge(a, b);
+                h.add_edge(a, b);
+            } else {
+                g.remove_edge(a, b);
+                h.remove_edge(a, b);
+            }
+            assert_eq!(h.labels(), g.labels(), "after ({a}, {b}, add={add})");
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_corrupted_exports() {
+        // Edge spanning two labels.
+        assert!(DynamicConnectivity::from_parts(vec![0, 1], &[(0, 1)]).is_err());
+        // Self-loop and out-of-range endpoints.
+        assert!(DynamicConnectivity::from_parts(vec![0, 0], &[(1, 1)]).is_err());
+        assert!(DynamicConnectivity::from_parts(vec![0, 0], &[(0, 5)]).is_err());
+        // Label that is not a member of its own component.
+        assert!(DynamicConnectivity::from_parts(vec![1, 0], &[]).is_err());
+        assert!(DynamicConnectivity::from_parts(vec![7], &[]).is_err());
     }
 
     /// Oracle: recompute components from scratch with a fresh BFS.

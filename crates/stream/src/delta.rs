@@ -32,21 +32,27 @@ use crowder_simjoin::filters::{
 };
 use crowder_simjoin::JoinStats;
 use crowder_text::jaccard_ids;
-use crowder_types::{Dataset, Pair, RecordId, ScoredPair};
+use crowder_types::{Dataset, Error, Pair, RecordId, ScoredPair};
 use std::collections::HashMap;
 
 use crate::dict::StreamingDict;
 
 /// One index entry: the record holding the token and the token's
 /// position in that record's rank-sorted list.
+///
+/// **Canonical posting order**: every posting list is kept sorted by
+/// ascending record id. Arrivals append the largest id so far,
+/// [`DeltaIndex::rebuild`] and [`DeltaIndex::from_docs`] emit postings
+/// in record order, and [`DeltaIndex::update_doc`] re-inserts at the
+/// sorted position — so the order candidates are enumerated in (and
+/// therefore every downstream order-sensitive structure, e.g. cluster
+/// merge sequences) is a pure function of the current corpus, not of
+/// the mutation history. Crash recovery depends on this.
 #[derive(Debug, Clone, Copy)]
 struct Posting {
     record: u32,
     pos: u32,
 }
-
-/// Marker value meaning "never seen" in the per-probe dedup array.
-const UNSEEN: u32 = u32::MAX;
 
 /// Mutable prefix-filter index over an appendable corpus, with
 /// tombstoned deletion: a removed record's postings stay in place but
@@ -61,9 +67,13 @@ pub struct DeltaIndex {
     postings: HashMap<u32, Vec<Posting>>,
     /// Per-record token lists, as ranks sorted ascending.
     docs: Vec<Vec<u32>>,
-    /// Per-probe candidate dedup: the record id of the probe that last
-    /// reached each indexed record.
-    seen: Vec<u32>,
+    /// Per-probe candidate dedup: the probe stamp that last reached
+    /// each indexed record. A fresh stamp per probe (not the probing
+    /// record's id) lets the same record probe twice — the in-place
+    /// update path re-probes under an id that has probed before.
+    seen: Vec<u64>,
+    /// Monotone probe counter backing `seen`.
+    stamp: u64,
     /// Tombstones: `false` for deleted records (slots are never
     /// reused — record ids stay dense in arrival order).
     alive: Vec<bool>,
@@ -79,9 +89,56 @@ impl DeltaIndex {
             postings: HashMap::new(),
             docs: Vec::new(),
             seen: Vec::new(),
+            stamp: 0,
             alive: Vec::new(),
             live: 0,
         }
+    }
+
+    /// Rebuild an index from exported per-record rank lists (empty for
+    /// tombstoned records) plus liveness flags — the snapshot-import
+    /// constructor. Postings are generated in ascending record order,
+    /// the canonical order every other mutation maintains (see
+    /// [`Posting`]), so a recovered index enumerates candidates exactly
+    /// like the index it was exported from.
+    pub fn from_docs(
+        threshold: f64,
+        docs: Vec<Vec<u32>>,
+        alive: Vec<bool>,
+    ) -> crowder_types::Result<Self> {
+        if docs.len() != alive.len() {
+            return Err(Error::InvalidData(format!(
+                "index import: {} docs but {} liveness flags",
+                docs.len(),
+                alive.len()
+            )));
+        }
+        let live = alive.iter().filter(|&&a| a).count();
+        let mut index = DeltaIndex {
+            threshold,
+            postings: HashMap::new(),
+            seen: vec![0; docs.len()],
+            stamp: 0,
+            docs,
+            alive,
+            live,
+        };
+        if threshold > 0.0 && threshold <= 1.0 {
+            for r in 0..index.docs.len() {
+                let doc = &index.docs[r];
+                if !index.alive[r] || doc.is_empty() {
+                    continue;
+                }
+                let plen = prefix_len(doc.len(), threshold);
+                for (pos, &rank) in doc[..plen].iter().enumerate() {
+                    index.postings.entry(rank).or_default().push(Posting {
+                        record: r as u32,
+                        pos: pos as u32,
+                    });
+                }
+            }
+        }
+        Ok(index)
     }
 
     /// Number of record slots (arrivals ever indexed, deletions
@@ -116,6 +173,26 @@ impl DeltaIndex {
         let slot = record.index();
         if std::mem::replace(&mut self.alive[slot], false) {
             self.live -= 1;
+        }
+    }
+
+    /// Sweep every tombstoned posting (and dead doc) right now instead
+    /// of waiting for the next epoch [`DeltaIndex::rebuild`] — called
+    /// after a snapshot load so a recovered index starts dense, and
+    /// available on demand for long quiet periods between epochs.
+    /// Surviving postings keep their relative order (see [`Posting`]),
+    /// so probe results are bit-identical before and after.
+    pub fn compact(&mut self) {
+        let alive = &self.alive;
+        self.postings.retain(|_, list| {
+            list.retain(|p| alive[p.record as usize]);
+            !list.is_empty()
+        });
+        for (r, doc) in self.docs.iter_mut().enumerate() {
+            if !alive[r] && !doc.is_empty() {
+                doc.clear();
+                doc.shrink_to_fit();
+            }
         }
     }
 
@@ -172,9 +249,67 @@ impl DeltaIndex {
         self.push_slot(doc);
     }
 
+    /// Replace the token list of an existing *live* record in place —
+    /// the index half of an atomic correction. The record's stale
+    /// prefix postings are stripped first (it must not match its own
+    /// old tokens), the new doc is probed against every other live
+    /// record exactly like an arrival (same funnel buckets, appended to
+    /// `out`), and its new prefix is re-indexed at the canonical sorted
+    /// positions (see [`Posting`]).
+    pub fn update_doc(
+        &mut self,
+        dataset: &Dataset,
+        record: RecordId,
+        doc: Vec<u32>,
+        out: &mut Vec<ScoredPair>,
+        stats: &mut JoinStats,
+    ) {
+        let slot = record.index();
+        debug_assert!(self.alive[slot], "update of a tombstoned record");
+        let r = record.0;
+        let t = self.threshold;
+        if t > 0.0 && t <= 1.0 && !self.docs[slot].is_empty() {
+            let plen = prefix_len(self.docs[slot].len(), t);
+            let old_prefix: Vec<u32> = self.docs[slot][..plen].to_vec();
+            for rank in old_prefix {
+                if let Some(list) = self.postings.get_mut(&rank) {
+                    list.retain(|p| p.record != r);
+                    if list.is_empty() {
+                        self.postings.remove(&rank);
+                    }
+                }
+            }
+        }
+        if t > 1.0 {
+            self.docs[slot] = doc;
+            return;
+        }
+        if t <= 0.0 {
+            self.exhaustive_probe(dataset, r, &doc, out, stats);
+            self.docs[slot] = doc;
+            return;
+        }
+        self.filtered_probe(dataset, r, &doc, out, stats);
+        if !doc.is_empty() {
+            let plen = prefix_len(doc.len(), t);
+            for (pos, &rank) in doc[..plen].iter().enumerate() {
+                let list = self.postings.entry(rank).or_default();
+                let at = list.partition_point(|p| p.record < r);
+                list.insert(
+                    at,
+                    Posting {
+                        record: r,
+                        pos: pos as u32,
+                    },
+                );
+            }
+        }
+        self.docs[slot] = doc;
+    }
+
     fn push_slot(&mut self, doc: Vec<u32>) {
         self.docs.push(doc);
-        self.seen.push(UNSEEN);
+        self.seen.push(0);
         self.alive.push(true);
         self.live += 1;
     }
@@ -191,10 +326,10 @@ impl DeltaIndex {
         stats: &mut JoinStats,
     ) {
         for y in 0..self.docs.len() as u32 {
-            if !self.alive[y as usize] {
+            if y == x || !self.alive[y as usize] {
                 continue;
             }
-            let pair = Pair::new(RecordId(x), RecordId(y)).expect("y < x");
+            let pair = Pair::new(RecordId(x), RecordId(y)).expect("y != x");
             if !dataset.is_candidate(&pair) {
                 continue;
             }
@@ -221,6 +356,8 @@ impl DeltaIndex {
             return; // Jaccard with an empty set is 0 < threshold.
         }
         let t = self.threshold;
+        self.stamp += 1;
+        let stamp = self.stamp;
         let (postings, docs, seen, alive) =
             (&self.postings, &self.docs, &mut self.seen, &self.alive);
         let lx = doc.len();
@@ -235,10 +372,10 @@ impl DeltaIndex {
                 // Tombstoned records stay in the postings until the
                 // next rebuild; skip them before any accounting so the
                 // funnel matches a live-only corpus.
-                if !alive[y as usize] || seen[y as usize] == x {
+                if !alive[y as usize] || seen[y as usize] == stamp {
                     continue;
                 }
-                seen[y as usize] = x;
+                seen[y as usize] = stamp;
                 stats.candidates += 1;
                 let ydoc = &docs[y as usize];
                 let ly = ydoc.len();
@@ -254,7 +391,7 @@ impl DeltaIndex {
                     stats.positional_pruned += 1;
                     continue;
                 }
-                let pair = Pair::new(RecordId(x), RecordId(y)).expect("y arrived before x");
+                let pair = Pair::new(RecordId(x), RecordId(y)).expect("own postings are stripped");
                 if !dataset.is_candidate(&pair) {
                     stats.space_pruned += 1;
                     continue;
@@ -378,6 +515,130 @@ mod tests {
     fn empty_records_never_match_at_positive_threshold() {
         let (out, _) = feed(&["", "---", "a", ""], 0.1);
         assert!(out.is_empty());
+    }
+
+    /// Feed helper returning the live state too.
+    fn feed_state(names: &[&str], threshold: f64) -> (Dataset, StreamingDict, DeltaIndex) {
+        let mut dataset = Dataset::new("t", vec!["name".into()], PairSpace::SelfJoin);
+        let mut dict = StreamingDict::new();
+        let mut index = DeltaIndex::new(threshold);
+        let mut out = Vec::new();
+        let mut stats = JoinStats::default();
+        for name in names {
+            dataset
+                .push_record(SourceId(0), vec![name.to_string()])
+                .unwrap();
+            let ids = dict.encode_record(&tokenize(name));
+            let mut doc: Vec<u32> = ids.iter().map(|&id| dict.rank(id)).collect();
+            doc.sort_unstable();
+            index.join_and_insert(&dataset, doc, &mut out, &mut stats);
+        }
+        (dataset, dict, index)
+    }
+
+    fn rank_doc(dict: &mut StreamingDict, name: &str) -> Vec<u32> {
+        let ids = dict.encode_record(&tokenize(name));
+        let mut doc: Vec<u32> = ids.iter().map(|&id| dict.rank(id)).collect();
+        doc.sort_unstable();
+        doc
+    }
+
+    #[test]
+    fn update_doc_rematches_under_the_same_id() {
+        let (mut dataset, mut dict, mut index) =
+            feed_state(&["a b c d", "x y z w", "a b c e"], 0.5);
+        // Rewrite record 1 from {x y z w} to {a b c d}: it must now
+        // match records 0 and 2, and stop matching nothing it used to.
+        dataset
+            .set_fields(RecordId(1), vec!["a b c d".into()])
+            .unwrap();
+        let doc = rank_doc(&mut dict, "a b c d");
+        let mut out = Vec::new();
+        let mut stats = JoinStats::default();
+        index.update_doc(&dataset, RecordId(1), doc, &mut out, &mut stats);
+        let mut pairs: Vec<Pair> = out.iter().map(|s| s.pair).collect();
+        pairs.sort();
+        assert_eq!(pairs, vec![Pair::of(0, 1), Pair::of(1, 2)]);
+        assert!(out.iter().any(|s| s.likelihood == 1.0), "{out:?}");
+        // A later arrival sees the *new* tokens, not the stale ones.
+        dataset
+            .push_record(SourceId(0), vec!["x y z w".into()])
+            .unwrap();
+        let doc = rank_doc(&mut dict, "x y z w");
+        let mut out2 = Vec::new();
+        index.join_and_insert(&dataset, doc, &mut out2, &mut stats);
+        assert!(out2.is_empty(), "stale postings must be stripped: {out2:?}");
+    }
+
+    #[test]
+    fn update_doc_never_matches_itself() {
+        // Re-probing an identical doc under an existing id must not
+        // surface a self-pair (`Pair::new` would panic through the
+        // probe's expect) on either the filtered or exhaustive path.
+        for threshold in [0.0, 0.5] {
+            let (dataset, mut dict, mut index) = feed_state(&["a b c d", "q r"], threshold);
+            let doc = rank_doc(&mut dict, "a b c d");
+            let mut out = Vec::new();
+            let mut stats = JoinStats::default();
+            index.update_doc(&dataset, RecordId(0), doc, &mut out, &mut stats);
+            let expected = if threshold == 0.0 { 1 } else { 0 };
+            assert_eq!(out.len(), expected, "threshold {threshold}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn compact_sweeps_dead_postings_and_preserves_results() {
+        let (mut dataset, mut dict, mut index) =
+            feed_state(&["a b c d", "a b c d", "a b c e"], 0.5);
+        index.remove(RecordId(0));
+        index.compact();
+        assert!(index.doc(RecordId(0)).is_empty(), "dead doc swept");
+        assert!(!index.doc(RecordId(1)).is_empty());
+        // A new arrival still matches the live records, and only them.
+        dataset
+            .push_record(SourceId(0), vec!["a b c d".into()])
+            .unwrap();
+        let doc = rank_doc(&mut dict, "a b c d");
+        let (mut out, mut stats) = (Vec::new(), JoinStats::default());
+        index.join_and_insert(&dataset, doc, &mut out, &mut stats);
+        let mut pairs: Vec<Pair> = out.iter().map(|s| s.pair).collect();
+        pairs.sort();
+        assert_eq!(pairs, vec![Pair::of(1, 3), Pair::of(2, 3)]);
+    }
+
+    #[test]
+    fn from_docs_round_trips_probe_behavior() {
+        let names = ["a b c d", "a b c e", "x y z", "a b c d e"];
+        let (mut dataset, mut dict, mut index) = feed_state(&names, 0.4);
+        index.remove(RecordId(2));
+        // Export docs (dead ones empty) and rebuild.
+        let docs: Vec<Vec<u32>> = (0..index.len())
+            .map(|r| {
+                if index.is_alive(RecordId(r as u32)) {
+                    index.doc(RecordId(r as u32)).to_vec()
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let alive: Vec<bool> = (0..index.len())
+            .map(|r| index.is_alive(RecordId(r as u32)))
+            .collect();
+        let mut imported = DeltaIndex::from_docs(0.4, docs, alive).unwrap();
+        assert_eq!(imported.live(), index.live());
+        // Identical probes on both sides: bit-identical output.
+        dataset
+            .push_record(SourceId(0), vec!["a b c d".into()])
+            .unwrap();
+        let doc = rank_doc(&mut dict, "a b c d");
+        let (mut out_a, mut stats_a) = (Vec::new(), JoinStats::default());
+        let (mut out_b, mut stats_b) = (Vec::new(), JoinStats::default());
+        index.join_and_insert(&dataset, doc.clone(), &mut out_a, &mut stats_a);
+        imported.join_and_insert(&dataset, doc, &mut out_b, &mut stats_b);
+        assert_eq!(out_a, out_b);
+        assert_eq!(stats_a, stats_b);
+        // Mismatched import lengths are rejected.
+        assert!(DeltaIndex::from_docs(0.4, vec![vec![1]], vec![true, false]).is_err());
     }
 
     #[test]

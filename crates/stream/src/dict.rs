@@ -28,6 +28,7 @@
 //! index rebuild on every arrival).
 
 use crowder_text::TokenSet;
+use crowder_types::{Error, Result};
 use std::collections::HashMap;
 
 /// Size of the rank band reserved for tokens interned since the last
@@ -55,6 +56,55 @@ impl StreamingDict {
     /// An empty dictionary.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Export the complete dictionary state — tokens in stable-id
+    /// order, their document frequencies and current ranks, the fresh
+    /// count and the epoch counter — for a snapshot.
+    pub fn export_parts(&self) -> (Vec<String>, Vec<u32>, Vec<u32>, u32, u64) {
+        (
+            self.tokens.clone(),
+            self.dfs.clone(),
+            self.rank_of.clone(),
+            self.fresh,
+            self.epochs,
+        )
+    }
+
+    /// Rebuild a dictionary from exported parts. Validates that the
+    /// parallel arrays agree in length and that no token repeats, so a
+    /// corrupted snapshot cannot silently alias two stable ids.
+    pub fn from_parts(
+        tokens: Vec<String>,
+        dfs: Vec<u32>,
+        rank_of: Vec<u32>,
+        fresh: u32,
+        epochs: u64,
+    ) -> Result<Self> {
+        if dfs.len() != tokens.len() || rank_of.len() != tokens.len() {
+            return Err(Error::InvalidData(format!(
+                "dictionary import: {} tokens, {} dfs, {} ranks",
+                tokens.len(),
+                dfs.len(),
+                rank_of.len()
+            )));
+        }
+        let mut ids = HashMap::with_capacity(tokens.len());
+        for (id, token) in tokens.iter().enumerate() {
+            if ids.insert(token.clone(), id as u32).is_some() {
+                return Err(Error::InvalidData(format!(
+                    "dictionary import: duplicate token `{token}`"
+                )));
+            }
+        }
+        Ok(StreamingDict {
+            ids,
+            tokens,
+            dfs,
+            rank_of,
+            fresh,
+            epochs,
+        })
     }
 
     /// Intern one token (without touching document frequencies); returns
@@ -213,6 +263,36 @@ mod tests {
         d.rerank();
         let after: Vec<&str> = ids.iter().map(|&i| d.token(i)).collect();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn export_import_round_trips() {
+        let mut d = StreamingDict::new();
+        d.encode_record(&tokenize("apple ipod shuffle"));
+        d.encode_record(&tokenize("apple ipad"));
+        d.rerank();
+        d.encode_record(&tokenize("apple nano fresh"));
+        let (tokens, dfs, ranks, fresh, epochs) = d.export_parts();
+        let r = StreamingDict::from_parts(tokens, dfs, ranks, fresh, epochs).unwrap();
+        assert_eq!(r.len(), d.len());
+        assert_eq!(r.fresh_tokens(), d.fresh_tokens());
+        assert_eq!(r.epochs(), d.epochs());
+        for token in ["apple", "ipod", "shuffle", "ipad", "nano", "fresh"] {
+            let id = d.id(token).unwrap();
+            assert_eq!(r.id(token), Some(id));
+            assert_eq!(r.rank(id), d.rank(id));
+            assert_eq!(r.df(id), d.df(id));
+        }
+        // Corrupted imports fail loudly.
+        assert!(StreamingDict::from_parts(vec!["a".into()], vec![], vec![1], 0, 0).is_err());
+        assert!(StreamingDict::from_parts(
+            vec!["a".into(), "a".into()],
+            vec![1, 1],
+            vec![1, 2],
+            0,
+            0
+        )
+        .is_err());
     }
 
     #[test]

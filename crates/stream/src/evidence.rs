@@ -112,6 +112,20 @@ impl EvidenceLedger {
         }
     }
 
+    /// Rebuild a ledger from exported tallies (snapshot import). The
+    /// derived commit/veto state is recomputed from the tallies, so a
+    /// restored ledger answers exactly like the one it was exported
+    /// from.
+    pub fn from_tallies(
+        config: EvidenceConfig,
+        tallies: impl IntoIterator<Item = (Pair, Tally)>,
+    ) -> Self {
+        EvidenceLedger {
+            config,
+            tallies: tallies.into_iter().collect(),
+        }
+    }
+
     /// The thresholds in force.
     #[inline]
     pub fn config(&self) -> EvidenceConfig {

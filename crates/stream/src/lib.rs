@@ -75,6 +75,7 @@ pub mod dict;
 pub mod evidence;
 pub mod live;
 pub mod resolver;
+pub mod state;
 
 pub use delta::DeltaIndex;
 pub use dict::StreamingDict;
@@ -82,4 +83,6 @@ pub use evidence::{vote_weight, EvidenceConfig, EvidenceLedger, EvidenceShift, T
 pub use live::{HitId, LiveHits};
 pub use resolver::{
     EvidenceReport, HitDelta, IncrementalResolver, InsertReport, RemoveReport, StreamConfig,
+    UpdateReport,
 };
+pub use state::ResolverState;

@@ -12,6 +12,7 @@
 //! (the Gruenheid et al. 2015 / Yalavarthi et al. 2017 regime).
 
 use crowder_hitgen::Hit;
+use crowder_types::{Error, Result};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
@@ -39,6 +40,68 @@ impl LiveHits {
     /// An empty set.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Export the published set in deterministic form: hits in
+    /// ascending id order, per-cluster id lists sorted by cluster
+    /// label (each list's internal order preserved — it is publication
+    /// order), and the next id to assign.
+    #[allow(clippy::type_complexity)]
+    pub fn export_parts(&self) -> (Vec<(HitId, Hit)>, Vec<(usize, Vec<HitId>)>, u64) {
+        let hits: Vec<(HitId, Hit)> = self.hits.iter().map(|(&id, h)| (id, h.clone())).collect();
+        let mut roots: Vec<(usize, Vec<HitId>)> = self
+            .by_root
+            .iter()
+            .map(|(&root, ids)| (root, ids.clone()))
+            .collect();
+        roots.sort_unstable_by_key(|(root, _)| *root);
+        (hits, roots, self.next)
+    }
+
+    /// Rebuild from exported parts. Validates that the per-cluster id
+    /// lists exactly cover the hit set and that `next` sits above every
+    /// live id (ids are never reused — a bad `next` would violate
+    /// that).
+    pub fn from_parts(
+        hits: Vec<(HitId, Hit)>,
+        by_root: Vec<(usize, Vec<HitId>)>,
+        next: u64,
+    ) -> Result<Self> {
+        let hits: BTreeMap<HitId, Hit> = hits.into_iter().collect();
+        if hits.keys().next_back().is_some_and(|id| id.0 >= next) {
+            return Err(Error::InvalidData(format!(
+                "live-HIT import: next id {next} is not above every live id"
+            )));
+        }
+        let mut covered = 0usize;
+        let mut map: HashMap<usize, Vec<HitId>> = HashMap::with_capacity(by_root.len());
+        for (root, ids) in by_root {
+            for id in &ids {
+                if !hits.contains_key(id) {
+                    return Err(Error::InvalidData(format!(
+                        "live-HIT import: {id} listed under cluster {root} but not live"
+                    )));
+                }
+            }
+            covered += ids.len();
+            if map.insert(root, ids).is_some() {
+                return Err(Error::InvalidData(format!(
+                    "live-HIT import: duplicate cluster label {root}"
+                )));
+            }
+        }
+        if covered != hits.len() {
+            return Err(Error::InvalidData(format!(
+                "live-HIT import: {} ids listed but {} hits live",
+                covered,
+                hits.len()
+            )));
+        }
+        Ok(LiveHits {
+            hits,
+            by_root: map,
+            next,
+        })
     }
 
     /// Number of live HITs.
@@ -130,6 +193,38 @@ mod tests {
         let (retired, _) = live.regenerate(1, vec![Hit::cluster((0..4).map(RecordId))]);
         assert_eq!(retired.len(), 2);
         assert_eq!(live.len(), 1);
+    }
+
+    #[test]
+    fn export_import_round_trips() {
+        let mut live = LiveHits::new();
+        live.regenerate(1, vec![pair_hit(0, 1)]);
+        live.regenerate(4, vec![pair_hit(2, 3), pair_hit(2, 4)]);
+        let (hits, roots, next) = live.export_parts();
+        let restored = LiveHits::from_parts(hits.clone(), roots.clone(), next).unwrap();
+        assert_eq!(restored.export_parts(), live.export_parts());
+        // Regeneration continues with the same fresh ids on both sides.
+        let mut a = live.clone();
+        let mut b = restored;
+        assert_eq!(
+            a.regenerate(1, vec![pair_hit(5, 6)]),
+            b.regenerate(1, vec![pair_hit(5, 6)])
+        );
+        // Corrupted imports fail loudly.
+        assert!(
+            LiveHits::from_parts(hits.clone(), roots.clone(), 1).is_err(),
+            "next too low"
+        );
+        assert!(
+            LiveHits::from_parts(hits.clone(), Vec::new(), next).is_err(),
+            "uncovered hits"
+        );
+        let mut bad = roots.clone();
+        bad.push((9, vec![HitId(99)]));
+        assert!(
+            LiveHits::from_parts(hits, bad, next).is_err(),
+            "dangling id"
+        );
     }
 
     #[test]

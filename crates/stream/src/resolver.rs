@@ -46,8 +46,9 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 
 use crate::delta::DeltaIndex;
 use crate::dict::{StreamingDict, FRESH_SPAN};
-use crate::evidence::{EvidenceConfig, EvidenceLedger, EvidenceShift};
+use crate::evidence::{EvidenceConfig, EvidenceLedger, EvidenceShift, Tally};
 use crate::live::{HitId, LiveHits};
+use crate::state::ResolverState;
 
 /// Tuning of the incremental resolver.
 #[derive(Debug, Clone)]
@@ -107,6 +108,29 @@ pub struct RemoveReport {
     /// Pairs whose crowd evidence was purged.
     pub purged_evidence: usize,
     /// Cluster splits caused by cutting the record's edges.
+    pub splits: usize,
+}
+
+/// What one atomic in-place correction
+/// ([`IncrementalResolver::update`]) did.
+#[derive(Debug, Clone)]
+pub struct UpdateReport {
+    /// The corrected record (same id before and after).
+    pub record: RecordId,
+    /// The machine pairs the corrected record surfaces *now* (the full
+    /// post-update set, changed or not).
+    pub new_pairs: Vec<ScoredPair>,
+    /// Previously surfaced pairs the corrected record no longer
+    /// matches.
+    pub dropped_pairs: usize,
+    /// Pairs whose crowd evidence was purged because their similarity
+    /// verdict changed.
+    pub purged_evidence: usize,
+    /// Filter funnel of the correction's re-probe.
+    pub stats: JoinStats,
+    /// Cluster merges caused by newly surfaced edges.
+    pub merges: usize,
+    /// Cluster splits caused by dropped or decommitted edges.
     pub splits: usize,
 }
 
@@ -318,6 +342,112 @@ impl IncrementalResolver {
         })
     }
 
+    /// Atomically correct a live record **in place**: its fields are
+    /// replaced under the same [`RecordId`] (every pair involving it
+    /// keeps its identity), the delta join re-probes it against the
+    /// live corpus, and crowd evidence is purged *only* for pairs whose
+    /// similarity verdict actually changed — surfaced↔unsurfaced, or a
+    /// different likelihood. A committed crowd edge on a pair the
+    /// machine never surfaced (before or after) survives: the crowd's
+    /// answer did not depend on the corrected fields' similarity.
+    ///
+    /// Errors on an unknown or deleted record, or on a schema mismatch
+    /// (in which case nothing was mutated).
+    pub fn update(
+        &mut self,
+        record: RecordId,
+        fields: Vec<String>,
+    ) -> crowder_types::Result<UpdateReport> {
+        if record.index() >= self.dataset.len() {
+            return Err(Error::UnknownRecord(record.0));
+        }
+        if !self.index.is_alive(record) {
+            return Err(Error::InvalidData(format!(
+                "cannot update deleted record {record}"
+            )));
+        }
+        // Old similarity verdicts of every pair the record surfaces.
+        let old_scores: HashMap<Pair, u64> = self
+            .pairs
+            .iter()
+            .filter(|sp| sp.pair.contains(record))
+            .map(|sp| (sp.pair, sp.likelihood.to_bits()))
+            .collect();
+        // Schema validation happens before any other mutation.
+        self.dataset.set_fields(record, fields)?;
+        let set = tokenize(&self.dataset.record(record)?.joined_text());
+        let ids = self.dict.encode_record(&set);
+        let mut doc: Vec<u32> = ids.iter().map(|&id| self.dict.rank(id)).collect();
+        doc.sort_unstable();
+        let mut new_pairs = Vec::new();
+        let mut stats = JoinStats::default();
+        self.index
+            .update_doc(&self.dataset, record, doc, &mut new_pairs, &mut stats);
+        self.token_ids[record.index()] = ids;
+        self.cumulative.absorb(&stats);
+        let new_scores: HashMap<Pair, u64> = new_pairs
+            .iter()
+            .map(|sp| (sp.pair, sp.likelihood.to_bits()))
+            .collect();
+
+        // Purge evidence only where the verdict changed. BTreeSet order
+        // keeps the purge/sync sequence deterministic.
+        let mut affected: BTreeSet<Pair> = old_scores.keys().copied().collect();
+        affected.extend(new_scores.keys().copied());
+        let mut purged_evidence = 0usize;
+        for pair in &affected {
+            let changed = match (old_scores.get(pair), new_scores.get(pair)) {
+                (Some(a), Some(b)) => a != b,
+                // Surfaced on exactly one side (affected = old ∪ new).
+                _ => true,
+            };
+            if changed && self.ledger.tally(pair).is_some() {
+                self.ledger.purge(pair);
+                purged_evidence += 1;
+            }
+        }
+
+        // Reconcile the machine pair set: unchanged pairs keep their
+        // discovery slot, dropped pairs leave, changed and new pairs
+        // append in probe order.
+        let mut dropped_pairs = 0usize;
+        for pair in old_scores.keys() {
+            if !new_scores.contains_key(pair) {
+                self.machine.remove(pair);
+                dropped_pairs += 1;
+            }
+        }
+        for sp in &new_pairs {
+            self.machine.insert(sp.pair);
+        }
+        self.pairs.retain(|sp| {
+            !sp.pair.contains(record) || new_scores.get(&sp.pair) == Some(&sp.likelihood.to_bits())
+        });
+        self.pairs.extend(
+            new_pairs
+                .iter()
+                .filter(|sp| old_scores.get(&sp.pair) != Some(&sp.likelihood.to_bits()))
+                .copied(),
+        );
+
+        // Re-sync every affected pair's edge and listing state.
+        let (mut merges, mut splits) = (0usize, 0usize);
+        for pair in affected {
+            let shift = self.sync_pair(pair);
+            merges += shift.merged as usize;
+            splits += shift.split as usize;
+        }
+        Ok(UpdateReport {
+            record,
+            new_pairs,
+            dropped_pairs,
+            purged_evidence,
+            stats,
+            merges,
+            splits,
+        })
+    }
+
     /// Record one signed crowd vote for `pair` with the given worker
     /// weight (see [`crate::evidence::vote_weight`]). Votes addressed
     /// to deleted or unknown records are dropped (the carry-over path
@@ -475,6 +605,24 @@ impl IncrementalResolver {
         due
     }
 
+    /// Force a dictionary re-rank epoch and a full index rebuild right
+    /// now, regardless of the automatic cadence. The durability layer
+    /// logs this as an explicit operation so a replayed resolver
+    /// re-ranks at exactly the same points.
+    pub fn rerank_now(&mut self) {
+        self.dict.rerank();
+        self.index.rebuild(&self.dict, &self.token_ids);
+        self.inserts_since_rebuild = 0;
+    }
+
+    /// Sweep tombstoned postings out of the delta index immediately
+    /// (see [`DeltaIndex::compact`]) instead of waiting for the next
+    /// epoch rebuild. Called after a snapshot import so a recovered
+    /// index starts dense; observable probe behavior is unchanged.
+    pub fn compact_index(&mut self) {
+        self.index.compact();
+    }
+
     /// Rebuild the HITs of every dirty cluster through the two-tiered
     /// generator, leaving untouched clusters' HITs (ids and content)
     /// alone. A dirty cluster that lost all its to-verify pairs (its
@@ -504,6 +652,256 @@ impl IncrementalResolver {
             retired,
             created,
         })
+    }
+
+    /// Export the complete resolver state in the deterministic snapshot
+    /// form (see [`ResolverState`]). Only legal at a flush boundary —
+    /// with dirty clusters the live HIT set does not yet reflect the
+    /// cluster graph, and a restore would freeze that inconsistency.
+    pub fn export_state(&self) -> crowder_types::Result<ResolverState> {
+        if !self.dirty.is_empty() {
+            return Err(Error::InvalidData(format!(
+                "cannot export with {} dirty clusters: flush HITs first",
+                self.dirty.len()
+            )));
+        }
+        let mut gold: Vec<Pair> = self.dataset.gold.iter().copied().collect();
+        gold.sort_unstable();
+        let records = self
+            .dataset
+            .records()
+            .iter()
+            .map(|r| (r.source.0, r.fields.clone()))
+            .collect();
+        let alive = (0..self.dataset.len() as u32)
+            .map(|i| self.index.is_alive(RecordId(i)))
+            .collect();
+        let (dict_tokens, dict_dfs, dict_ranks, dict_fresh, dict_epochs) = self.dict.export_parts();
+        let mut tallies: Vec<(Pair, u64, u64, u32)> = self
+            .ledger
+            .iter()
+            .map(|(p, t)| (*p, t.yes.to_bits(), t.no.to_bits(), t.votes))
+            .collect();
+        tallies.sort_unstable_by_key(|e| e.0);
+        let mut component_pairs: Vec<(usize, Vec<Pair>)> = self
+            .component_pairs
+            .iter()
+            .map(|(&root, list)| (root, list.clone()))
+            .collect();
+        component_pairs.sort_unstable_by_key(|(root, _)| *root);
+        let (hits, hit_roots, next_hit) = self.live.export_parts();
+        Ok(ResolverState {
+            name: self.dataset.name.clone(),
+            schema: self.dataset.schema.clone(),
+            pair_space: self.dataset.pair_space,
+            gold,
+            records,
+            alive,
+            dict_tokens,
+            dict_dfs,
+            dict_ranks,
+            dict_fresh,
+            dict_epochs,
+            pairs: self.pairs.clone(),
+            tallies,
+            cumulative: self.cumulative,
+            labels: self.conn.labels().to_vec(),
+            edges: self.conn.edge_list(),
+            component_pairs,
+            hits: hits.into_iter().map(|(id, h)| (id.0, h)).collect(),
+            hit_roots: hit_roots
+                .into_iter()
+                .map(|(root, ids)| (root, ids.into_iter().map(|id| id.0).collect()))
+                .collect(),
+            next_hit,
+            inserts_since_rebuild: self.inserts_since_rebuild as u64,
+            removed: self.removed as u64,
+        })
+    }
+
+    /// Rebuild a resolver from an exported [`ResolverState`] under the
+    /// given configuration (tuning is not part of the snapshot — the
+    /// deployment supplies it, exactly as it supplied it to the
+    /// original resolver). Everything derivable is recomputed —
+    /// token-id lists re-encode through the imported dictionary, index
+    /// postings rebuild in canonical order — and everything
+    /// history-dependent (cluster labels, list orders, HIT ids) is
+    /// restored verbatim, so the imported resolver's future behavior is
+    /// bit-for-bit the exporter's. Structural inconsistencies (dangling
+    /// ids, labels that break the graph invariants, unknown tokens) are
+    /// rejected with [`Error::InvalidData`].
+    pub fn import_state(config: StreamConfig, state: ResolverState) -> crowder_types::Result<Self> {
+        let ResolverState {
+            name,
+            schema,
+            pair_space,
+            gold,
+            records,
+            alive,
+            dict_tokens,
+            dict_dfs,
+            dict_ranks,
+            dict_fresh,
+            dict_epochs,
+            pairs,
+            tallies,
+            cumulative,
+            labels,
+            edges,
+            component_pairs,
+            hits,
+            hit_roots,
+            next_hit,
+            inserts_since_rebuild,
+            removed,
+        } = state;
+        let mut dataset = Dataset::new(name, schema, pair_space);
+        for (source, fields) in records {
+            dataset.push_record(SourceId(source), fields)?;
+        }
+        for pair in gold {
+            dataset.gold.insert(pair);
+        }
+        if alive.len() != dataset.len() {
+            return Err(Error::InvalidData(format!(
+                "state import: {} liveness flags for {} records",
+                alive.len(),
+                dataset.len()
+            )));
+        }
+        let dict =
+            StreamingDict::from_parts(dict_tokens, dict_dfs, dict_ranks, dict_fresh, dict_epochs)?;
+        let mut token_ids = Vec::with_capacity(dataset.len());
+        for record in dataset.records() {
+            let set = tokenize(&record.joined_text());
+            let mut ids = Vec::with_capacity(set.len());
+            for token in set.tokens() {
+                ids.push(dict.id(token).ok_or_else(|| {
+                    Error::InvalidData(format!(
+                        "state import: token `{token}` of {} missing from the dictionary",
+                        record.id
+                    ))
+                })?);
+            }
+            ids.sort_unstable();
+            token_ids.push(ids);
+        }
+        let docs: Vec<Vec<u32>> = token_ids
+            .iter()
+            .zip(&alive)
+            .map(|(ids, &live)| {
+                if live {
+                    let mut doc: Vec<u32> = ids.iter().map(|&id| dict.rank(id)).collect();
+                    doc.sort_unstable();
+                    doc
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let index = DeltaIndex::from_docs(config.threshold, docs, alive)?;
+        for (pair, _, _, _) in &tallies {
+            if pair.hi().index() >= dataset.len() {
+                return Err(Error::UnknownRecord(pair.hi().0));
+            }
+        }
+        let mut machine = HashSet::with_capacity(pairs.len());
+        for sp in &pairs {
+            if sp.pair.hi().index() >= dataset.len() {
+                return Err(Error::UnknownRecord(sp.pair.hi().0));
+            }
+            if !machine.insert(sp.pair) {
+                return Err(Error::InvalidData(format!(
+                    "state import: machine pair {} appears twice",
+                    sp.pair
+                )));
+            }
+        }
+        let ledger = EvidenceLedger::from_tallies(
+            config.evidence,
+            tallies.into_iter().map(|(pair, yes, no, votes)| {
+                (
+                    pair,
+                    Tally {
+                        yes: f64::from_bits(yes),
+                        no: f64::from_bits(no),
+                        votes,
+                    },
+                )
+            }),
+        );
+        let conn = DynamicConnectivity::from_parts(labels, &edges)?;
+        if conn.len() != dataset.len() {
+            return Err(Error::InvalidData(format!(
+                "state import: {} cluster labels for {} records",
+                conn.len(),
+                dataset.len()
+            )));
+        }
+        let mut listed = HashSet::new();
+        let mut components: HashMap<usize, Vec<Pair>> =
+            HashMap::with_capacity(component_pairs.len());
+        for (root, list) in component_pairs {
+            for pair in &list {
+                if !listed.insert(*pair) {
+                    return Err(Error::InvalidData(format!(
+                        "state import: pair {pair} listed twice"
+                    )));
+                }
+                if !machine.contains(pair) {
+                    return Err(Error::InvalidData(format!(
+                        "state import: listed pair {pair} is not machine-surfaced"
+                    )));
+                }
+                if conn.root(pair.lo().index()) != root || conn.root(pair.hi().index()) != root {
+                    return Err(Error::InvalidData(format!(
+                        "state import: pair {pair} listed under cluster {root} but lives in \
+                         {}/{}",
+                        conn.root(pair.lo().index()),
+                        conn.root(pair.hi().index())
+                    )));
+                }
+            }
+            if components.insert(root, list).is_some() {
+                return Err(Error::InvalidData(format!(
+                    "state import: duplicate cluster label {root}"
+                )));
+            }
+        }
+        let live = LiveHits::from_parts(
+            hits.into_iter().map(|(id, h)| (HitId(id), h)).collect(),
+            hit_roots
+                .into_iter()
+                .map(|(root, ids)| (root, ids.into_iter().map(HitId).collect()))
+                .collect(),
+            next_hit,
+        )?;
+        let generator = TwoTieredGenerator::with_config(config.two_tiered.clone());
+        Ok(IncrementalResolver {
+            index,
+            ledger,
+            config,
+            dataset,
+            dict,
+            token_ids,
+            pairs,
+            machine,
+            cumulative,
+            conn,
+            component_pairs: components,
+            listed,
+            dirty: BTreeSet::new(),
+            live,
+            generator,
+            inserts_since_rebuild: inserts_since_rebuild as usize,
+            removed: removed as usize,
+        })
+    }
+
+    /// The stream configuration in force.
+    #[inline]
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
     }
 
     /// Every live machine pair, in discovery order.
@@ -988,6 +1386,205 @@ mod tests {
         };
         assert_eq!(part(&roots_before), part(&roots_after));
         assert!(r.ledger().is_empty());
+    }
+
+    #[test]
+    fn update_rematches_under_the_same_id() {
+        let mut r = resolver(0.5);
+        feed(&mut r, &["a b c d", "x y z w", "a b c e"]);
+        assert_eq!(r.pairs().len(), 1, "only 0-2 match initially");
+        // Correct record 1: it now matches records 0 and 2.
+        let rep = r.update(RecordId(1), vec!["a b c d".into()]).unwrap();
+        assert_eq!(rep.record, RecordId(1));
+        assert_eq!(rep.new_pairs.len(), 2);
+        assert_eq!(rep.dropped_pairs, 0);
+        assert!(rep.merges >= 1, "{rep:?}");
+        assert_eq!(r.ranked_pairs(), batch_pairs(r.dataset(), 0.5));
+        assert_eq!(r.cluster_of(RecordId(0)), r.cluster_of(RecordId(1)));
+        // Correct it away again: the pairs drop, the cluster splits.
+        let rep = r.update(RecordId(1), vec!["q q q".into()]).unwrap();
+        assert_eq!(rep.dropped_pairs, 2);
+        assert!(rep.new_pairs.is_empty());
+        assert!(rep.splits >= 1, "{rep:?}");
+        assert_eq!(r.ranked_pairs(), batch_pairs(r.dataset(), 0.5));
+        assert_ne!(r.cluster_of(RecordId(0)), r.cluster_of(RecordId(1)));
+    }
+
+    #[test]
+    fn update_purges_only_changed_verdicts() {
+        let mut r = resolver(0.5);
+        feed(&mut r, &["a b c d", "a b c d", "a b c d x", "w w w"]);
+        // Evidence on three kinds of pairs:
+        // (0,1): surfaced, likelihood will NOT change under the update.
+        r.record_evidence(Pair::of(0, 1), true, 1.0);
+        // (2,3): never surfaced, never will be — a pure crowd edge.
+        r.record_evidence(Pair::of(2, 3), true, 1.0);
+        // (0,2): surfaced; the update changes its likelihood.
+        r.record_evidence(Pair::of(0, 2), true, 1.0);
+        // Update record 2 so (0,2)/(1,2) likelihoods change but
+        // (0,1) and the crowd-only (2,3) verdicts do not.
+        let rep = r.update(RecordId(2), vec!["a b c d y z".into()]).unwrap();
+        assert_eq!(rep.purged_evidence, 1, "{rep:?}");
+        assert!(
+            r.ledger().tally(&Pair::of(0, 1)).is_some(),
+            "unchanged verdict keeps votes"
+        );
+        assert!(
+            r.ledger().tally(&Pair::of(2, 3)).is_some(),
+            "crowd-only pair keeps votes"
+        );
+        assert!(
+            r.ledger().tally(&Pair::of(0, 2)).is_none(),
+            "changed verdict purged"
+        );
+        assert_eq!(r.ranked_pairs(), batch_pairs(r.dataset(), 0.5));
+        // A dropped pair's evidence goes too.
+        r.record_evidence(Pair::of(0, 2), true, 1.0);
+        r.update(RecordId(2), vec!["z z z".into()]).unwrap();
+        assert!(r.ledger().tally(&Pair::of(0, 2)).is_none());
+    }
+
+    #[test]
+    fn update_rejects_bad_targets_without_mutating() {
+        let mut r = resolver(0.5);
+        feed(&mut r, &["a b", "a b"]);
+        assert!(matches!(
+            r.update(RecordId(9), vec!["x".into()]),
+            Err(Error::UnknownRecord(9))
+        ));
+        r.remove(RecordId(1)).unwrap();
+        assert!(r.update(RecordId(1), vec!["x".into()]).is_err());
+        // Schema mismatch: rejected before any state moves.
+        let pairs_before = r.ranked_pairs();
+        let fields_before = r.dataset().record(RecordId(0)).unwrap().fields.clone();
+        assert!(r.update(RecordId(0), vec!["x".into(), "y".into()]).is_err());
+        assert_eq!(
+            r.dataset().record(RecordId(0)).unwrap().fields,
+            fields_before
+        );
+        assert_eq!(r.ranked_pairs(), pairs_before);
+    }
+
+    #[test]
+    fn rerank_now_and_compact_preserve_exactness() {
+        let mut r = resolver(0.4);
+        feed(
+            &mut r,
+            &["a b c d", "a b c e", "a b c f", "x y z", "x y z w"],
+        );
+        r.remove(RecordId(1)).unwrap();
+        r.compact_index();
+        let before = r.ranked_pairs();
+        let epochs = r.epochs();
+        r.rerank_now();
+        assert_eq!(r.epochs(), epochs + 1);
+        assert_eq!(r.ranked_pairs(), before);
+        r.insert(SourceId(0), vec!["a b c d".into()]).unwrap();
+        let (dense, original) = r.live_dataset();
+        let to_dense: HashMap<RecordId, u32> = original
+            .iter()
+            .enumerate()
+            .map(|(d, &o)| (o, d as u32))
+            .collect();
+        let remapped: Vec<ScoredPair> = r
+            .ranked_pairs()
+            .iter()
+            .map(|sp| {
+                ScoredPair::new(
+                    Pair::of(to_dense[&sp.pair.lo()], to_dense[&sp.pair.hi()]),
+                    sp.likelihood,
+                )
+            })
+            .collect();
+        assert_eq!(remapped, batch_pairs(&dense, 0.4));
+    }
+
+    #[test]
+    fn state_round_trip_is_bit_exact_and_future_proof() {
+        let mut r = resolver(0.4);
+        feed(
+            &mut r,
+            &["a b c d", "a b c e", "x y z", "x y z w", "a b c d e"],
+        );
+        r.record_evidence(Pair::of(0, 1), true, 1.0);
+        r.record_evidence(Pair::of(2, 3), false, 0.5);
+        r.remove(RecordId(4)).unwrap();
+        // Export is only legal at a flush boundary.
+        assert!(r.export_state().is_err(), "dirty clusters block export");
+        r.regenerate_hits().unwrap();
+        let state = r.export_state().unwrap();
+        let mut imported =
+            IncrementalResolver::import_state(r.config().clone(), state.clone()).unwrap();
+        imported.compact_index();
+        // Identical present state…
+        assert_eq!(imported.ranked_pairs(), r.ranked_pairs());
+        assert_eq!(imported.pairs(), r.pairs());
+        assert_eq!(imported.cumulative_stats(), r.cumulative_stats());
+        for i in 0..r.len() as u32 {
+            assert_eq!(imported.cluster_of(RecordId(i)), r.cluster_of(RecordId(i)));
+        }
+        let live_a: Vec<_> = r
+            .live_hits()
+            .iter()
+            .map(|(id, h)| (id, h.clone()))
+            .collect();
+        let live_b: Vec<_> = imported
+            .live_hits()
+            .iter()
+            .map(|(id, h)| (id, h.clone()))
+            .collect();
+        assert_eq!(live_a, live_b);
+        // …and identical future behavior, including fresh HIT ids.
+        for resolver in [&mut r, &mut imported] {
+            resolver
+                .insert(SourceId(0), vec!["a b c d".into()])
+                .unwrap();
+            resolver
+                .update(RecordId(0), vec!["a b c q".into()])
+                .unwrap();
+            resolver.record_evidence(Pair::of(0, 1), false, 2.0);
+            resolver.regenerate_hits().unwrap();
+        }
+        assert_eq!(imported.ranked_pairs(), r.ranked_pairs());
+        assert_eq!(
+            imported.export_state().unwrap(),
+            r.export_state().unwrap(),
+            "post-recovery evolution is bit-for-bit identical"
+        );
+    }
+
+    #[test]
+    fn corrupted_state_imports_are_rejected() {
+        let mut r = resolver(0.5);
+        feed(&mut r, &["a b c", "a b c", "x y"]);
+        r.regenerate_hits().unwrap();
+        let good = r.export_state().unwrap();
+        let config = r.config().clone();
+        assert!(IncrementalResolver::import_state(config.clone(), good.clone()).is_ok());
+        // Liveness flags out of sync with the corpus.
+        let mut bad = good.clone();
+        bad.alive.pop();
+        assert!(IncrementalResolver::import_state(config.clone(), bad).is_err());
+        // A token missing from the dictionary.
+        let mut bad = good.clone();
+        bad.dict_tokens.clear();
+        bad.dict_dfs.clear();
+        bad.dict_ranks.clear();
+        assert!(IncrementalResolver::import_state(config.clone(), bad).is_err());
+        // Cluster labels violating the graph invariant.
+        let mut bad = good.clone();
+        bad.labels = vec![2, 0, 1];
+        assert!(IncrementalResolver::import_state(config.clone(), bad).is_err());
+        // A machine pair pointing past the corpus.
+        let mut bad = good.clone();
+        bad.pairs.push(ScoredPair::new(Pair::of(0, 99), 0.9));
+        assert!(IncrementalResolver::import_state(config.clone(), bad).is_err());
+        // A listed pair under the wrong cluster.
+        let mut bad = good;
+        if let Some((root, _)) = bad.component_pairs.first().cloned() {
+            bad.component_pairs = vec![(root, vec![Pair::of(0, 2)])];
+            assert!(IncrementalResolver::import_state(config, bad).is_err());
+        }
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! The snapshot form of an [`IncrementalResolver`]: every
+//! history-dependent bit of resolver state, flattened into plain
+//! vectors with deterministic ordering.
+//!
+//! The durability layer's exactness contract — recover-and-replay is
+//! bit-for-bit identical to never having crashed — only holds if the
+//! snapshot captures *all* state the resolver's future behavior depends
+//! on, including state that looks derivable but is history-dependent:
+//!
+//! * **cluster labels** depend on the merge/split *sequence*, not just
+//!   the current edge set, so they are exported verbatim (the adjacency
+//!   itself is exported as an edge list);
+//! * **per-cluster to-verify lists** keep discovery order — the
+//!   two-tiered generator consumes them in list order, so HIT content
+//!   depends on it;
+//! * **pair discovery order** likewise, plus each likelihood as exact
+//!   `f64` bits;
+//! * the **HIT id counter** and per-cluster id books, so regenerated
+//!   HITs continue the same never-reused id sequence.
+//!
+//! What is *not* here is genuinely derivable: token-id lists re-encode
+//! from the stored fields through the fully-exported dictionary, index
+//! postings rebuild from the rank lists in canonical record order (see
+//! `DeltaIndex`), and the `machine` membership set is exactly the pair
+//! list.
+//!
+//! [`IncrementalResolver`]: crate::IncrementalResolver
+
+use crowder_hitgen::Hit;
+use crowder_simjoin::JoinStats;
+use crowder_types::{Pair, PairSpace, ScoredPair};
+
+/// Complete deterministic export of an
+/// [`IncrementalResolver`](crate::IncrementalResolver) at a flush
+/// boundary (no dirty clusters). Produced by
+/// [`export_state`](crate::IncrementalResolver::export_state), consumed
+/// by [`import_state`](crate::IncrementalResolver::import_state); the
+/// durability layer serializes it into snapshot files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolverState {
+    /// Dataset name.
+    pub name: String,
+    /// Attribute names.
+    pub schema: Vec<String>,
+    /// Candidate-pair space.
+    pub pair_space: PairSpace,
+    /// Gold-standard pairs, sorted.
+    pub gold: Vec<Pair>,
+    /// `(source, fields)` per record slot, dense in arrival order —
+    /// tombstoned slots keep their last fields.
+    pub records: Vec<(u8, Vec<String>)>,
+    /// Liveness flag per record slot.
+    pub alive: Vec<bool>,
+    /// Dictionary tokens in stable-id order.
+    pub dict_tokens: Vec<String>,
+    /// Document frequency per token id.
+    pub dict_dfs: Vec<u32>,
+    /// Current rank per token id.
+    pub dict_ranks: Vec<u32>,
+    /// Tokens interned since the last re-rank epoch.
+    pub dict_fresh: u32,
+    /// Completed re-rank epochs.
+    pub dict_epochs: u64,
+    /// Live machine pairs in discovery order (likelihoods are exact).
+    pub pairs: Vec<ScoredPair>,
+    /// Evidence tallies sorted by pair: `(pair, yes-weight bits,
+    /// no-weight bits, vote count)`.
+    pub tallies: Vec<(Pair, u64, u64, u32)>,
+    /// Funnel counters summed over every delta join so far.
+    pub cumulative: JoinStats,
+    /// Cluster label per vertex (history-dependent — see module docs).
+    pub labels: Vec<u32>,
+    /// Active cluster edges as sorted canonical `(lo, hi)` tuples.
+    pub edges: Vec<(u32, u32)>,
+    /// Per-cluster to-verify pair lists, sorted by cluster label; each
+    /// list keeps its discovery order.
+    pub component_pairs: Vec<(usize, Vec<Pair>)>,
+    /// Live HITs in ascending id order.
+    pub hits: Vec<(u64, Hit)>,
+    /// Per-cluster published HIT ids, sorted by cluster label.
+    pub hit_roots: Vec<(usize, Vec<u64>)>,
+    /// Next HIT id to assign (ids are never reused).
+    pub next_hit: u64,
+    /// Arrivals since the last re-rank epoch.
+    pub inserts_since_rebuild: u64,
+    /// Records deleted so far.
+    pub removed: u64,
+}

@@ -171,6 +171,137 @@ proptest! {
         prop_assert_eq!(remapped, batch_pairs(&dense, thr, 0));
     }
 
+    /// In-place corrections keep the contract too: any interleaving of
+    /// arrivals, deletions, and `update`s (each rewriting a live
+    /// record's fields under its existing id) still matches a batch
+    /// join over the final live corpus bit-for-bit.
+    #[test]
+    fn update_interleavings_match_batch_over_live_corpus(
+        names in proptest::collection::vec("[a-e]{1,3}( [a-e]{1,3}){0,4}", 4..20),
+        seed in 0u64..=1_000_000,
+        thr in 0.05f64..=1.0,
+    ) {
+        let mut resolver = IncrementalResolver::new(
+            "t",
+            vec!["name".into()],
+            PairSpace::SelfJoin,
+            StreamConfig { threshold: thr, ..StreamConfig::default() },
+        );
+        let mut state = seed | 1;
+        let mut roll = |m: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize % m
+        };
+        let mut alive: Vec<RecordId> = Vec::new();
+        let mut pending: Vec<&String> = names.iter().rev().collect();
+        for _ in 0..names.len() * 2 {
+            match roll(4) {
+                // Correct a random live record to a random name from
+                // the pool (possibly its current one — a no-op update
+                // must also preserve exactness).
+                0 if !alive.is_empty() => {
+                    let target = alive[roll(alive.len())];
+                    let fields = vec![names[roll(names.len())].clone()];
+                    resolver.update(target, fields).unwrap();
+                }
+                // Delete a random live record.
+                1 if !alive.is_empty() => {
+                    let victim = alive.swap_remove(roll(alive.len()));
+                    resolver.remove(victim).unwrap();
+                }
+                // Fresh arrival.
+                _ => {
+                    if let Some(name) = pending.pop() {
+                        alive.push(resolver.insert(SourceId(0), vec![name.clone()]).unwrap().record);
+                    }
+                }
+            }
+        }
+        let (dense, original) = resolver.live_dataset();
+        prop_assert_eq!(dense.len(), alive.len());
+        let to_dense: HashMap<RecordId, u32> =
+            original.iter().enumerate().map(|(d, &o)| (o, d as u32)).collect();
+        let remapped: Vec<ScoredPair> = resolver
+            .ranked_pairs()
+            .iter()
+            .map(|sp| ScoredPair::new(
+                Pair::of(to_dense[&sp.pair.lo()], to_dense[&sp.pair.hi()]),
+                sp.likelihood,
+            ))
+            .collect();
+        prop_assert_eq!(remapped, batch_pairs(&dense, thr, 0));
+    }
+
+    /// The snapshot contract behind the durability layer: exporting at
+    /// any flush boundary and importing into a fresh resolver yields a
+    /// replica whose *future* — further arrivals, deletions, updates,
+    /// votes, and HIT flushes — is bit-for-bit identical to the
+    /// original's.
+    #[test]
+    fn state_round_trip_preserves_the_future(
+        names in proptest::collection::vec("[a-d]{1,2}( [a-d]{1,2}){0,4}", 4..14),
+        seed in 0u64..=1_000_000,
+        thr in 0.1f64..=0.9,
+    ) {
+        let mut resolver = IncrementalResolver::new(
+            "t",
+            vec!["name".into()],
+            PairSpace::SelfJoin,
+            StreamConfig { threshold: thr, ..StreamConfig::default() },
+        );
+        let mut state = seed | 1;
+        let mut roll = |m: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize % m
+        };
+        let split = 1 + roll(names.len() - 1);
+        let (prefix, suffix) = names.split_at(split);
+        let mut alive: Vec<RecordId> = Vec::new();
+        for name in prefix {
+            alive.push(resolver.insert(SourceId(0), vec![name.clone()]).unwrap().record);
+        }
+        for _ in 0..roll(6) {
+            let a = roll(resolver.len());
+            let b = roll(resolver.len());
+            if a != b {
+                resolver.record_evidence(Pair::of(a as u32, b as u32), roll(2) == 0, 1.0);
+            }
+        }
+        if !alive.is_empty() && roll(3) == 0 {
+            resolver.remove(alive.swap_remove(roll(alive.len()))).unwrap();
+        }
+        resolver.regenerate_hits().unwrap();
+        let exported = resolver.export_state().unwrap();
+        let mut replica =
+            IncrementalResolver::import_state(resolver.config().clone(), exported).unwrap();
+        replica.compact_index();
+        // Drive both sides through an identical future.
+        let mut futures = [&mut resolver, &mut replica];
+        for name in suffix {
+            for r in futures.iter_mut() {
+                r.insert(SourceId(0), vec![name.clone()]).unwrap();
+            }
+        }
+        let live = alive.clone();
+        if !live.is_empty() {
+            let target = live[roll(live.len())];
+            let fields = vec![names[roll(names.len())].clone()];
+            let verdict = roll(2) == 0;
+            for r in futures.iter_mut() {
+                r.update(target, fields.clone()).unwrap();
+                let last = r.len() as u32 - 1;
+                if last != target.0 {
+                    r.record_evidence(Pair::of(target.0, last), verdict, 0.5);
+                }
+            }
+        }
+        for r in futures.iter_mut() {
+            r.regenerate_hits().unwrap();
+        }
+        let [a, b] = futures;
+        prop_assert_eq!(a.export_state().unwrap(), b.export_state().unwrap());
+    }
+
     /// Exact revocability: after any burst of signed crowd votes —
     /// commits, vetoes, contradictions, on machine pairs and arbitrary
     /// live pairs alike — retracting every vote restores the clustering

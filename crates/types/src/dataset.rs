@@ -66,6 +66,27 @@ impl Dataset {
         Ok(id)
     }
 
+    /// Replace the field values of an existing record in place (an
+    /// in-place correction: the id, and therefore every pair involving
+    /// it, stays stable). Fails if the record does not exist or the
+    /// field count does not match the schema.
+    pub fn set_fields(&mut self, id: RecordId, fields: Vec<String>) -> Result<()> {
+        if fields.len() != self.schema.len() {
+            return Err(Error::InvalidData(format!(
+                "record has {} fields but schema `{}` has {} attributes",
+                fields.len(),
+                self.name,
+                self.schema.len()
+            )));
+        }
+        let record = self
+            .records
+            .get_mut(id.index())
+            .ok_or(Error::UnknownRecord(id.0))?;
+        record.fields = fields;
+        Ok(())
+    }
+
     /// Number of records.
     #[inline]
     pub fn len(&self) -> usize {
@@ -188,6 +209,23 @@ mod tests {
         let mut d = Dataset::new("t", vec!["a".into(), "b".into()], PairSpace::SelfJoin);
         let err = d.push_record(SourceId(0), vec!["only-one".into()]);
         assert!(matches!(err, Err(Error::InvalidData(_))));
+    }
+
+    #[test]
+    fn set_fields_replaces_in_place() {
+        let mut d = two_source_dataset();
+        d.set_fields(RecordId(1), vec!["b-corrected".into()])
+            .unwrap();
+        assert_eq!(d.record(RecordId(1)).unwrap().fields[0], "b-corrected");
+        assert_eq!(d.record(RecordId(1)).unwrap().id, RecordId(1));
+        assert!(matches!(
+            d.set_fields(RecordId(9), vec!["x".into()]),
+            Err(Error::UnknownRecord(9))
+        ));
+        assert!(matches!(
+            d.set_fields(RecordId(0), vec!["a".into(), "extra".into()]),
+            Err(Error::InvalidData(_))
+        ));
     }
 
     #[test]

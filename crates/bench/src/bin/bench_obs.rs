@@ -1,0 +1,86 @@
+//! Observability-overhead benchmark: bounds the cost of the
+//! `crowder-obs` instrumentation compiled into the streaming engine and
+//! writes `BENCH_obs.json` (see `crowder_bench::obsperf` for the schema
+//! and the enforced ceilings — installed ≤ 5%, no-recorder ≤ 0.5%,
+//! histogram percentiles within one log2 bucket of the exact oracle).
+//!
+//! ```text
+//! bench_obs [--quick] [--iters N] [--out PATH]   generate a report
+//! bench_obs --check PATH                         validate a report
+//! ```
+//!
+//! `--quick` streams the Restaurant corpus (the CI smoke
+//! configuration); the default streams Product. `--check` parses an
+//! existing report and verifies both the schema and the overhead
+//! bounds, exiting non-zero on any violation.
+
+use crowder_bench::obsperf::{validate_obs_report_json, write_obs_report, OBS_REPORT_PATH};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut iters = 5usize;
+    let mut out = OBS_REPORT_PATH.to_string();
+    let mut check: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--iters" => {
+                i += 1;
+                iters = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--iters needs a positive integer"));
+            }
+            "--out" => {
+                i += 1;
+                out = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--check" => {
+                i += 1;
+                check = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--check needs a path")),
+                );
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    if let Some(path) = check {
+        let content = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        match validate_obs_report_json(&content) {
+            Ok(rows) => println!("{path}: OK ({rows} accuracy rows, bounds hold)"),
+            Err(e) => die(&format!("{path}: violation: {e}")),
+        }
+        return;
+    }
+
+    let (corpus, dataset) = if quick {
+        ("restaurant", crowder_bench::harness::restaurant_full())
+    } else {
+        ("product", crowder_bench::harness::product_full())
+    };
+    let report = write_obs_report(&out, corpus, &dataset, iters)
+        .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    print!("{}", report.render());
+    println!("\nwrote {out}");
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: bench_obs [--quick] [--iters N] [--out PATH] | --check PATH");
+    std::process::exit(2);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}

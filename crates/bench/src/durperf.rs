@@ -27,6 +27,7 @@
 
 use crate::perf::{parse_json, Json, JsonReport, JsonRow};
 use crowder::prelude::*;
+use crowder_obs::stats::format_ns as fmt_ns;
 use std::time::Instant;
 
 /// Default output path for the durability report.
@@ -398,18 +399,6 @@ impl DurablePerfReport {
             ));
         }
         s
-    }
-}
-
-fn fmt_ns(ns: u128) -> String {
-    if ns < 1_000 {
-        format!("{ns} ns")
-    } else if ns < 1_000_000 {
-        format!("{:.2} us", ns as f64 / 1e3)
-    } else if ns < 1_000_000_000 {
-        format!("{:.2} ms", ns as f64 / 1e6)
-    } else {
-        format!("{:.2} s", ns as f64 / 1e9)
     }
 }
 

@@ -28,6 +28,7 @@
 
 use crate::perf::{parse_json, Json, JsonReport, JsonRow};
 use crowder::prelude::*;
+use crowder_obs::stats::{format_ns as fmt_ns, percentile_sorted as percentile};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -133,14 +134,6 @@ pub struct FaultPerfReport {
     pub live_records: usize,
     /// Per-round churn funnel rows.
     pub rounds: Vec<ChurnRound>,
-}
-
-fn percentile(sorted: &[u128], p: f64) -> u128 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
 }
 
 /// Run the insert-only baseline: stream every record, flush per round.
@@ -398,18 +391,6 @@ impl FaultPerfReport {
             ));
         }
         s
-    }
-}
-
-fn fmt_ns(ns: u128) -> String {
-    if ns < 1_000 {
-        format!("{ns} ns")
-    } else if ns < 1_000_000 {
-        format!("{:.2} us", ns as f64 / 1e3)
-    } else if ns < 1_000_000_000 {
-        format!("{:.2} ms", ns as f64 / 1e6)
-    } else {
-        format!("{:.2} s", ns as f64 / 1e9)
     }
 }
 

@@ -21,5 +21,6 @@ pub mod durperf;
 pub mod experiments;
 pub mod faultperf;
 pub mod harness;
+pub mod obsperf;
 pub mod perf;
 pub mod streamperf;

@@ -17,6 +17,7 @@
 
 use crate::perf::{parse_json, Json, JsonReport, JsonRow};
 use crowder::prelude::*;
+use crowder_obs::stats::{format_ns as fmt_ns, median_sorted, percentile_sorted as percentile};
 use std::time::Instant;
 
 /// Default output path for the streaming report.
@@ -100,18 +101,10 @@ pub struct StreamPerfReport {
     pub rounds: Vec<StreamRound>,
 }
 
-fn percentile(sorted: &[u128], p: f64) -> u128 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
-}
-
 fn median_of(iters: usize, mut f: impl FnMut() -> u128) -> u128 {
     let mut samples: Vec<u128> = (0..iters.max(1)).map(|_| f()).collect();
     samples.sort_unstable();
-    samples[samples.len() / 2]
+    median_sorted(&samples)
 }
 
 /// Stream `dataset` through a resolver and measure everything the
@@ -287,18 +280,6 @@ impl StreamPerfReport {
             ));
         }
         s
-    }
-}
-
-fn fmt_ns(ns: u128) -> String {
-    if ns < 1_000 {
-        format!("{ns} ns")
-    } else if ns < 1_000_000 {
-        format!("{:.2} us", ns as f64 / 1e3)
-    } else if ns < 1_000_000_000 {
-        format!("{:.2} ms", ns as f64 / 1e6)
-    } else {
-        format!("{:.2} s", ns as f64 / 1e9)
     }
 }
 

@@ -398,6 +398,11 @@ pub fn run_streaming(
     let per_assignment_cost = config.crowd.reward_per_assignment + config.crowd.fee_per_assignment;
 
     for (round, chunk) in dataset.records().chunks(config.batch_size).enumerate() {
+        let _round_timer = crowder_obs::span!("core.stream.round_ns");
+        crowder_obs::counter!("core.stream.rounds").incr();
+        crowder_obs::mark("core.stream.round", round as u64);
+        crowder_obs::counter!("core.stream.records_ingested").add(chunk.len() as u64);
+
         // Stage 0: deliver last round's in-flight assignments. Their
         // HITs may have been retired since — answers address pairs, so
         // nothing is lost.
@@ -410,37 +415,46 @@ pub fn run_streaming(
         let mut new_pairs = 0usize;
         let mut cluster_merges = 0usize;
         let mut cluster_splits = 0usize;
-        for record in chunk {
-            let report = engine.insert(record.source, record.fields.clone())?;
-            join_stats.absorb(&report.stats);
-            new_pairs += report.new_pairs.len();
-            cluster_merges += report.merges;
+        {
+            let _stage = crowder_obs::span!("core.stream.ingest_ns");
+            for record in chunk {
+                let report = engine.insert(record.source, record.fields.clone())?;
+                join_stats.absorb(&report.stats);
+                new_pairs += report.new_pairs.len();
+                cluster_merges += report.merges;
+            }
         }
 
         // Stage 2: injected faults — deletions and retractions.
         let mut deleted = 0usize;
-        for &(r, record) in &config.faults.deletions {
-            if r == round {
-                let report = engine.remove(record)?;
-                cluster_splits += report.splits;
-                deleted += 1;
-            }
-        }
         let mut retracted = 0usize;
         let mut edges_decommitted = 0usize;
-        for &(r, pair) in &config.faults.retractions {
-            if r == round {
-                let report = engine.retract(pair)?;
-                edges_decommitted += report.decommitted as usize;
-                cluster_merges += report.merged as usize;
-                cluster_splits += report.split as usize;
-                retracted += 1;
+        {
+            let _stage = crowder_obs::span!("core.stream.faults_ns");
+            for &(r, record) in &config.faults.deletions {
+                if r == round {
+                    let report = engine.remove(record)?;
+                    cluster_splits += report.splits;
+                    deleted += 1;
+                }
+            }
+            for &(r, pair) in &config.faults.retractions {
+                if r == round {
+                    let report = engine.retract(pair)?;
+                    edges_decommitted += report.decommitted as usize;
+                    cluster_merges += report.merged as usize;
+                    cluster_splits += report.split as usize;
+                    retracted += 1;
+                }
             }
         }
         let dirty_clusters = engine.view().dirty_clusters();
 
         // Stage 3: regenerate HITs only where the clustering moved.
-        let delta = engine.regenerate_hits()?;
+        let delta = {
+            let _stage = crowder_obs::span!("core.stream.regen_ns");
+            engine.regenerate_hits()?
+        };
         let fresh: Vec<Hit> = delta
             .created
             .iter()
@@ -459,13 +473,16 @@ pub fn run_streaming(
             seed: config.crowd.seed.wrapping_add(round as u64),
             ..config.crowd.clone()
         };
-        let sim = simulate_session(
-            &fresh,
-            &dataset.gold,
-            population,
-            &crowd,
-            &mut crowd_history,
-        )?;
+        let sim = {
+            let _stage = crowder_obs::span!("core.stream.session_ns");
+            simulate_session(
+                &fresh,
+                &dataset.gold,
+                population,
+                &crowd,
+                &mut crowd_history,
+            )?
+        };
         pending = sim.in_flight.clone();
 
         // Stage 5: verdicts become votes *and* signed evidence. Weights
@@ -484,13 +501,16 @@ pub fn run_streaming(
             engine.set_worker_weights(table)?;
         }
         let mut edges_committed = 0usize;
-        for &(pair, worker, verdict) in &round_triples {
-            let weight = weights.get(&(worker.0 as usize)).copied().unwrap_or(1.0);
-            let report = engine.record_evidence(pair, verdict, weight)?;
-            edges_committed += report.committed as usize;
-            edges_decommitted += report.decommitted as usize;
-            cluster_merges += report.merged as usize;
-            cluster_splits += report.split as usize;
+        {
+            let _stage = crowder_obs::span!("core.stream.evidence_ns");
+            for &(pair, worker, verdict) in &round_triples {
+                let weight = weights.get(&(worker.0 as usize)).copied().unwrap_or(1.0);
+                let report = engine.record_evidence(pair, verdict, weight)?;
+                edges_committed += report.committed as usize;
+                edges_decommitted += report.decommitted as usize;
+                cluster_merges += report.merged as usize;
+                cluster_splits += report.split as usize;
+            }
         }
 
         total_cost += sim.cost_dollars + carried_cost;

@@ -240,6 +240,7 @@ pub fn simulate_session(
     config: &CrowdConfig,
     state: &mut SessionState,
 ) -> Result<SimOutcome> {
+    let _timer = crowder_obs::span!("crowd.session.simulate_ns");
     if config.assignments_per_hit == 0 {
         return Err(Error::InvalidConfig {
             param: "assignments_per_hit",
@@ -247,6 +248,7 @@ pub fn simulate_session(
         });
     }
     if hits.is_empty() {
+        crowder_obs::counter!("crowd.session.sessions").incr();
         return Ok(SimOutcome {
             assignments: Vec::new(),
             in_flight: Vec::new(),
@@ -276,6 +278,9 @@ pub fn simulate_session(
     let mut qual_state: HashMap<WorkerId, QualificationState> = HashMap::new();
     let mut assignments: Vec<AssignmentRecord> = Vec::new();
     let mut participants: HashSet<WorkerId> = HashSet::new();
+    // Per-archetype answer tallies, published as counters once at
+    // session end so the hot loop never touches the registry lock.
+    let mut answers_by_kind: HashMap<&'static str, u64> = HashMap::new();
     // A worker who re-arrives before finishing an earlier session picks
     // up work only after it — personal timelines never overlap.
     let mut busy_until: HashMap<WorkerId, f64> = HashMap::new();
@@ -370,6 +375,7 @@ pub fn simulate_session(
             }
             done_by[hit_idx].insert(effective.id);
             participants.insert(effective.id);
+            *answers_by_kind.entry(effective.kind_name()).or_insert(0) += 1;
             *state.completed.entry(effective.id).or_insert(0) += 1;
             assignments.push(AssignmentRecord {
                 hit_index: hit_idx,
@@ -412,6 +418,23 @@ pub fn simulate_session(
         .fold(0.0, f64::max);
     let cost_dollars =
         assignments.len() as f64 * (config.reward_per_assignment + config.fee_per_assignment);
+
+    crowder_obs::counter!("crowd.session.sessions").incr();
+    crowder_obs::counter!("crowd.session.hits_published").add(hits.len() as u64);
+    crowder_obs::counter!("crowd.session.assignments_completed").add(assignments.len() as u64);
+    crowder_obs::counter!("crowd.session.assignments_in_flight").add(in_flight.len() as u64);
+    if crowder_obs::recording() {
+        for a in &assignments {
+            let latency_ms = ((a.completed_at_min - a.accepted_at_min) * 60_000.0).max(0.0) as u64;
+            crowder_obs::histogram!("crowd.session.assignment_latency_ms").record(latency_ms);
+        }
+    }
+    for (kind, n) in &answers_by_kind {
+        crowder_obs::global()
+            .counter(&format!("crowd.session.answers.{kind}"))
+            .add(*n);
+    }
+
     Ok(SimOutcome {
         workers_participated: participants.len(),
         assignments,

@@ -48,3 +48,9 @@
 //! ```
 
 pub use crowder_core::*;
+
+/// The observability runtime ([`crowder_obs`]): metric registry, spans,
+/// event journal, and Prometheus/JSON exporters. Re-exported so facade
+/// users can `crowder::obs::install_recorder()` without naming the
+/// sub-crate.
+pub use crowder_obs as obs;

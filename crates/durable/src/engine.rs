@@ -141,6 +141,7 @@ impl<D: Dir + Clone> DurableResolver<D> {
         stream: StreamConfig,
         config: DurabilityConfig,
     ) -> Result<(Self, RecoveryReport)> {
+        let _timer = crowder_obs::span!("durable.recovery.total_ns");
         let contents = read_wal(&dir)?;
         if contents.torn_bytes > 0 {
             dir.truncate(WAL_NAME, contents.valid_len)?;
@@ -163,6 +164,9 @@ impl<D: Dir + Clone> DurableResolver<D> {
         }
         let last_seq = contents.last_seq().max(snap_seq);
         let wal = WalWriter::resume(dir.clone(), last_seq)?;
+        crowder_obs::counter!("durable.recovery.runs").incr();
+        crowder_obs::counter!("durable.recovery.replayed_frames").add(replayed as u64);
+        crowder_obs::counter!("durable.recovery.torn_bytes").add(contents.torn_bytes);
         let report = RecoveryReport {
             snapshot_seq: snap_seq,
             replayed,
@@ -300,12 +304,16 @@ impl<D: Dir + Clone> DurableResolver<D> {
     pub fn checkpoint(&mut self) -> Result<u64> {
         self.wal.flush()?;
         let seq = self.last_seq();
-        write_snapshot(
-            &self.dir,
-            seq,
-            &self.resolver.export_state()?,
-            &self.weights,
-        )?;
+        {
+            let _timer = crowder_obs::span!("durable.snapshot.write_ns");
+            write_snapshot(
+                &self.dir,
+                seq,
+                &self.resolver.export_state()?,
+                &self.weights,
+            )?;
+        }
+        crowder_obs::counter!("durable.snapshot.writes").incr();
         self.wal = WalWriter::create(self.dir.clone(), seq)?;
         prune_snapshots(&self.dir, seq)?;
         self.ops_since_snapshot = 0;

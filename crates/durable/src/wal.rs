@@ -231,6 +231,9 @@ impl<D: Dir> WalWriter<D> {
         frame.bytes(&payload);
         self.buf.extend_from_slice(&frame.into_bytes());
         self.buffered += 1;
+        if crowder_obs::recording() {
+            crowder_obs::counter!("durable.wal.frames_logged").incr();
+        }
         seq
     }
 
@@ -249,6 +252,10 @@ impl<D: Dir> WalWriter<D> {
         if self.buf.is_empty() {
             return Ok(());
         }
+        let _timer = crowder_obs::span!("durable.wal.fsync_ns");
+        crowder_obs::counter!("durable.wal.appended_bytes").add(self.buf.len() as u64);
+        crowder_obs::counter!("durable.wal.flushes").incr();
+        crowder_obs::histogram!("durable.wal.batch_ops").record(self.buffered as u64);
         self.dir.append(WAL_NAME, &self.buf)?;
         self.dir.sync(WAL_NAME)?;
         self.buf.clear();

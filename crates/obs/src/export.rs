@@ -1,0 +1,226 @@
+//! Snapshot and journal exporters: Prometheus text exposition format
+//! and the workspace's schema-checked JSON.
+
+use crate::hist::{bucket_high, HistogramSnapshot};
+use crate::journal::{Event, EventKind};
+use crate::json::{Json, JsonReport, JsonRow};
+use crate::registry::Snapshot;
+
+/// Schema version stamped into [`snapshot_json`] documents.
+pub const METRICS_SCHEMA_VERSION: u32 = 1;
+
+/// Map a dotted metric key to a Prometheus-legal name: `[a-zA-Z0-9_:]`
+/// survives, everything else (the dots, mainly) becomes `_`.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Render a snapshot in the Prometheus text exposition format:
+/// counters and gauges as single samples, histograms as cumulative
+/// `_bucket{le="..."}` series (log2 boundaries, empty tail elided)
+/// plus `_sum` and `_count`.
+pub fn prometheus_text(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let n = prometheus_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        let n = prometheus_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {value}\n"));
+    }
+    for (name, hist) in &snapshot.histograms {
+        let n = prometheus_name(name);
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let last = hist.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let mut cumulative = 0u64;
+        for (b, &c) in hist.buckets.iter().enumerate().take(last + 1) {
+            cumulative += c;
+            out.push_str(&format!(
+                "{n}_bucket{{le=\"{}\"}} {cumulative}\n",
+                bucket_high(b)
+            ));
+        }
+        out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", hist.count));
+        out.push_str(&format!("{n}_sum {}\n", hist.sum));
+        out.push_str(&format!("{n}_count {}\n", hist.count));
+    }
+    out
+}
+
+/// Serialize a snapshot with the workspace's hand-rolled JSON writer:
+/// `schema_version`, then `counters`/`gauges`/`histograms` row arrays
+/// (histogram rows carry count/sum/min/max and extracted p50/p90/p99).
+pub fn snapshot_json(snapshot: &Snapshot) -> String {
+    let hist_row = |h: &HistogramSnapshot| {
+        JsonRow::new()
+            .str("name", &h.name)
+            .num("count", h.count)
+            .num("sum", h.sum)
+            .num("min", if h.count == 0 { 0 } else { h.min })
+            .num("max", h.max)
+            .num("p50", h.p50())
+            .num("p90", h.p90())
+            .num("p99", h.p99())
+            .build()
+    };
+    JsonReport::new()
+        .num("schema_version", METRICS_SCHEMA_VERSION)
+        .rows(
+            "counters",
+            snapshot
+                .counters
+                .iter()
+                .map(|(k, v)| JsonRow::new().str("name", k).num("value", *v).build()),
+        )
+        .rows(
+            "gauges",
+            snapshot
+                .gauges
+                .iter()
+                .map(|(k, v)| JsonRow::new().str("name", k).num("value", *v).build()),
+        )
+        .rows("histograms", snapshot.histograms.values().map(hist_row))
+        .build()
+}
+
+/// Validate a [`snapshot_json`] document: schema version, the three
+/// row arrays with their required fields, and `min ≤ p50 ≤ p90 ≤ p99 ≤
+/// max` per histogram. Returns the total instrument count.
+pub fn validate_metrics_json(input: &str) -> Result<usize, String> {
+    let doc = crate::json::parse_json(input)?;
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_f64)
+        .ok_or("missing schema_version")?;
+    if version != METRICS_SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "schema_version {version} != {METRICS_SCHEMA_VERSION}"
+        ));
+    }
+    let mut total = 0usize;
+    for key in ["counters", "gauges"] {
+        let rows = doc
+            .get(key)
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("missing {key} array"))?;
+        for (i, row) in rows.iter().enumerate() {
+            row.get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{key}[{i}]: missing name"))?;
+            row.get("value")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{key}[{i}]: missing value"))?;
+        }
+        total += rows.len();
+    }
+    let hists = doc
+        .get("histograms")
+        .and_then(Json::as_array)
+        .ok_or("missing histograms array")?;
+    for (i, row) in hists.iter().enumerate() {
+        row.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("histograms[{i}]: missing name"))?;
+        let f = |key: &str| {
+            row.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("histograms[{i}]: missing {key}"))
+        };
+        let (count, min, max) = (f("count")?, f("min")?, f("max")?);
+        f("sum")?;
+        let (p50, p90, p99) = (f("p50")?, f("p90")?, f("p99")?);
+        if count > 0.0 && !(p50 <= p90 && p90 <= p99 && min <= max) {
+            return Err(format!("histograms[{i}]: quantiles out of order"));
+        }
+    }
+    Ok(total + hists.len())
+}
+
+/// Render a journal window as one line per event:
+/// `seq=12 t=1042ns span core.stream.round dur=991203ns` /
+/// `seq=13 t=2044ns mark core.stream.round value=3`.
+pub fn journal_text(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        match e.kind {
+            EventKind::SpanEnd => out.push_str(&format!(
+                "seq={} t={}ns span {} dur={}ns\n",
+                e.seq, e.t_ns, e.name, e.dur_ns
+            )),
+            EventKind::Mark => out.push_str(&format!(
+                "seq={} t={}ns mark {} value={}\n",
+                e.seq, e.t_ns, e.name, e.value
+            )),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_snapshot() -> Snapshot {
+        let r = Registry::new();
+        r.counter("simjoin.funnel.candidates").add(100);
+        r.gauge("stream.resolver.live_hits").set(7);
+        let h = r.histogram("durable.wal.fsync_ns");
+        for v in [100u64, 200, 300, 50_000] {
+            h.record(v);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn prometheus_text_is_well_formed() {
+        let text = prometheus_text(&sample_snapshot());
+        assert!(text.contains("# TYPE simjoin_funnel_candidates counter"));
+        assert!(text.contains("simjoin_funnel_candidates 100"));
+        assert!(text.contains("stream_resolver_live_hits 7"));
+        assert!(text.contains("# TYPE durable_wal_fsync_ns histogram"));
+        assert!(text.contains("durable_wal_fsync_ns_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("durable_wal_fsync_ns_count 4"));
+        assert!(text.contains("durable_wal_fsync_ns_sum 50600"));
+        // Cumulative bucket counts never decrease.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("durable_wal_fsync_ns_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(prometheus_name("9bad.name-x"), "_9bad_name_x");
+    }
+
+    #[test]
+    fn snapshot_json_roundtrips_through_validation() {
+        let json = snapshot_json(&sample_snapshot());
+        assert_eq!(validate_metrics_json(&json), Ok(3));
+        assert!(validate_metrics_json("{}").is_err());
+        assert!(validate_metrics_json("{\"schema_version\": 99}").is_err());
+    }
+
+    #[test]
+    fn journal_text_renders_both_kinds() {
+        let j = crate::Journal::new(8);
+        j.push(EventKind::SpanEnd, "a.b.c", 10, 5, 0);
+        j.push(EventKind::Mark, "a.b.d", 11, 0, 3);
+        let text = journal_text(&j.events());
+        assert!(text.contains("seq=0 t=10ns span a.b.c dur=5ns"));
+        assert!(text.contains("seq=1 t=11ns mark a.b.d value=3"));
+    }
+}

@@ -1,0 +1,134 @@
+//! The bounded structured event journal.
+//!
+//! A fixed-capacity ring of [`Event`]s: span completions and point
+//! marks, each stamped with a process-unique sequence number and a
+//! monotonic nanosecond timestamp ([`crate::now_ns`]). When the ring is
+//! full the oldest event is dropped and a drop counter ticks, so a
+//! reader can always tell whether its window is complete — sequence
+//! numbers make gaps explicit.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default capacity of the process-global journal.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// What an [`Event`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A [`crate::Span`] closed; `dur_ns` holds its elapsed time.
+    SpanEnd,
+    /// A point milestone from [`crate::mark`]; `value` holds its payload.
+    Mark,
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Process-unique, strictly increasing issue order.
+    pub seq: u64,
+    /// Monotonic nanoseconds since the process clock epoch. For spans
+    /// this is the *start* time, so `t_ns + dur_ns` orders with ends.
+    pub t_ns: u64,
+    /// Span duration in nanoseconds (0 for marks).
+    pub dur_ns: u64,
+    /// Metric/span key.
+    pub name: &'static str,
+    /// Mark payload (0 for spans).
+    pub value: u64,
+    /// Entry type.
+    pub kind: EventKind,
+}
+
+/// A bounded, concurrent event ring.
+#[derive(Debug)]
+pub struct Journal {
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    capacity: usize,
+    ring: Mutex<VecDeque<Event>>,
+}
+
+impl Journal {
+    /// An empty journal holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Journal {
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 4096))),
+        }
+    }
+
+    /// Append an event, evicting the oldest if full. Returns the
+    /// assigned sequence number.
+    pub fn push(
+        &self,
+        kind: EventKind,
+        name: &'static str,
+        t_ns: u64,
+        dur_ns: u64,
+        value: u64,
+    ) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(Event {
+            seq,
+            t_ns,
+            dur_ns,
+            name,
+            value,
+            kind,
+        });
+        seq
+    }
+
+    /// The sequence number the next event will get.
+    pub fn next_seq(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copy out the current window, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.ring.lock().unwrap().iter().copied().collect()
+    }
+
+    /// Drop every buffered event (sequence numbers keep advancing).
+    pub fn clear(&self) {
+        self.ring.lock().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let j = Journal::new(3);
+        for i in 0..5u64 {
+            j.push(EventKind::Mark, "m", i, 0, i);
+        }
+        let events = j.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(j.dropped(), 2);
+        assert_eq!(j.next_seq(), 5);
+        j.clear();
+        assert!(j.events().is_empty());
+        assert_eq!(j.push(EventKind::Mark, "m", 9, 0, 0), 5);
+    }
+}

@@ -1,0 +1,267 @@
+//! The metric registry: named counters, gauges, and histograms, plus
+//! point-in-time mergeable [`Snapshot`]s.
+//!
+//! Registration (name → instrument) takes a mutex; *recording* never
+//! does — call sites resolve their instrument once (the
+//! [`counter!`](crate::counter)/[`gauge!`](crate::gauge)/
+//! [`histogram!`](crate::histogram) macros cache the `Arc` per call
+//! site in a `OnceLock`) and then touch only relaxed atomics.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{Histogram, HistogramSnapshot};
+
+/// A monotonically increasing named counter.
+#[derive(Debug)]
+pub struct Counter {
+    name: String,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter {
+            name: name.into(),
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The metric key.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add `n` — always-on instrument class: two relaxed atomic adds
+    /// (the value and the process-wide op counter).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+        crate::count_op();
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A named signed instantaneous level.
+#[derive(Debug)]
+pub struct Gauge {
+    name: String,
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A zeroed gauge named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Gauge {
+            name: name.into(),
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// The metric key.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Overwrite the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+        crate::count_op();
+    }
+
+    /// Adjust the level by `delta`.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+        crate::count_op();
+    }
+
+    /// Current level.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A registry of named instruments. The process-global one is
+/// [`crate::global`]; independent instances are for tests and tools.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Resolve (registering on first use) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        match map.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(Counter::new(name));
+                map.insert(name.to_string(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    /// Resolve (registering on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap();
+        match map.get(name) {
+            Some(g) => Arc::clone(g),
+            None => {
+                let g = Arc::new(Gauge::new(name));
+                map.insert(name.to_string(), Arc::clone(&g));
+                g
+            }
+        }
+    }
+
+    /// Resolve (registering on first use) the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        match map.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::new(name));
+                map.insert(name.to_string(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// Snapshot every registered instrument, names sorted.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, c)| (k.clone(), c.value()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, g)| (k.clone(), g.value()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a registry's instruments, mergeable with
+/// snapshots of other registries (shards, worker processes).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge name → level.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram name → bucket snapshot.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Counter value, 0 if unregistered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge level, 0 if unregistered.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram snapshot, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Merge another snapshot into this one: counters and gauges sum
+    /// (a gauge merged across shards reads as the fleet total),
+    /// histograms merge bucket-wise. Associative and commutative.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms
+                .entry(k.clone())
+                .or_insert_with(|| HistogramSnapshot::empty(k.clone()))
+                .merge(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruments_are_shared_by_name() {
+        let r = Registry::new();
+        r.counter("a").add(1);
+        r.counter("a").add(2);
+        r.gauge("g").set(5);
+        r.gauge("g").add(-2);
+        r.histogram("h").record(10);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a"), 3);
+        assert_eq!(s.gauge("g"), 3);
+        assert_eq!(s.histogram("h").unwrap().count, 1);
+        assert_eq!(s.counter("missing"), 0);
+        assert!(s.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn snapshot_merge_sums_everything() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("c").add(2);
+        b.counter("c").add(3);
+        b.counter("only_b").add(1);
+        a.gauge("g").set(10);
+        b.gauge("g").set(-4);
+        a.histogram("h").record(8);
+        b.histogram("h").record(1024);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("c"), 5);
+        assert_eq!(merged.counter("only_b"), 1);
+        assert_eq!(merged.gauge("g"), 6);
+        let h = merged.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!((h.min, h.max), (8, 1024));
+    }
+}

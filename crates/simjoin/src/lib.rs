@@ -73,7 +73,7 @@ pub mod tokens;
 
 pub use allpairs::all_pairs_scored;
 pub use blocking::token_blocking_pairs;
-pub use prefix::{prefix_join, prefix_join_with_stats, JoinStats};
+pub use prefix::{prefix_join, prefix_join_with_stats, publish_funnel, JoinStats};
 pub use qgram::qgram_blocking_pairs;
 pub use sweep::{threshold_sweep, SweepRow};
 pub use tokens::TokenTable;

@@ -104,6 +104,23 @@ impl JoinStats {
     }
 }
 
+/// Publish a funnel into the global `simjoin.funnel.*` observability
+/// counters — the shared export path for every engine that runs the
+/// PPJoin+ filter pipeline (the batch join here, the per-arrival
+/// `DeltaIndex` probe in `crowder-stream`). Called once per join/probe,
+/// not per candidate, so the cost is a handful of relaxed atomics.
+pub fn publish_funnel(stats: &JoinStats) {
+    if !crowder_obs::recording() {
+        return;
+    }
+    crowder_obs::counter!("simjoin.funnel.candidates").add(stats.candidates);
+    crowder_obs::counter!("simjoin.funnel.positional_pruned").add(stats.positional_pruned);
+    crowder_obs::counter!("simjoin.funnel.space_pruned").add(stats.space_pruned);
+    crowder_obs::counter!("simjoin.funnel.suffix_pruned").add(stats.suffix_pruned);
+    crowder_obs::counter!("simjoin.funnel.verified").add(stats.verified);
+    crowder_obs::counter!("simjoin.funnel.results").add(stats.results);
+}
+
 /// Jaccard similarity join via the PPJoin+ filter pipeline (see the
 /// module docs). Returns pairs with similarity ≥ `threshold`, sorted by
 /// descending likelihood.
@@ -133,6 +150,7 @@ pub fn prefix_join_with_stats(
     threshold: f64,
     threads: usize,
 ) -> (Vec<ScoredPair>, JoinStats) {
+    let _timer = crowder_obs::span!("simjoin.prefix_join_ns");
     if threshold <= 0.0 {
         let out = crate::allpairs::all_pairs_scored(dataset, tokens, threshold, threads);
         let stats = JoinStats {
@@ -141,6 +159,7 @@ pub fn prefix_join_with_stats(
             results: out.len() as u64,
             ..JoinStats::default()
         };
+        publish_funnel(&stats);
         return (out, stats);
     }
     if threshold > 1.0 {
@@ -214,6 +233,7 @@ pub fn prefix_join_with_stats(
         stats.absorb(&local_stats);
     }
     crowder_types::pair::sort_ranked(&mut out);
+    publish_funnel(&stats);
     (out, stats)
 }
 

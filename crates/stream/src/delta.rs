@@ -37,6 +37,20 @@ use std::collections::HashMap;
 
 use crate::dict::StreamingDict;
 
+/// Publish the funnel increment of one probe into the shared
+/// `simjoin.funnel.*` counters (the batch join publishes the same keys,
+/// so one export shows the whole machine pass as a single funnel).
+fn publish_probe_delta(before: &JoinStats, after: &JoinStats) {
+    crowder_simjoin::publish_funnel(&JoinStats {
+        candidates: after.candidates - before.candidates,
+        positional_pruned: after.positional_pruned - before.positional_pruned,
+        space_pruned: after.space_pruned - before.space_pruned,
+        suffix_pruned: after.suffix_pruned - before.suffix_pruned,
+        verified: after.verified - before.verified,
+        results: after.results - before.results,
+    });
+}
+
 /// One index entry: the record holding the token and the token's
 /// position in that record's rank-sorted list.
 ///
@@ -222,6 +236,19 @@ impl DeltaIndex {
         out: &mut Vec<ScoredPair>,
         stats: &mut JoinStats,
     ) {
+        let _timer = crowder_obs::span_light!("stream.delta.probe_ns");
+        let before = *stats;
+        self.join_and_insert_impl(dataset, doc, out, stats);
+        publish_probe_delta(&before, stats);
+    }
+
+    fn join_and_insert_impl(
+        &mut self,
+        dataset: &Dataset,
+        doc: Vec<u32>,
+        out: &mut Vec<ScoredPair>,
+        stats: &mut JoinStats,
+    ) {
         let x = self.docs.len() as u32;
         debug_assert_eq!(dataset.len(), self.docs.len() + 1, "push record first");
         if self.threshold > 1.0 {
@@ -257,6 +284,20 @@ impl DeltaIndex {
     /// `out`), and its new prefix is re-indexed at the canonical sorted
     /// positions (see [`Posting`]).
     pub fn update_doc(
+        &mut self,
+        dataset: &Dataset,
+        record: RecordId,
+        doc: Vec<u32>,
+        out: &mut Vec<ScoredPair>,
+        stats: &mut JoinStats,
+    ) {
+        let _timer = crowder_obs::span_light!("stream.delta.update_probe_ns");
+        let before = *stats;
+        self.update_doc_impl(dataset, record, doc, out, stats);
+        publish_probe_delta(&before, stats);
+    }
+
+    fn update_doc_impl(
         &mut self,
         dataset: &Dataset,
         record: RecordId,

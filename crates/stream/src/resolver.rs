@@ -252,6 +252,7 @@ impl IncrementalResolver {
         source: SourceId,
         fields: Vec<String>,
     ) -> crowder_types::Result<InsertReport> {
+        let _timer = crowder_obs::span_light!("stream.resolver.insert_ns");
         let record = self.dataset.push_record(source, fields)?;
         let set = tokenize(&self.dataset.record(record)?.joined_text());
         let ids = self.dict.encode_record(&set);
@@ -276,6 +277,14 @@ impl IncrementalResolver {
         self.inserts_since_rebuild += 1;
         let rebuilt_index = self.maybe_rebuild();
 
+        if crowder_obs::recording() {
+            crowder_obs::counter!("stream.resolver.inserts").incr();
+            crowder_obs::counter!("stream.resolver.merges").add(merges as u64);
+            if rebuilt_index {
+                crowder_obs::counter!("stream.resolver.index_rebuilds").incr();
+            }
+            self.observe_cluster_state();
+        }
         Ok(InsertReport {
             record,
             new_pairs,
@@ -303,6 +312,7 @@ impl IncrementalResolver {
     /// clusters are marked dirty. Errors on an unknown or already
     /// deleted record. The record id is never reused.
     pub fn remove(&mut self, record: RecordId) -> crowder_types::Result<RemoveReport> {
+        let _timer = crowder_obs::span_light!("stream.resolver.remove_ns");
         if record.index() >= self.dataset.len() {
             return Err(Error::UnknownRecord(record.0));
         }
@@ -334,6 +344,11 @@ impl IncrementalResolver {
         }
         self.pairs.retain(|sp| !sp.pair.contains(record));
         self.removed += 1;
+        if crowder_obs::recording() {
+            crowder_obs::counter!("stream.resolver.removes").incr();
+            crowder_obs::counter!("stream.resolver.splits").add(splits as u64);
+            self.observe_cluster_state();
+        }
         Ok(RemoveReport {
             record,
             dropped_pairs,
@@ -358,6 +373,7 @@ impl IncrementalResolver {
         record: RecordId,
         fields: Vec<String>,
     ) -> crowder_types::Result<UpdateReport> {
+        let _timer = crowder_obs::span_light!("stream.resolver.update_ns");
         if record.index() >= self.dataset.len() {
             return Err(Error::UnknownRecord(record.0));
         }
@@ -437,6 +453,12 @@ impl IncrementalResolver {
             merges += shift.merged as usize;
             splits += shift.split as usize;
         }
+        if crowder_obs::recording() {
+            crowder_obs::counter!("stream.resolver.updates").incr();
+            crowder_obs::counter!("stream.resolver.merges").add(merges as u64);
+            crowder_obs::counter!("stream.resolver.splits").add(splits as u64);
+            self.observe_cluster_state();
+        }
         Ok(UpdateReport {
             record,
             new_pairs,
@@ -455,6 +477,7 @@ impl IncrementalResolver {
     /// been removed). Edge commits can merge clusters; decommits and
     /// vetoes can split them.
     pub fn record_evidence(&mut self, pair: Pair, verdict: bool, weight: f64) -> EvidenceReport {
+        let _timer = crowder_obs::span_light!("stream.resolver.evidence_ns");
         if pair.hi().index() >= self.dataset.len()
             || !self.index.is_alive(pair.lo())
             || !self.index.is_alive(pair.hi())
@@ -463,26 +486,59 @@ impl IncrementalResolver {
         }
         let shift = self.ledger.record(pair, verdict, weight);
         let cluster = self.sync_pair(pair);
-        EvidenceReport {
+        let report = EvidenceReport {
             committed: shift == EvidenceShift::Committed,
             decommitted: shift == EvidenceShift::Decommitted,
             merged: cluster.merged,
             split: cluster.split,
+        };
+        self.observe_evidence(&report);
+        if crowder_obs::recording() {
+            crowder_obs::counter!("stream.resolver.evidence_records").incr();
         }
+        report
     }
 
     /// Forget all crowd evidence for `pair`. If the evidence was
     /// holding a committed edge (or a veto), the clustering reverts to
     /// the machine-only state for that pair.
     pub fn retract(&mut self, pair: Pair) -> EvidenceReport {
+        let _timer = crowder_obs::span_light!("stream.resolver.retract_ns");
         let shift = self.ledger.purge(&pair);
         let cluster = self.sync_pair(pair);
-        EvidenceReport {
+        let report = EvidenceReport {
             committed: false,
             decommitted: shift == EvidenceShift::Decommitted,
             merged: cluster.merged,
             split: cluster.split,
+        };
+        self.observe_evidence(&report);
+        if crowder_obs::recording() {
+            crowder_obs::counter!("stream.resolver.retractions").incr();
         }
+        report
+    }
+
+    /// Update the observability gauge tracking how many clusters await
+    /// a HIT flush. Called at the end of every mutating operation.
+    fn observe_cluster_state(&self) {
+        if !crowder_obs::recording() {
+            return;
+        }
+        crowder_obs::gauge!("stream.resolver.dirty_clusters").set(self.dirty.len() as i64);
+    }
+
+    /// Tally an evidence outcome's edge and cluster transitions into
+    /// the commit/decommit and merge/split counters.
+    fn observe_evidence(&self, report: &EvidenceReport) {
+        if !crowder_obs::recording() {
+            return;
+        }
+        crowder_obs::counter!("stream.resolver.commits").add(report.committed as u64);
+        crowder_obs::counter!("stream.resolver.decommits").add(report.decommitted as u64);
+        crowder_obs::counter!("stream.resolver.merges").add(report.merged as u64);
+        crowder_obs::counter!("stream.resolver.splits").add(report.split as u64);
+        self.observe_cluster_state();
     }
 
     /// Should `pair` be an edge of the cluster graph right now?
@@ -629,6 +685,7 @@ impl IncrementalResolver {
     /// records were deleted or its edges decommitted) simply has its
     /// HITs retired. Clears the dirty set.
     pub fn regenerate_hits(&mut self) -> crowder_types::Result<HitDelta> {
+        let _timer = crowder_obs::span!("stream.resolver.flush_ns");
         let mut retired = Vec::new();
         let mut created = Vec::new();
         // BTreeSet iteration keeps the flush deterministic; roots leave
@@ -647,6 +704,10 @@ impl IncrementalResolver {
             created.extend(c);
             self.dirty.remove(&root);
         }
+        crowder_obs::counter!("stream.resolver.hits_retired").add(retired.len() as u64);
+        crowder_obs::counter!("stream.resolver.hits_created").add(created.len() as u64);
+        crowder_obs::gauge!("stream.resolver.live_hits").set(self.live.len() as i64);
+        self.observe_cluster_state();
         Ok(HitDelta {
             stable: self.live.len() - created.len(),
             retired,

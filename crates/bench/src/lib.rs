@@ -23,4 +23,5 @@ pub mod faultperf;
 pub mod harness;
 pub mod obsperf;
 pub mod perf;
+pub mod serveperf;
 pub mod streamperf;

@@ -52,7 +52,8 @@ pub mod prelude {
     };
     pub use crowder_stream::{
         vote_weight, EvidenceConfig, EvidenceLedger, HitDelta, HitId, IncrementalResolver,
-        InsertReport, LiveHits, RemoveReport, ResolverState, StreamConfig, UpdateReport,
+        IndexLayout, InsertReport, LiveHits, QueryMatch, RemoveReport, ResolverState, StreamConfig,
+        UpdateReport,
     };
     pub use crowder_types::{
         Dataset, GoldStandard, Pair, PairSpace, Record, RecordId, ScoredPair, SourceId,

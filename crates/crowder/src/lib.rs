@@ -54,3 +54,12 @@ pub use crowder_core::*;
 /// users can `crowder::obs::install_recorder()` without naming the
 /// sub-crate.
 pub use crowder_obs as obs;
+
+/// The concurrent serving layer ([`crowder_serve`]): a
+/// `ResolverService` owning the incremental resolver behind a bounded
+/// command queue — multi-producer ingest with explicit backpressure,
+/// `resolve()` reads against the live state, group-commit durability.
+/// Re-exported so facade users can
+/// `crowder::serve::ResolverService::in_memory(...)` without naming
+/// the sub-crate.
+pub use crowder_serve as serve;

@@ -15,8 +15,8 @@
 use crowder_hitgen::Hit;
 use crowder_simjoin::JoinStats;
 use crowder_stream::{
-    EvidenceReport, HitDelta, IncrementalResolver, InsertReport, RemoveReport, StreamConfig,
-    UpdateReport,
+    EvidenceReport, HitDelta, IncrementalResolver, InsertReport, QueryMatch, RemoveReport,
+    StreamConfig, UpdateReport,
 };
 use crowder_types::{Error, Pair, PairSpace, RecordId, Result, SourceId};
 
@@ -229,6 +229,15 @@ impl<D: Dir + Clone> DurableResolver<D> {
             fields,
         })?;
         Ok(report)
+    }
+
+    /// A read-only similarity query
+    /// ([`IncrementalResolver::query`]) — answered from the live
+    /// resolver, **not logged**: queries mutate nothing the WAL or a
+    /// snapshot captures, so recovery is unaffected by any number of
+    /// them.
+    pub fn query(&mut self, source: SourceId, fields: &[String]) -> Result<Vec<QueryMatch>> {
+        self.resolver.query(source, fields)
     }
 
     /// A record deletion (logged).

@@ -18,11 +18,10 @@
 //! * [`truncate`](Dir::truncate) discards a torn tail in place.
 
 use crowder_types::{Error, Result};
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::PathBuf;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 fn io_err(what: &str, name: &str, e: std::io::Error) -> Error {
     Error::InvalidData(format!("durable io: {what} `{name}`: {e}"))
@@ -135,12 +134,13 @@ impl Dir for FsDir {
     }
 }
 
-/// [`Dir`] over an in-memory map. Clones share the same storage, so a
-/// "recovered process" can reopen the blobs a crashed [`FaultyDir`]
-/// left behind.
+/// [`Dir`] over an in-memory map. Clones share the same storage (and
+/// are `Send`, so a serving worker thread can own one), which lets a
+/// "recovered process" reopen the blobs a crashed [`FaultyDir`] left
+/// behind.
 #[derive(Debug, Clone, Default)]
 pub struct MemDir {
-    blobs: Rc<RefCell<HashMap<String, Vec<u8>>>>,
+    blobs: Arc<Mutex<HashMap<String, Vec<u8>>>>,
 }
 
 impl MemDir {
@@ -153,7 +153,8 @@ impl MemDir {
 impl Dir for MemDir {
     fn append(&self, name: &str, bytes: &[u8]) -> Result<()> {
         self.blobs
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .entry(name.to_string())
             .or_default()
             .extend_from_slice(bytes);
@@ -165,18 +166,19 @@ impl Dir for MemDir {
     }
 
     fn read(&self, name: &str) -> Result<Option<Vec<u8>>> {
-        Ok(self.blobs.borrow().get(name).cloned())
+        Ok(self.blobs.lock().unwrap().get(name).cloned())
     }
 
     fn replace(&self, name: &str, bytes: &[u8]) -> Result<()> {
         self.blobs
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .insert(name.to_string(), bytes.to_vec());
         Ok(())
     }
 
     fn truncate(&self, name: &str, len: u64) -> Result<()> {
-        match self.blobs.borrow_mut().get_mut(name) {
+        match self.blobs.lock().unwrap().get_mut(name) {
             Some(blob) => {
                 blob.truncate(len as usize);
                 Ok(())
@@ -188,12 +190,12 @@ impl Dir for MemDir {
     }
 
     fn remove(&self, name: &str) -> Result<()> {
-        self.blobs.borrow_mut().remove(name);
+        self.blobs.lock().unwrap().remove(name);
         Ok(())
     }
 
     fn list(&self) -> Result<Vec<String>> {
-        let mut names: Vec<String> = self.blobs.borrow().keys().cloned().collect();
+        let mut names: Vec<String> = self.blobs.lock().unwrap().keys().cloned().collect();
         names.sort_unstable();
         Ok(names)
     }
@@ -217,7 +219,7 @@ struct FaultState {
 #[derive(Debug, Clone)]
 pub struct FaultyDir {
     inner: MemDir,
-    state: Rc<RefCell<FaultState>>,
+    state: Arc<Mutex<FaultState>>,
 }
 
 impl FaultyDir {
@@ -225,7 +227,7 @@ impl FaultyDir {
     pub fn new() -> Self {
         FaultyDir {
             inner: MemDir::new(),
-            state: Rc::new(RefCell::new(FaultState {
+            state: Arc::new(Mutex::new(FaultState {
                 remaining: None,
                 crashed: false,
                 total: 0,
@@ -236,19 +238,19 @@ impl FaultyDir {
     /// Crash after `budget` more mutated bytes (appends, replaces, and
     /// truncations all count; the write that crosses the budget tears).
     pub fn arm(&self, budget: usize) {
-        let mut s = self.state.borrow_mut();
+        let mut s = self.state.lock().unwrap();
         s.remaining = Some(budget);
         s.crashed = false;
     }
 
     /// Has the injected crash fired yet?
     pub fn crashed(&self) -> bool {
-        self.state.borrow().crashed
+        self.state.lock().unwrap().crashed
     }
 
     /// Mutated bytes attempted so far (torn parts included).
     pub fn mutated(&self) -> usize {
-        self.state.borrow().total
+        self.state.lock().unwrap().total
     }
 
     /// The surviving disk image — what a recovering process would see.
@@ -263,7 +265,7 @@ impl FaultyDir {
     /// Charge `len` mutated bytes against the budget. Returns how many
     /// of them actually hit the disk (possibly fewer: the torn write).
     fn charge(&self, len: usize) -> Result<usize> {
-        let mut s = self.state.borrow_mut();
+        let mut s = self.state.lock().unwrap();
         if s.crashed {
             return Err(Self::dead());
         }

@@ -1,5 +1,5 @@
-//! The insert-capable prefix-filter index and the per-arrival delta
-//! join.
+//! The insert-capable, **sharded** prefix-filter index and the
+//! per-arrival delta join.
 //!
 //! The batch engine (`crowder-simjoin::prefix_join`) probes records in
 //! ascending length order, so the probing side is always the longer one
@@ -11,15 +11,57 @@
 //! Jaccard ≥ t shares a token between its two probe prefixes, whichever
 //! side is longer.
 //!
-//! A probe of record `x` walks `x`'s probe prefix in ascending rank
-//! order against the posting lists. The first index hit for a candidate
-//! `y` is their *minimal* shared prefix token (both lists ascend in the
-//! same global rank order — see `StreamingDict` — and any smaller shared
-//! token would sit inside both prefixes, hitting earlier), so the
-//! positional filter, suffix filter, and resume-merge verification of
-//! the batch engine apply verbatim from `crowder_simjoin::filters`:
-//! overlap at the first shared position is exactly 1, and the merge
-//! resumes at `(i+1, j+1)`.
+//! ## Shards and the two-phase probe
+//!
+//! Posting lists are partitioned across [`IndexLayout::shards`] shards
+//! by **rank band**: rank `r` lives in shard
+//! `(r / RANK_BAND_WIDTH) % shards`. Striping by narrow bands (not one
+//! contiguous range per shard) balances load — low ranks are the rare,
+//! hot prefix tokens, so a contiguous split would send nearly every
+//! probe to shard 0.
+//!
+//! A probe runs in two phases so its output is a pure function of the
+//! corpus — bit-for-bit invariant under the shard count and the probe
+//! thread count:
+//!
+//! 1. **Hit collection.** Each shard scans the probe prefix for ranks
+//!    it owns and emits raw hits `(y, i, j)` from its posting lists
+//!    (optionally in parallel via `std::thread::scope`). A serial merge
+//!    then keeps, per candidate `y`, the hit with minimal `i` — which
+//!    is exactly the pair's *first* shared prefix token, the hit an
+//!    unsharded scan finds first: both token lists ascend in the same
+//!    global rank order (see `StreamingDict`), so any smaller shared
+//!    token would occupy smaller `i` and `j` in both.
+//! 2. **Filter + verify.** Candidates are sorted by record id and run
+//!    through the positional filter, candidate-space filter, suffix
+//!    filter, and resume-merge verification of the batch engine
+//!    (`crowder_simjoin::filters`), resuming at `(i+1, j+1)` with
+//!    overlap exactly 1 at `(i, j)`. This phase can also be chunked
+//!    across threads: every candidate is independent, and chunk outputs
+//!    concatenate back in id order.
+//!
+//! ## Length-bucketed postings — the binary-searched length skip
+//!
+//! Each rank's postings are **bucketed by record length**: bucket
+//! headers ascend in `len`, and postings within a bucket append in
+//! arrival order, so indexing one prefix token is an O(1) push (no
+//! memmove through the list body). Phase 1 binary-searches the bucket
+//! headers down to the window `⌈t·|x|⌉ ≤ |y| ≤ ⌊|x|/t⌋`, so records
+//! outside it are *never enumerated* — the batch engine's
+//! binary-searched length skip, which the old arrival-ordered flat
+//! lists paid for with a per-candidate comparison. Funnel semantics:
+//! length-skipped records no longer count as `candidates` (they
+//! previously landed in the positional bucket), so the streamed funnel
+//! matches the batch funnel's accounting more closely and the
+//! candidate count on skewed corpora drops.
+//!
+//! Within-bucket order is deliberately *immaterial*: the phase-1 merge
+//! keeps a per-candidate minimum over distinct `i` and phase 2 sorts
+//! the surviving candidate ids, so probe output is a pure function of
+//! the corpus no matter what mutation history (or rebuild) populated
+//! the buckets. Candidate enumeration — and therefore every downstream
+//! order-sensitive structure, e.g. cluster merge sequences — is
+//! reproducible across restarts; crash recovery depends on this.
 //!
 //! Degenerate thresholds mirror the batch engine so the cumulative
 //! output stays bit-identical: `threshold ≤ 0` compares the arrival
@@ -37,6 +79,51 @@ use std::collections::HashMap;
 
 use crate::dict::StreamingDict;
 
+/// Width of one rank band (see module docs): ranks are striped across
+/// shards in blocks of this many consecutive ranks, so the rare/hot low
+/// ranks spread over every shard.
+pub const RANK_BAND_WIDTH: u32 = 64;
+
+/// Shape of the sharded index and its probes. Both knobs are clamped to
+/// at least 1; the default (1 shard, 1 thread) is the classic serial
+/// index.
+///
+/// Probe *results and funnel stats* are bit-for-bit invariant under
+/// both knobs (property-tested in `tests/exactness.rs`); they tune only
+/// where the work happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexLayout {
+    /// Posting-list shards (rank-band striped).
+    pub shards: usize,
+    /// Threads a single probe may use, for both phases. `1` keeps the
+    /// probe on the calling thread.
+    pub probe_threads: usize,
+}
+
+impl Default for IndexLayout {
+    fn default() -> Self {
+        IndexLayout {
+            shards: 1,
+            probe_threads: 1,
+        }
+    }
+}
+
+impl IndexLayout {
+    fn normalized(self) -> IndexLayout {
+        IndexLayout {
+            shards: self.shards.max(1),
+            probe_threads: self.probe_threads.max(1),
+        }
+    }
+}
+
+/// Which shard owns a rank's posting list.
+#[inline]
+fn shard_of(rank: u32, nshards: usize) -> usize {
+    ((rank / RANK_BAND_WIDTH) as usize) % nshards
+}
+
 /// Publish the funnel increment of one probe into the shared
 /// `simjoin.funnel.*` counters (the batch join publishes the same keys,
 /// so one export shows the whole machine pass as a single funnel).
@@ -52,23 +139,68 @@ fn publish_probe_delta(before: &JoinStats, after: &JoinStats) {
 }
 
 /// One index entry: the record holding the token and the token's
-/// position in that record's rank-sorted list.
-///
-/// **Canonical posting order**: every posting list is kept sorted by
-/// ascending record id. Arrivals append the largest id so far,
-/// [`DeltaIndex::rebuild`] and [`DeltaIndex::from_docs`] emit postings
-/// in record order, and [`DeltaIndex::update_doc`] re-inserts at the
-/// sorted position — so the order candidates are enumerated in (and
-/// therefore every downstream order-sensitive structure, e.g. cluster
-/// merge sequences) is a pure function of the current corpus, not of
-/// the mutation history. Crash recovery depends on this.
+/// position in that record's rank-sorted list. The record's length —
+/// the binary-search key of the length skip — lives one level up, in
+/// the bucket header.
 #[derive(Debug, Clone, Copy)]
 struct Posting {
     record: u32,
     pos: u32,
 }
 
-/// Mutable prefix-filter index over an appendable corpus, with
+/// One rank's postings, bucketed by record length: buckets ascend in
+/// `len`, postings within a bucket are appended in arrival order (O(1)
+/// per insert — no memmove through the list body, which is what keeps
+/// the per-arrival indexing cost flat). The length window of a probe
+/// binary-searches the bucket headers, never the postings.
+///
+/// Within-bucket order is **immaterial** to every observable: phase 1
+/// merges hits to a per-candidate minimum over distinct `i` and phase 2
+/// sorts the candidate ids, so a rebuilt index (buckets repopulated in
+/// record order) enumerates differently but resolves identically.
+#[derive(Debug, Clone, Default)]
+struct PostingList {
+    buckets: Vec<(u32, Vec<Posting>)>,
+}
+
+impl PostingList {
+    /// Append a posting to the `len` bucket, creating it at its sorted
+    /// position if absent. The bucket-header vec is short (distinct
+    /// record lengths under one rank), so the occasional header insert
+    /// is cheap.
+    fn push(&mut self, len: u32, posting: Posting) {
+        match self.buckets.binary_search_by_key(&len, |b| b.0) {
+            Ok(at) => self.buckets[at].1.push(posting),
+            Err(at) => self.buckets.insert(at, (len, vec![posting])),
+        }
+    }
+
+    /// Drop `record`'s posting from the `len` bucket (the in-place
+    /// update path strips a record's stale prefix).
+    fn remove(&mut self, len: u32, record: u32) {
+        if let Ok(at) = self.buckets.binary_search_by_key(&len, |b| b.0) {
+            self.buckets[at].1.retain(|p| p.record != record);
+            if self.buckets[at].1.is_empty() {
+                self.buckets.remove(at);
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+/// A raw phase-1 hit: candidate `y` was found via the probe's prefix
+/// position `i`, sitting at position `j` of `y`'s prefix.
+#[derive(Debug, Clone, Copy)]
+struct Hit {
+    y: u32,
+    i: u32,
+    j: u32,
+}
+
+/// Mutable sharded prefix-filter index over an appendable corpus, with
 /// tombstoned deletion: a removed record's postings stay in place but
 /// are skipped by every probe, and the next epoch rebuild drops them
 /// for good — deletion is O(1), the cleanup amortized into the rebuild
@@ -76,9 +208,12 @@ struct Posting {
 #[derive(Debug, Clone)]
 pub struct DeltaIndex {
     threshold: f64,
-    /// Rank → postings. Keyed by *rank* (the join's sort key), which is
-    /// stable between dictionary epochs; `rebuild` re-keys everything.
-    postings: HashMap<u32, Vec<Posting>>,
+    layout: IndexLayout,
+    /// Per-shard `rank → length-bucketed postings`. Keyed by *rank*
+    /// (the join's sort key), which is stable between dictionary
+    /// epochs; `rebuild` re-keys everything. Shard membership is
+    /// `shard_of`.
+    shards: Vec<HashMap<u32, PostingList>>,
     /// Per-record token lists, as ranks sorted ascending.
     docs: Vec<Vec<u32>>,
     /// Per-probe candidate dedup: the probe stamp that last reached
@@ -88,6 +223,14 @@ pub struct DeltaIndex {
     seen: Vec<u64>,
     /// Monotone probe counter backing `seen`.
     stamp: u64,
+    /// Per-record minimal hit position of the current probe (valid
+    /// where `seen == stamp`).
+    best_i: Vec<u32>,
+    best_j: Vec<u32>,
+    /// Scratch: candidate ids of the current probe.
+    cand: Vec<u32>,
+    /// Scratch: phase-2 matches `(y, sim)` of the current probe.
+    found: Vec<(u32, f64)>,
     /// Tombstones: `false` for deleted records (slots are never
     /// reused — record ids stay dense in arrival order).
     alive: Vec<bool>,
@@ -96,14 +239,26 @@ pub struct DeltaIndex {
 }
 
 impl DeltaIndex {
-    /// An empty index joining at `threshold`.
+    /// An empty serial index (1 shard) joining at `threshold`.
     pub fn new(threshold: f64) -> Self {
+        Self::with_layout(threshold, IndexLayout::default())
+    }
+
+    /// An empty index joining at `threshold` with the given shard and
+    /// probe-thread layout.
+    pub fn with_layout(threshold: f64, layout: IndexLayout) -> Self {
+        let layout = layout.normalized();
         DeltaIndex {
             threshold,
-            postings: HashMap::new(),
+            layout,
+            shards: vec![HashMap::new(); layout.shards],
             docs: Vec::new(),
             seen: Vec::new(),
             stamp: 0,
+            best_i: Vec::new(),
+            best_j: Vec::new(),
+            cand: Vec::new(),
+            found: Vec::new(),
             alive: Vec::new(),
             live: 0,
         }
@@ -111,12 +266,13 @@ impl DeltaIndex {
 
     /// Rebuild an index from exported per-record rank lists (empty for
     /// tombstoned records) plus liveness flags — the snapshot-import
-    /// constructor. Postings are generated in ascending record order,
-    /// the canonical order every other mutation maintains (see
-    /// [`Posting`]), so a recovered index enumerates candidates exactly
-    /// like the index it was exported from.
+    /// constructor. Posting lists come out in canonical `(len, record)`
+    /// order, the order every other mutation maintains (see the module
+    /// docs), so a recovered index enumerates candidates exactly like
+    /// the index it was exported from.
     pub fn from_docs(
         threshold: f64,
+        layout: IndexLayout,
         docs: Vec<Vec<u32>>,
         alive: Vec<bool>,
     ) -> crowder_types::Result<Self> {
@@ -127,28 +283,42 @@ impl DeltaIndex {
                 alive.len()
             )));
         }
+        let layout = layout.normalized();
         let live = alive.iter().filter(|&&a| a).count();
+        let n = docs.len();
         let mut index = DeltaIndex {
             threshold,
-            postings: HashMap::new(),
-            seen: vec![0; docs.len()],
+            layout,
+            shards: vec![HashMap::new(); layout.shards],
+            seen: vec![0; n],
             stamp: 0,
+            best_i: vec![0; n],
+            best_j: vec![0; n],
+            cand: Vec::new(),
+            found: Vec::new(),
             docs,
             alive,
             live,
         };
         if threshold > 0.0 && threshold <= 1.0 {
             for r in 0..index.docs.len() {
-                let doc = &index.docs[r];
-                if !index.alive[r] || doc.is_empty() {
+                if !index.alive[r] || index.docs[r].is_empty() {
                     continue;
                 }
+                let doc = &index.docs[r];
+                let len = doc.len() as u32;
                 let plen = prefix_len(doc.len(), threshold);
                 for (pos, &rank) in doc[..plen].iter().enumerate() {
-                    index.postings.entry(rank).or_default().push(Posting {
-                        record: r as u32,
-                        pos: pos as u32,
-                    });
+                    index.shards[shard_of(rank, layout.shards)]
+                        .entry(rank)
+                        .or_default()
+                        .push(
+                            len,
+                            Posting {
+                                record: r as u32,
+                                pos: pos as u32,
+                            },
+                        );
                 }
             }
         }
@@ -180,6 +350,12 @@ impl DeltaIndex {
         self.alive[record.index()]
     }
 
+    /// The shard/thread layout the index was built with.
+    #[inline]
+    pub fn layout(&self) -> IndexLayout {
+        self.layout
+    }
+
     /// Tombstone one record: every future probe skips it. Its postings
     /// are garbage until the next [`DeltaIndex::rebuild`] sweeps them.
     /// Idempotent.
@@ -194,14 +370,19 @@ impl DeltaIndex {
     /// of waiting for the next epoch [`DeltaIndex::rebuild`] — called
     /// after a snapshot load so a recovered index starts dense, and
     /// available on demand for long quiet periods between epochs.
-    /// Surviving postings keep their relative order (see [`Posting`]),
-    /// so probe results are bit-identical before and after.
+    /// Surviving postings keep their buckets and relative order, so
+    /// probe results are bit-identical before and after.
     pub fn compact(&mut self) {
         let alive = &self.alive;
-        self.postings.retain(|_, list| {
-            list.retain(|p| alive[p.record as usize]);
-            !list.is_empty()
-        });
+        for shard in &mut self.shards {
+            shard.retain(|_, list| {
+                list.buckets.retain_mut(|(_, bucket)| {
+                    bucket.retain(|p| alive[p.record as usize]);
+                    !bucket.is_empty()
+                });
+                !list.is_empty()
+            });
+        }
         for (r, doc) in self.docs.iter_mut().enumerate() {
             if !alive[r] && !doc.is_empty() {
                 doc.clear();
@@ -226,9 +407,9 @@ impl DeltaIndex {
     /// everything indexed, then index it. The record's id must be
     /// `self.len()` — records arrive densely — and must already be
     /// pushed into `dataset` (the candidate-space filter reads its
-    /// source). New pairs are appended to `out`; filter decisions are
-    /// tallied into `stats` with the same bucket semantics as the batch
-    /// funnel.
+    /// source). New pairs are appended to `out` in ascending candidate
+    /// order; filter decisions are tallied into `stats` with the same
+    /// bucket semantics as the batch funnel.
     pub fn join_and_insert(
         &mut self,
         dataset: &Dataset,
@@ -257,23 +438,56 @@ impl DeltaIndex {
             self.push_slot(doc);
             return;
         }
+        let space_ok =
+            |y: u32| dataset.is_candidate(&Pair::new(RecordId(x), RecordId(y)).expect("y != x"));
+        let mut found = std::mem::take(&mut self.found);
+        found.clear();
         if self.threshold <= 0.0 {
-            self.exhaustive_probe(dataset, x, &doc, out, stats);
-            self.push_slot(doc);
+            self.exhaustive_probe(Some(x), &doc, &space_ok, &mut found, stats);
+        } else {
+            self.filtered_probe(&doc, &space_ok, &mut found, stats);
+            self.index_prefix(x, &doc);
+        }
+        for &(y, sim) in &found {
+            let pair = Pair::new(RecordId(x), RecordId(y)).expect("probe never yields x");
+            out.push(ScoredPair::new(pair, sim));
+        }
+        self.found = found;
+        self.push_slot(doc);
+    }
+
+    /// Probe a record that is **not** part of the corpus — the
+    /// read-only query half of a `resolve()` call. `doc` must be the
+    /// rank-sorted encoding of the query's token set (see
+    /// `StreamingDict::encode_query`), `space_ok` the candidate-space
+    /// filter for the query's source. Matches are appended to `out` in
+    /// ascending record order with their exact Jaccard similarity —
+    /// bit-for-bit what [`DeltaIndex::join_and_insert`] would have
+    /// surfaced had the record arrived — and nothing is indexed or
+    /// mutated besides probe scratch. The funnel of the probe is
+    /// tallied into `stats` but *not* published to the shared
+    /// `simjoin.funnel.*` counters: queries are not part of the machine
+    /// pass.
+    pub fn probe_query<F: Fn(u32) -> bool + Sync>(
+        &mut self,
+        doc: &[u32],
+        space_ok: F,
+        out: &mut Vec<(RecordId, f64)>,
+        stats: &mut JoinStats,
+    ) {
+        let _timer = crowder_obs::span_light!("stream.delta.query_probe_ns");
+        if self.threshold > 1.0 {
             return;
         }
-        self.filtered_probe(dataset, x, &doc, out, stats);
-        // Index the arrival's probe prefix for future probes.
-        if !doc.is_empty() {
-            let plen = prefix_len(doc.len(), self.threshold);
-            for (pos, &rank) in doc[..plen].iter().enumerate() {
-                self.postings.entry(rank).or_default().push(Posting {
-                    record: x,
-                    pos: pos as u32,
-                });
-            }
+        let mut found = std::mem::take(&mut self.found);
+        found.clear();
+        if self.threshold <= 0.0 {
+            self.exhaustive_probe(None, doc, &space_ok, &mut found, stats);
+        } else {
+            self.filtered_probe(doc, &space_ok, &mut found, stats);
         }
-        self.push_slot(doc);
+        out.extend(found.iter().map(|&(y, sim)| (RecordId(y), sim)));
+        self.found = found;
     }
 
     /// Replace the token list of an existing *live* record in place —
@@ -282,7 +496,7 @@ impl DeltaIndex {
     /// old tokens), the new doc is probed against every other live
     /// record exactly like an arrival (same funnel buckets, appended to
     /// `out`), and its new prefix is re-indexed at the canonical sorted
-    /// positions (see [`Posting`]).
+    /// positions.
     pub fn update_doc(
         &mut self,
         dataset: &Dataset,
@@ -310,13 +524,16 @@ impl DeltaIndex {
         let r = record.0;
         let t = self.threshold;
         if t > 0.0 && t <= 1.0 && !self.docs[slot].is_empty() {
+            let old_len = self.docs[slot].len() as u32;
             let plen = prefix_len(self.docs[slot].len(), t);
             let old_prefix: Vec<u32> = self.docs[slot][..plen].to_vec();
+            let nshards = self.shards.len();
             for rank in old_prefix {
-                if let Some(list) = self.postings.get_mut(&rank) {
-                    list.retain(|p| p.record != r);
+                let shard = &mut self.shards[shard_of(rank, nshards)];
+                if let Some(list) = shard.get_mut(&rank) {
+                    list.remove(old_len, r);
                     if list.is_empty() {
-                        self.postings.remove(&rank);
+                        shard.remove(&rank);
                     }
                 }
             }
@@ -325,53 +542,74 @@ impl DeltaIndex {
             self.docs[slot] = doc;
             return;
         }
+        let space_ok =
+            |y: u32| dataset.is_candidate(&Pair::new(record, RecordId(y)).expect("y != record"));
+        let mut found = std::mem::take(&mut self.found);
+        found.clear();
         if t <= 0.0 {
-            self.exhaustive_probe(dataset, r, &doc, out, stats);
-            self.docs[slot] = doc;
-            return;
+            self.exhaustive_probe(Some(r), &doc, &space_ok, &mut found, stats);
+        } else {
+            self.filtered_probe(&doc, &space_ok, &mut found, stats);
+            self.index_prefix(r, &doc);
         }
-        self.filtered_probe(dataset, r, &doc, out, stats);
-        if !doc.is_empty() {
-            let plen = prefix_len(doc.len(), t);
-            for (pos, &rank) in doc[..plen].iter().enumerate() {
-                let list = self.postings.entry(rank).or_default();
-                let at = list.partition_point(|p| p.record < r);
-                list.insert(
-                    at,
-                    Posting {
-                        record: r,
-                        pos: pos as u32,
-                    },
-                );
-            }
+        for &(y, sim) in &found {
+            let pair = Pair::new(record, RecordId(y)).expect("probe never yields the record");
+            out.push(ScoredPair::new(pair, sim));
         }
+        self.found = found;
         self.docs[slot] = doc;
     }
 
     fn push_slot(&mut self, doc: Vec<u32>) {
         self.docs.push(doc);
         self.seen.push(0);
+        self.best_i.push(0);
+        self.best_j.push(0);
         self.alive.push(true);
         self.live += 1;
     }
 
+    /// Index `record`'s probe prefix into its shards' length buckets —
+    /// an O(1) append per token (plus a binary search over the short
+    /// bucket-header vec).
+    fn index_prefix(&mut self, record: u32, doc: &[u32]) {
+        if doc.is_empty() {
+            return;
+        }
+        let len = doc.len() as u32;
+        let plen = prefix_len(doc.len(), self.threshold);
+        let nshards = self.shards.len();
+        for (pos, &rank) in doc[..plen].iter().enumerate() {
+            self.shards[shard_of(rank, nshards)]
+                .entry(rank)
+                .or_default()
+                .push(
+                    len,
+                    Posting {
+                        record,
+                        pos: pos as u32,
+                    },
+                );
+        }
+    }
+
     /// The `threshold ≤ 0` degradation: every candidate pair is scored
     /// (mirrors the batch fallback to `all_pairs_scored` — a zero
-    /// threshold keeps everything, so no filter can help).
-    fn exhaustive_probe(
+    /// threshold keeps everything, so no filter can help). `skip` is
+    /// the probing record's own id, if it has one.
+    fn exhaustive_probe<F: Fn(u32) -> bool>(
         &self,
-        dataset: &Dataset,
-        x: u32,
+        skip: Option<u32>,
         doc: &[u32],
-        out: &mut Vec<ScoredPair>,
+        space_ok: &F,
+        found: &mut Vec<(u32, f64)>,
         stats: &mut JoinStats,
     ) {
         for y in 0..self.docs.len() as u32 {
-            if y == x || !self.alive[y as usize] {
+            if Some(y) == skip || !self.alive[y as usize] {
                 continue;
             }
-            let pair = Pair::new(RecordId(x), RecordId(y)).expect("y != x");
-            if !dataset.is_candidate(&pair) {
+            if !space_ok(y) {
                 continue;
             }
             stats.candidates += 1;
@@ -379,87 +617,134 @@ impl DeltaIndex {
             let sim = jaccard_ids(doc, &self.docs[y as usize]);
             if sim >= self.threshold {
                 stats.results += 1;
-                out.push(ScoredPair::new(pair, sim));
+                found.push((y, sim));
             }
         }
     }
 
-    /// The full filter pipeline for `0 < threshold ≤ 1`.
-    fn filtered_probe(
+    /// The full two-phase pipeline for `0 < threshold ≤ 1` (see the
+    /// module docs). Matches are appended to `found` in ascending
+    /// record order.
+    fn filtered_probe<F: Fn(u32) -> bool + Sync>(
         &mut self,
-        dataset: &Dataset,
-        x: u32,
         doc: &[u32],
-        out: &mut Vec<ScoredPair>,
+        space_ok: &F,
+        found: &mut Vec<(u32, f64)>,
         stats: &mut JoinStats,
     ) {
         if doc.is_empty() {
             return; // Jaccard with an empty set is 0 < threshold.
         }
         let t = self.threshold;
-        self.stamp += 1;
-        let stamp = self.stamp;
-        let (postings, docs, seen, alive) =
-            (&self.postings, &self.docs, &mut self.seen, &self.alive);
         let lx = doc.len();
         let plen = prefix_len(lx, t);
+        let prefix = &doc[..plen];
         let (min_ly, max_ly) = (min_match_len(lx, t), max_match_len(lx, t));
-        for (i, &rank) in doc[..plen].iter().enumerate() {
-            let Some(plist) = postings.get(&rank) else {
-                continue;
-            };
-            for p in plist {
-                let y = p.record;
-                // Tombstoned records stay in the postings until the
-                // next rebuild; skip them before any accounting so the
-                // funnel matches a live-only corpus.
-                if !alive[y as usize] || seen[y as usize] == stamp {
-                    continue;
-                }
-                seen[y as usize] = stamp;
-                stats.candidates += 1;
-                let ydoc = &docs[y as usize];
-                let ly = ydoc.len();
-                let j = p.pos as usize;
-                // Length + positional filter. Posting lists are in
-                // arrival order, not length order, so the length check
-                // is per-candidate; it is a strict subset of the
-                // positional rejections (out-of-range lengths cannot
-                // reach α), so both share the funnel bucket.
-                let alpha = min_overlap(lx, ly, t);
-                let upper = 1 + (lx - i - 1).min(ly - j - 1);
-                if ly < min_ly || ly > max_ly || upper < alpha {
-                    stats.positional_pruned += 1;
-                    continue;
-                }
-                let pair = Pair::new(RecordId(x), RecordId(y)).expect("own postings are stripped");
-                if !dataset.is_candidate(&pair) {
-                    stats.space_pruned += 1;
-                    continue;
-                }
-                // Suffix filter, then resume-merge verification — both
-                // shared with the batch engine (see module docs: the
-                // first index hit is the pair's first shared prefix
-                // token, so overlap before `(i, j)` is exactly 0).
-                let (xs, ys) = (&doc[i + 1..], &ydoc[j + 1..]);
-                if alpha > 1 {
-                    let hmax = xs.len() + ys.len() - 2 * (alpha - 1);
-                    if suffix_hamming_lb(xs, ys, hmax, SUFFIX_FILTER_DEPTH) > hmax {
-                        stats.suffix_pruned += 1;
-                        continue;
-                    }
-                }
-                stats.verified += 1;
-                let Some(suffix_overlap) = overlap_reaching(xs, ys, alpha.saturating_sub(1)) else {
-                    continue;
-                };
-                let o = 1 + suffix_overlap;
-                let sim = o as f64 / (lx + ly - o) as f64;
-                if sim >= t {
-                    stats.results += 1;
-                    out.push(ScoredPair::new(pair, sim));
+        self.stamp += 1;
+        let stamp = self.stamp;
+
+        // Phase 1: collect the minimal-(i, j) hit per candidate.
+        let Self {
+            ref shards,
+            ref docs,
+            ref alive,
+            ref mut seen,
+            ref mut best_i,
+            ref mut best_j,
+            ref mut cand,
+            ..
+        } = *self;
+        cand.clear();
+        let nshards = shards.len();
+        let threads = self.layout.probe_threads.min(nshards);
+        let mut merge = |h: Hit| {
+            let yi = h.y as usize;
+            if seen[yi] != stamp {
+                seen[yi] = stamp;
+                best_i[yi] = h.i;
+                best_j[yi] = h.j;
+                cand.push(h.y);
+            } else if h.i < best_i[yi] {
+                best_i[yi] = h.i;
+                best_j[yi] = h.j;
+            }
+        };
+        if threads > 1 {
+            // Each thread scans a stripe of shards into its own buffer;
+            // the merge is serial and order-insensitive (minimum over
+            // distinct `i`), so buffer order does not matter.
+            let buffers = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|k| {
+                        scope.spawn(move || {
+                            let mut hits = Vec::new();
+                            for s in (k..nshards).step_by(threads) {
+                                collect_shard_hits(
+                                    &shards[s],
+                                    s,
+                                    nshards,
+                                    prefix,
+                                    min_ly,
+                                    max_ly,
+                                    alive,
+                                    &mut |h| hits.push(h),
+                                );
+                            }
+                            hits
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("probe worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for hits in &buffers {
+                for &h in hits {
+                    merge(h);
                 }
             }
+        } else {
+            // Serial: feed hits straight into the merge — no buffer, no
+            // allocation. Identical output: the merge is a minimum over
+            // distinct `i`, insensitive to feed order.
+            for (s, shard) in shards.iter().enumerate() {
+                collect_shard_hits(shard, s, nshards, prefix, min_ly, max_ly, alive, &mut merge);
+            }
+        }
+        // Ascending record order: the canonical, shard-independent
+        // enumeration order.
+        cand.sort_unstable();
+
+        // Phase 2: filter + verify each candidate independently.
+        if threads > 1 && cand.len() >= 2 * threads {
+            let chunk = cand.len().div_ceil(threads);
+            let parts = std::thread::scope(|scope| {
+                let handles: Vec<_> = cand
+                    .chunks(chunk)
+                    .map(|part| {
+                        let (best_i, best_j) = (&*best_i, &*best_j);
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            let mut local = JoinStats::default();
+                            verify_candidates(
+                                t, doc, docs, best_i, best_j, part, space_ok, &mut out, &mut local,
+                            );
+                            (out, local)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("verify worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (out, local) in parts {
+                found.extend(out);
+                stats.absorb(&local);
+            }
+        } else {
+            verify_candidates(t, doc, docs, best_i, best_j, cand, space_ok, found, stats);
         }
     }
 
@@ -469,7 +754,10 @@ impl DeltaIndex {
     /// token ids.
     pub fn rebuild(&mut self, dict: &StreamingDict, token_ids: &[Vec<u32>]) {
         debug_assert_eq!(token_ids.len(), self.docs.len());
-        self.postings.clear();
+        for shard in &mut self.shards {
+            shard.clear();
+        }
+        let nshards = self.shards.len();
         for (r, ids) in token_ids.iter().enumerate() {
             let doc = &mut self.docs[r];
             doc.clear();
@@ -481,14 +769,120 @@ impl DeltaIndex {
             doc.extend(ids.iter().map(|&id| dict.rank(id)));
             doc.sort_unstable();
             if self.threshold > 0.0 && self.threshold <= 1.0 && !doc.is_empty() {
+                let len = doc.len() as u32;
                 let plen = prefix_len(doc.len(), self.threshold);
                 for (pos, &rank) in doc[..plen].iter().enumerate() {
-                    self.postings.entry(rank).or_default().push(Posting {
-                        record: r as u32,
-                        pos: pos as u32,
-                    });
+                    self.shards[shard_of(rank, nshards)]
+                        .entry(rank)
+                        .or_default()
+                        .push(
+                            len,
+                            Posting {
+                                record: r as u32,
+                                pos: pos as u32,
+                            },
+                        );
                 }
             }
+        }
+    }
+}
+
+/// Phase 1 for one shard: scan the probe prefix for ranks this shard
+/// owns and feed every live posting inside the binary-searched length
+/// window `[min_ly, max_ly]` to `sink` (a buffer push on parallel
+/// probes, the merge itself on serial ones).
+#[allow(clippy::too_many_arguments)]
+fn collect_shard_hits(
+    shard: &HashMap<u32, PostingList>,
+    shard_id: usize,
+    nshards: usize,
+    prefix: &[u32],
+    min_ly: usize,
+    max_ly: usize,
+    alive: &[bool],
+    sink: &mut impl FnMut(Hit),
+) {
+    for (i, &rank) in prefix.iter().enumerate() {
+        if shard_of(rank, nshards) != shard_id {
+            continue;
+        }
+        let Some(list) = shard.get(&rank) else {
+            continue;
+        };
+        // The binary-searched length skip: bucket headers ascend in
+        // `len`, so the admissible lengths form one contiguous window
+        // of buckets — out-of-window postings are never enumerated.
+        let lo = list.buckets.partition_point(|b| (b.0 as usize) < min_ly);
+        let hi = list.buckets.partition_point(|b| (b.0 as usize) <= max_ly);
+        for (_, bucket) in &list.buckets[lo..hi] {
+            for p in bucket {
+                // Tombstoned records stay in the postings until the
+                // next rebuild; skip them before any accounting so the
+                // funnel matches a live-only corpus.
+                if !alive[p.record as usize] {
+                    continue;
+                }
+                sink(Hit {
+                    y: p.record,
+                    i: i as u32,
+                    j: p.pos,
+                });
+            }
+        }
+    }
+}
+
+/// Phase 2 over one chunk of candidates: positional filter,
+/// candidate-space filter, suffix filter, resume-merge verification —
+/// all shared with the batch engine (the merged `(i, j)` is the pair's
+/// first shared prefix token, so overlap before it is exactly 0 and
+/// the merge resumes at `(i+1, j+1)` with overlap 1).
+#[allow(clippy::too_many_arguments)]
+fn verify_candidates<F: Fn(u32) -> bool>(
+    t: f64,
+    doc: &[u32],
+    docs: &[Vec<u32>],
+    best_i: &[u32],
+    best_j: &[u32],
+    cand: &[u32],
+    space_ok: &F,
+    found: &mut Vec<(u32, f64)>,
+    stats: &mut JoinStats,
+) {
+    let lx = doc.len();
+    for &y in cand {
+        stats.candidates += 1;
+        let ydoc = &docs[y as usize];
+        let ly = ydoc.len();
+        let (i, j) = (best_i[y as usize] as usize, best_j[y as usize] as usize);
+        let alpha = min_overlap(lx, ly, t);
+        let upper = 1 + (lx - i - 1).min(ly - j - 1);
+        if upper < alpha {
+            stats.positional_pruned += 1;
+            continue;
+        }
+        if !space_ok(y) {
+            stats.space_pruned += 1;
+            continue;
+        }
+        let (xs, ys) = (&doc[i + 1..], &ydoc[j + 1..]);
+        if alpha > 1 {
+            let hmax = xs.len() + ys.len() - 2 * (alpha - 1);
+            if suffix_hamming_lb(xs, ys, hmax, SUFFIX_FILTER_DEPTH) > hmax {
+                stats.suffix_pruned += 1;
+                continue;
+            }
+        }
+        stats.verified += 1;
+        let Some(suffix_overlap) = overlap_reaching(xs, ys, alpha.saturating_sub(1)) else {
+            continue;
+        };
+        let o = 1 + suffix_overlap;
+        let sim = o as f64 / (lx + ly - o) as f64;
+        if sim >= t {
+            stats.results += 1;
+            found.push((y, sim));
         }
     }
 }
@@ -499,10 +893,14 @@ mod tests {
     use crowder_text::tokenize;
     use crowder_types::{PairSpace, SourceId};
 
-    fn feed(names: &[&str], threshold: f64) -> (Vec<ScoredPair>, JoinStats) {
+    fn feed_layout(
+        names: &[&str],
+        threshold: f64,
+        layout: IndexLayout,
+    ) -> (Vec<ScoredPair>, JoinStats) {
         let mut dataset = Dataset::new("t", vec!["name".into()], PairSpace::SelfJoin);
         let mut dict = StreamingDict::new();
-        let mut index = DeltaIndex::new(threshold);
+        let mut index = DeltaIndex::with_layout(threshold, layout);
         let mut out = Vec::new();
         let mut stats = JoinStats::default();
         for name in names {
@@ -517,6 +915,10 @@ mod tests {
         (out, stats)
     }
 
+    fn feed(names: &[&str], threshold: f64) -> (Vec<ScoredPair>, JoinStats) {
+        feed_layout(names, threshold, IndexLayout::default())
+    }
+
     #[test]
     fn finds_matches_in_arrival_order() {
         let (out, stats) = feed(&["a b c d", "a b c d", "x y", "a b c e"], 0.5);
@@ -527,6 +929,58 @@ mod tests {
             stats.candidates,
             stats.positional_pruned + stats.space_pruned + stats.suffix_pruned + stats.verified
         );
+    }
+
+    #[test]
+    fn shard_and_thread_layouts_are_invisible() {
+        // Same corpus, every layout: identical pairs *and* identical
+        // funnel stats — the sharded two-phase probe is bit-for-bit the
+        // serial probe.
+        let names = [
+            "a b c d",
+            "a b c d e",
+            "x y z",
+            "a b c e",
+            "x y",
+            "m n o p q",
+            "a b",
+            "m n o p",
+        ];
+        let (base_out, base_stats) = feed(&names, 0.4);
+        for layout in [
+            IndexLayout {
+                shards: 2,
+                probe_threads: 1,
+            },
+            IndexLayout {
+                shards: 7,
+                probe_threads: 2,
+            },
+            IndexLayout {
+                shards: 16,
+                probe_threads: 4,
+            },
+            IndexLayout {
+                shards: 0, // clamped to 1
+                probe_threads: 0,
+            },
+        ] {
+            let (out, stats) = feed_layout(&names, 0.4, layout);
+            assert_eq!(out, base_out, "{layout:?}");
+            assert_eq!(stats, base_stats, "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn length_skip_never_enumerates_out_of_window_candidates() {
+        // Probe "a b" (len 2) at t = 0.5: the length window is
+        // [1, 4], so the len-8 record sharing token `a` must be
+        // binary-search-skipped — not even counted as a candidate
+        // (the old per-candidate length check counted it).
+        let (out, stats) = feed(&["a b c d e f g h", "a b"], 0.5);
+        assert!(out.is_empty());
+        assert_eq!(stats.candidates, 0, "{stats:?}");
+        assert_eq!(stats.positional_pruned, 0);
     }
 
     #[test]
@@ -560,9 +1014,17 @@ mod tests {
 
     /// Feed helper returning the live state too.
     fn feed_state(names: &[&str], threshold: f64) -> (Dataset, StreamingDict, DeltaIndex) {
+        feed_state_layout(names, threshold, IndexLayout::default())
+    }
+
+    fn feed_state_layout(
+        names: &[&str],
+        threshold: f64,
+        layout: IndexLayout,
+    ) -> (Dataset, StreamingDict, DeltaIndex) {
         let mut dataset = Dataset::new("t", vec!["name".into()], PairSpace::SelfJoin);
         let mut dict = StreamingDict::new();
-        let mut index = DeltaIndex::new(threshold);
+        let mut index = DeltaIndex::with_layout(threshold, layout);
         let mut out = Vec::new();
         let mut stats = JoinStats::default();
         for name in names {
@@ -582,6 +1044,48 @@ mod tests {
         let mut doc: Vec<u32> = ids.iter().map(|&id| dict.rank(id)).collect();
         doc.sort_unstable();
         doc
+    }
+
+    #[test]
+    fn probe_query_matches_what_an_arrival_would_surface() {
+        for layout in [
+            IndexLayout::default(),
+            IndexLayout {
+                shards: 7,
+                probe_threads: 2,
+            },
+        ] {
+            let names = ["a b c d", "a b c e", "x y z", "a b"];
+            let (_dataset, dict, mut index) = feed_state_layout(&names, 0.5, layout);
+            // Query with record 0's exact content (as an outside query,
+            // not an arrival): must match what arrival 0's own doc
+            // matches, over the *current* corpus.
+            let qdoc = dict.encode_query(&tokenize("a b c d"));
+            let (mut matches, mut stats) = (Vec::new(), JoinStats::default());
+            index.probe_query(&qdoc, |_| true, &mut matches, &mut stats);
+            assert_eq!(
+                matches,
+                vec![
+                    (RecordId(0), 1.0), // identical
+                    (RecordId(1), 0.6), // 3 shared / 5 union
+                    (RecordId(3), 0.5), // 2 shared / 4 union
+                ],
+                "{layout:?}"
+            );
+            // Unknown query tokens lengthen the query exactly like an
+            // arrival's fresh tokens would.
+            let diluted = dict.encode_query(&tokenize("a b c d zz1 zz2 zz3 zz4 zz5"));
+            let (mut none, mut stats) = (Vec::new(), JoinStats::default());
+            index.probe_query(&diluted, |_| true, &mut none, &mut stats);
+            assert!(
+                none.is_empty(),
+                "diluted to 4/9 < t against every record: {none:?}"
+            );
+            // The index is untouched: same query, same answer.
+            let (mut again, mut stats) = (Vec::new(), JoinStats::default());
+            index.probe_query(&qdoc, |_| true, &mut again, &mut stats);
+            assert_eq!(again, matches);
+        }
     }
 
     #[test]
@@ -652,7 +1156,8 @@ mod tests {
         let names = ["a b c d", "a b c e", "x y z", "a b c d e"];
         let (mut dataset, mut dict, mut index) = feed_state(&names, 0.4);
         index.remove(RecordId(2));
-        // Export docs (dead ones empty) and rebuild.
+        // Export docs (dead ones empty) and rebuild — under a different
+        // shard layout, which must not change a thing.
         let docs: Vec<Vec<u32>> = (0..index.len())
             .map(|r| {
                 if index.is_alive(RecordId(r as u32)) {
@@ -665,7 +1170,11 @@ mod tests {
         let alive: Vec<bool> = (0..index.len())
             .map(|r| index.is_alive(RecordId(r as u32)))
             .collect();
-        let mut imported = DeltaIndex::from_docs(0.4, docs, alive).unwrap();
+        let layout = IndexLayout {
+            shards: 3,
+            probe_threads: 1,
+        };
+        let mut imported = DeltaIndex::from_docs(0.4, layout, docs, alive).unwrap();
         assert_eq!(imported.live(), index.live());
         // Identical probes on both sides: bit-identical output.
         dataset
@@ -679,7 +1188,13 @@ mod tests {
         assert_eq!(out_a, out_b);
         assert_eq!(stats_a, stats_b);
         // Mismatched import lengths are rejected.
-        assert!(DeltaIndex::from_docs(0.4, vec![vec![1]], vec![true, false]).is_err());
+        assert!(DeltaIndex::from_docs(
+            0.4,
+            IndexLayout::default(),
+            vec![vec![1]],
+            vec![true, false]
+        )
+        .is_err());
     }
 
     #[test]

@@ -139,6 +139,37 @@ impl StreamingDict {
         ids
     }
 
+    /// Encode a token set for a **read-only query probe**: known tokens
+    /// map to their current rank; unknown tokens take the *virtual*
+    /// fresh ranks they would have received had the record arrived —
+    /// counting down from the current fresh watermark, in token-set
+    /// iteration order, exactly mirroring [`StreamingDict::intern`] —
+    /// without interning anything or touching a document frequency.
+    /// Returns the ranks sorted ascending, ready for
+    /// `DeltaIndex::probe_query`.
+    ///
+    /// Unknown tokens can never hit a posting list (their virtual ranks
+    /// are unused), but they still occupy prefix positions and lengthen
+    /// the query, so the probe prunes bit-for-bit as it would for the
+    /// arriving record.
+    pub fn encode_query(&self, set: &TokenSet) -> Vec<u32> {
+        let mut fresh = self.fresh;
+        let mut ranks: Vec<u32> = set
+            .tokens()
+            .iter()
+            .map(|t| match self.ids.get(t.as_str()) {
+                Some(&id) => self.rank_of[id as usize],
+                None => {
+                    assert!(fresh < FRESH_SPAN - 1, "query token band exhausted");
+                    fresh += 1;
+                    FRESH_SPAN - fresh
+                }
+            })
+            .collect();
+        ranks.sort_unstable();
+        ranks
+    }
+
     /// Current rank of a token id — the join's sort key.
     #[inline]
     pub fn rank(&self, id: u32) -> u32 {
@@ -293,6 +324,28 @@ mod tests {
             0
         )
         .is_err());
+    }
+
+    #[test]
+    fn encode_query_mirrors_arrival_encoding_without_mutation() {
+        let mut d = StreamingDict::new();
+        d.encode_record(&tokenize("apple ipod shuffle"));
+        d.encode_record(&tokenize("apple ipad"));
+        d.rerank();
+        let (len_before, fresh_before) = (d.len(), d.fresh_tokens());
+        // A query mixing known and unknown tokens...
+        let set = tokenize("apple nano zune");
+        let qdoc = d.encode_query(&set);
+        // ...must rank exactly like the same record arriving would:
+        let mut probe = d.clone();
+        let ids = probe.encode_record(&set);
+        let mut arrival: Vec<u32> = ids.iter().map(|&id| probe.rank(id)).collect();
+        arrival.sort_unstable();
+        assert_eq!(qdoc, arrival);
+        // ...and leave the dictionary untouched.
+        assert_eq!(d.len(), len_before);
+        assert_eq!(d.fresh_tokens(), fresh_before);
+        assert_eq!(d.df(d.id("apple").unwrap()), 2);
     }
 
     #[test]

@@ -25,10 +25,21 @@
 //!   §2.2's footnote on indexed joins) as an insert-capable PPJoin+
 //!   probe: symmetric prefix filter, positional filter, suffix filter,
 //!   and resume-merge verification, shared with the batch engine via
-//!   `crowder_simjoin::filters`. Deletion is a **tombstone**: the dead
+//!   `crowder_simjoin::filters`. Posting lists are **sharded by rank
+//!   band** ([`IndexLayout`]) so one probe can fan out across shards via
+//!   scoped threads, and **bucketed by record length** (O(1) append per
+//!   arrival) so the length filter is a binary-searched window over
+//!   bucket headers, not a per-candidate check; the two-phase probe
+//!   (hit collection → minimal-position merge → filter/verify) makes
+//!   results *and* funnel counters bit-for-bit invariant under the
+//!   shard and thread counts — see the [`delta`] module docs. Deletion is a **tombstone**: the dead
 //!   slot is skipped by every probe immediately (O(1) to delete) and its
 //!   postings are swept out at the next epoch rebuild, so churn never
-//!   degrades the index permanently.
+//!   degrades the index permanently. Read-only **query probes**
+//!   ([`IncrementalResolver::query`] over
+//!   [`DeltaIndex::probe_query`]) answer "what would this record
+//!   match?" without mutating the corpus — the serving surface
+//!   (`crowder-serve`) builds its `resolve()` API on them.
 //! * [`EvidenceLedger`] — crowd answers as signed, weighted, revocable
 //!   votes (Gruenheid et al. 2015's fault-tolerant ER model). A pair's
 //!   edge **commits** while its net weight reaches the commit margin and
@@ -77,12 +88,12 @@ pub mod live;
 pub mod resolver;
 pub mod state;
 
-pub use delta::DeltaIndex;
+pub use delta::{DeltaIndex, IndexLayout, RANK_BAND_WIDTH};
 pub use dict::StreamingDict;
 pub use evidence::{vote_weight, EvidenceConfig, EvidenceLedger, EvidenceShift, Tally};
 pub use live::{HitId, LiveHits};
 pub use resolver::{
-    EvidenceReport, HitDelta, IncrementalResolver, InsertReport, RemoveReport, StreamConfig,
-    UpdateReport,
+    EvidenceReport, HitDelta, IncrementalResolver, InsertReport, QueryMatch, RemoveReport,
+    StreamConfig, UpdateReport,
 };
 pub use state::ResolverState;

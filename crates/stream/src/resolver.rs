@@ -44,7 +44,7 @@ use crowder_text::tokenize;
 use crowder_types::{Dataset, Error, Pair, PairSpace, RecordId, ScoredPair, SourceId};
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-use crate::delta::DeltaIndex;
+use crate::delta::{DeltaIndex, IndexLayout};
 use crate::dict::{StreamingDict, FRESH_SPAN};
 use crate::evidence::{EvidenceConfig, EvidenceLedger, EvidenceShift, Tally};
 use crate::live::{HitId, LiveHits};
@@ -67,6 +67,10 @@ pub struct StreamConfig {
     pub rebuild_min_interval: usize,
     /// Commit/veto thresholds of the signed evidence ledger.
     pub evidence: EvidenceConfig,
+    /// Shard/thread layout of the delta index (see [`IndexLayout`]).
+    /// Probe results are bit-for-bit invariant under it; it tunes only
+    /// where the probe work happens.
+    pub layout: IndexLayout,
 }
 
 impl Default for StreamConfig {
@@ -78,8 +82,18 @@ impl Default for StreamConfig {
             two_tiered: TwoTieredConfig::default(),
             rebuild_min_interval: 256,
             evidence: EvidenceConfig::default(),
+            layout: IndexLayout::default(),
         }
     }
+}
+
+/// One answer of a read-only [`IncrementalResolver::query`] probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryMatch {
+    /// The matching live record.
+    pub record: RecordId,
+    /// Exact Jaccard similarity to the queried fields.
+    pub similarity: f64,
 }
 
 /// What one arrival did to the resolver state.
@@ -212,7 +226,7 @@ impl IncrementalResolver {
     ) -> Self {
         let generator = TwoTieredGenerator::with_config(config.two_tiered.clone());
         IncrementalResolver {
-            index: DeltaIndex::new(config.threshold),
+            index: DeltaIndex::with_layout(config.threshold, config.layout),
             ledger: EvidenceLedger::new(config.evidence),
             config,
             dataset: Dataset::new(name, schema, pair_space),
@@ -304,6 +318,54 @@ impl IncrementalResolver {
             .into_iter()
             .map(|(source, fields)| self.insert(source, fields))
             .collect()
+    }
+
+    /// Answer a **read-only similarity query**: which live records
+    /// would a record with these fields (from this source) match, and
+    /// at what Jaccard similarity? The answer is bit-for-bit what
+    /// [`IncrementalResolver::insert`] would have surfaced for the same
+    /// fields over the current corpus — same filters, same verification
+    /// — but nothing is interned, indexed, logged, or clustered; the
+    /// corpus is untouched (only probe scratch inside the index
+    /// mutates, which is not part of any exported state). Matches come
+    /// back in ascending record order. Errors only on schema mismatch.
+    pub fn query(
+        &mut self,
+        source: SourceId,
+        fields: &[String],
+    ) -> crowder_types::Result<Vec<QueryMatch>> {
+        let _timer = crowder_obs::span_light!("stream.resolver.query_ns");
+        if fields.len() != self.dataset.schema.len() {
+            return Err(Error::InvalidData(format!(
+                "query has {} fields, schema has {}",
+                fields.len(),
+                self.dataset.schema.len()
+            )));
+        }
+        let set = tokenize(&fields.join(" "));
+        let doc = self.dict.encode_query(&set);
+        // The query record is virtual — it has no id in the dataset —
+        // so the candidate-space filter is evaluated directly against
+        // the indexed records' sources.
+        let (index, dataset) = (&mut self.index, &self.dataset);
+        let records = dataset.records();
+        let space_ok = |y: u32| match dataset.pair_space {
+            PairSpace::SelfJoin => true,
+            PairSpace::CrossSource(a, b) => {
+                let s = records[y as usize].source;
+                (source == a && s == b) || (source == b && s == a)
+            }
+        };
+        let mut found = Vec::new();
+        let mut stats = JoinStats::default();
+        index.probe_query(&doc, space_ok, &mut found, &mut stats);
+        if crowder_obs::recording() {
+            crowder_obs::counter!("stream.resolver.queries").incr();
+        }
+        Ok(found
+            .into_iter()
+            .map(|(record, similarity)| QueryMatch { record, similarity })
+            .collect())
     }
 
     /// Tombstone one record. Every pair touching it is dropped from
@@ -860,7 +922,7 @@ impl IncrementalResolver {
                 }
             })
             .collect();
-        let index = DeltaIndex::from_docs(config.threshold, docs, alive)?;
+        let index = DeltaIndex::from_docs(config.threshold, config.layout, docs, alive)?;
         for (pair, _, _, _) in &tallies {
             if pair.hi().index() >= dataset.len() {
                 return Err(Error::UnknownRecord(pair.hi().0));

@@ -1,0 +1,78 @@
+//! Funnel regression for the length-bucketed delta index. The rewrite
+//! replaced the per-candidate length comparison (enumerate the posting,
+//! then reject `ly ∉ [⌈t·lx⌉, ⌊lx/t⌋]` into the positional bucket) with
+//! the batch engine's binary-searched skip over length-sorted posting
+//! lists: out-of-window records are never enumerated, so they never
+//! reach the candidate stage at all.
+//!
+//! Two pins, both measured on the deterministic Product corpus:
+//!
+//! * At the benchmark threshold t = 0.3 the window is so wide that no
+//!   prefix hit ever falls outside it — the whole funnel is
+//!   **bit-identical** to the committed pre-rewrite `BENCH_stream.json`
+//!   (411,175 candidates, 1,541 verified, 1,425 pairs). The sharded,
+//!   length-bucketed index changes no observable number there.
+//! * At t = 0.6 the window is tight enough to bite: the pre-fix
+//!   per-candidate check enumerated and counted 68,577 candidates
+//!   (measured with the window disabled, i.e. the old counting), the
+//!   windowed walk surfaces only 68,383 — the 194 out-of-window
+//!   enumerations are gone from the funnel, and from the probe loop.
+
+use crowder_datagen::{product, ProductConfig};
+use crowder_simjoin::JoinStats;
+use crowder_stream::{IncrementalResolver, StreamConfig};
+
+/// Stream the full Product corpus at `threshold`, returning the
+/// cumulative probe funnel and the final pair count.
+fn stream_product(threshold: f64) -> (JoinStats, usize) {
+    let dataset = product(&ProductConfig::default());
+    let mut resolver = IncrementalResolver::like(
+        &dataset,
+        StreamConfig {
+            threshold,
+            ..StreamConfig::default()
+        },
+    );
+    let mut stats = JoinStats::default();
+    for record in dataset.records() {
+        let report = resolver
+            .insert(record.source, record.fields.clone())
+            .expect("schema matches");
+        stats.absorb(&report.stats);
+    }
+    let pairs = resolver.ranked_pairs().len();
+    (stats, pairs)
+}
+
+/// t = 0.3 — the `BENCH_stream.json` configuration. Sums of the
+/// committed report's per-round funnel rows, pinned exactly: the
+/// sharded length-bucketed index must reproduce the old funnel
+/// bit-for-bit at the benchmark threshold.
+#[test]
+fn product_funnel_is_bit_stable_at_the_bench_threshold() {
+    let (stats, pairs) = stream_product(0.3);
+    assert_eq!(stats.candidates, 411_175, "candidate stage diverged");
+    assert_eq!(stats.verified, 1_541, "verify stage diverged");
+    assert_eq!(pairs, 1_425, "result set diverged");
+}
+
+/// t = 0.6 — the window actually prunes. The old per-candidate check
+/// counted out-of-window enumerations as candidates; the binary-searched
+/// skip never surfaces them.
+#[test]
+fn length_window_drops_out_of_window_candidates_from_the_funnel() {
+    /// Measured with the length window disabled — the pre-fix
+    /// per-candidate counting.
+    const PRE_FIX_CANDIDATES: u64 = 68_577;
+    let (stats, _) = stream_product(0.6);
+    assert!(
+        stats.candidates < PRE_FIX_CANDIDATES,
+        "length skip regressed: {} candidates, expected strictly fewer than {}",
+        stats.candidates,
+        PRE_FIX_CANDIDATES
+    );
+    assert_eq!(
+        stats.candidates, 68_383,
+        "windowed candidate count drifted from the pinned measurement"
+    );
+}

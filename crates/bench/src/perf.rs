@@ -27,7 +27,16 @@ pub const DEFAULT_REPORT_PATH: &str = "BENCH_simjoin.json";
 pub const QUICK_REPORT_PATH: &str = "BENCH_simjoin.quick.json";
 
 /// Schema version stamped into the report; bump on breaking changes.
-pub const SCHEMA_VERSION: u32 = 1;
+/// v2 added the `signature_rejected` funnel stage.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Candidate ceiling the validator *enforces* on the Product t=0.3
+/// funnel row: the adaptive-prefix tier (count filter + last-token
+/// truncation) must keep the candidate count at least ~3x below the
+/// ~200k the plain prefix filter admitted. Funnel counts are
+/// deterministic for a given corpus and threshold — unlike timings,
+/// this is machine-independent and safe to assert in CI.
+pub const PRODUCT_T03_CANDIDATE_CEILING: f64 = 65_000.0;
 
 /// One timed (dataset, threshold, algorithm, threads) cell.
 #[derive(Debug, Clone)]
@@ -201,6 +210,7 @@ impl PerfReport {
                         .num("candidates", f.stats.candidates)
                         .num("positional_pruned", f.stats.positional_pruned)
                         .num("space_pruned", f.stats.space_pruned)
+                        .num("signature_rejected", f.stats.signature_rejected)
                         .num("suffix_pruned", f.stats.suffix_pruned)
                         .num("verified", f.stats.verified)
                         .num("results", f.stats.results)
@@ -236,12 +246,13 @@ impl PerfReport {
         );
         for f in &self.funnels {
             s.push_str(&format!(
-                "{:<12} tau {:.1}: candidates {} -> positional -{} -> space -{} -> suffix -{} -> verified {} -> results {}\n",
+                "{:<12} tau {:.1}: candidates {} -> positional -{} -> space -{} -> signature -{} -> suffix -{} -> verified {} -> results {}\n",
                 f.dataset,
                 f.threshold,
                 f.stats.candidates,
                 f.stats.positional_pruned,
                 f.stats.space_pruned,
+                f.stats.signature_rejected,
                 f.stats.suffix_pruned,
                 f.stats.verified,
                 f.stats.results
@@ -303,18 +314,38 @@ pub fn validate_report_json(input: &str) -> Result<usize, String> {
         .and_then(Json::as_array)
         .ok_or("missing prefix_join_funnel array")?;
     for (i, f) in funnels.iter().enumerate() {
-        for key in [
-            "threshold",
-            "candidates",
-            "positional_pruned",
-            "space_pruned",
-            "suffix_pruned",
-            "verified",
-            "results",
-        ] {
+        let dataset = f
+            .get("dataset")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("funnel {i}: missing string field dataset"))?;
+        let num = |key: &str| -> Result<f64, String> {
             f.get(key)
                 .and_then(Json::as_f64)
-                .ok_or_else(|| format!("funnel {i}: missing numeric field {key}"))?;
+                .ok_or_else(|| format!("funnel {i}: missing numeric field {key}"))
+        };
+        let threshold = num("threshold")?;
+        let candidates = num("candidates")?;
+        let pruned = num("positional_pruned")?
+            + num("space_pruned")?
+            + num("signature_rejected")?
+            + num("suffix_pruned")?;
+        let verified = num("verified")?;
+        num("results")?;
+        // Leak-free funnel: every candidate is accounted for by exactly
+        // one downstream bucket. Deterministic, so safe to enforce.
+        if candidates != pruned + verified {
+            return Err(format!(
+                "funnel {i} ({dataset} tau {threshold}): leaky funnel — \
+                 candidates {candidates} != pruned {pruned} + verified {verified}"
+            ));
+        }
+        // The enforced adaptive-prefix regression gate (see
+        // PRODUCT_T03_CANDIDATE_CEILING).
+        if dataset == "product" && threshold == 0.3 && candidates > PRODUCT_T03_CANDIDATE_CEILING {
+            return Err(format!(
+                "funnel {i}: product tau 0.3 admits {candidates} candidates \
+                 > ceiling {PRODUCT_T03_CANDIDATE_CEILING}"
+            ));
         }
     }
     Ok(entries.len())
@@ -354,6 +385,7 @@ mod tests {
                     candidates: 10,
                     positional_pruned: 1,
                     space_pruned: 0,
+                    signature_rejected: 0,
                     suffix_pruned: 2,
                     verified: 7,
                     results: 7,
@@ -385,6 +417,39 @@ mod tests {
         assert!(validate_report_json(&r.to_json())
             .unwrap_err()
             .contains("empty"));
+        // A leaky funnel (candidates unaccounted for) is rejected.
+        r = tiny_report();
+        r.funnels[0].stats.verified = 3;
+        assert!(validate_report_json(&r.to_json())
+            .unwrap_err()
+            .contains("leaky"));
+    }
+
+    #[test]
+    fn validation_enforces_the_product_candidate_ceiling() {
+        let mut r = tiny_report();
+        r.funnels[0].dataset = "product".into();
+        r.funnels[0].stats = JoinStats {
+            candidates: 70_000,
+            positional_pruned: 30_000,
+            space_pruned: 20_000,
+            signature_rejected: 5_000,
+            suffix_pruned: 10_000,
+            verified: 5_000,
+            results: 1_000,
+        };
+        assert!(validate_report_json(&r.to_json())
+            .unwrap_err()
+            .contains("ceiling"));
+        // At the ceiling (and leak-free) it passes.
+        r.funnels[0].stats.candidates = 65_000;
+        r.funnels[0].stats.positional_pruned = 25_000;
+        assert_eq!(validate_report_json(&r.to_json()), Ok(1));
+        // Restaurant rows are exempt: only Product t=0.3 is gated.
+        r.funnels[0].dataset = "restaurant".into();
+        r.funnels[0].stats.candidates = 70_000;
+        r.funnels[0].stats.positional_pruned = 30_000;
+        assert_eq!(validate_report_json(&r.to_json()), Ok(1));
     }
 
     #[test]
@@ -413,7 +478,11 @@ mod tests {
             let s = f.stats;
             assert_eq!(
                 s.candidates,
-                s.positional_pruned + s.space_pruned + s.suffix_pruned + s.verified
+                s.positional_pruned
+                    + s.space_pruned
+                    + s.signature_rejected
+                    + s.suffix_pruned
+                    + s.verified
             );
         }
     }

@@ -19,8 +19,9 @@ use crate::storage::Dir;
 
 /// Magic bytes opening a snapshot blob.
 pub const SNAP_MAGIC: &[u8; 4] = b"CSNP";
-/// Snapshot format version.
-pub const SNAP_VERSION: u32 = 1;
+/// Snapshot format version. v2 added the `signature_rejected` funnel
+/// bucket to the cumulative join stats.
+pub const SNAP_VERSION: u32 = 2;
 
 /// Blob name for the snapshot at `seq`.
 pub fn snap_name(seq: u64) -> String {
@@ -99,6 +100,7 @@ fn enc_state(e: &mut Enc, state: &ResolverState) {
         state.cumulative.candidates,
         state.cumulative.positional_pruned,
         state.cumulative.space_pruned,
+        state.cumulative.signature_rejected,
         state.cumulative.suffix_pruned,
         state.cumulative.verified,
         state.cumulative.results,
@@ -198,6 +200,7 @@ fn dec_state(d: &mut Dec) -> Result<ResolverState> {
         candidates: d.u64()?,
         positional_pruned: d.u64()?,
         space_pruned: d.u64()?,
+        signature_rejected: d.u64()?,
         suffix_pruned: d.u64()?,
         verified: d.u64()?,
         results: d.u64()?,

@@ -54,6 +54,22 @@
 //! recorded); counters are plural nouns; gauges are instantaneous
 //! levels. The Prometheus exporter maps `.` to `_`.
 //!
+//! ## The join funnel counters
+//!
+//! Both the batch `prefix_join` and the streaming `DeltaIndex` probe
+//! publish into one shared family, so a single export shows the whole
+//! machine pass as one funnel. `simjoin.funnel.candidates` counts pairs
+//! that survived the index-geometry kills (length skip, adaptive count
+//! filter, last-token truncation — those never surface at all); each
+//! candidate then lands in exactly one of `positional_pruned`,
+//! `space_pruned`, `signature_rejected` (the 256-bit band-signature
+//! lower bound on the symmetric difference), `suffix_pruned`, or
+//! `verified`, and `results` counts verified pairs at or above the
+//! threshold. The leak-free invariant `candidates ==
+//! positional_pruned + space_pruned + signature_rejected +
+//! suffix_pruned + verified` is asserted by the observability example
+//! and the bench validators.
+//!
 //! The [`stats`] module additionally hosts the one shared
 //! percentile/median implementation the bench crates route through
 //! (previously hand-rolled per report module).

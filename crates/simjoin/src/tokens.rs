@@ -10,6 +10,14 @@
 //! prefix filtering needs, computed once at construction instead of once
 //! per join call.
 //!
+//! The rarest-first order carries a second load since the adaptive
+//! prefix tier: the join estimates a prefix token's selectivity from
+//! its posting-list length, and extending a probe window one token at a
+//! time is only worth trying because position in the id list is
+//! monotone in corpus frequency — the frontier token is always the
+//! most frequent (least selective) token the window has admitted, so a
+//! cheap frontier means every earlier token was cheap too.
+//!
 //! Production paths hold *only* the id lists — on Product-scale corpora
 //! the string [`TokenSet`]s roughly double the table's memory while no
 //! hot path reads them. Tests and benchmarks that need the raw string

@@ -63,14 +63,49 @@
 //! order-sensitive structure, e.g. cluster merge sequences — is
 //! reproducible across restarts; crash recovery depends on this.
 //!
+//! ## The adaptive count-filter tier, truncation, and band signatures
+//!
+//! The index stores each record's **extended** probe window
+//! (`extended_prefix_len`), every posting carrying its `tier` — how far
+//! past the base prefix its position sits. A probe picks a per-record
+//! count-filter `level` from the *live* posting mass under its base
+//! prefix (the `PostingList::live` counters — exact, so the estimate is
+//! invariant under shard layout, compaction, tombstone state, and
+//! rebuilds): on hot prefixes it extends the window and demands `level`
+//! shared window tokens per the generalized prefix lemma (see
+//! `crowder_simjoin::filters`). Hits at `tier ≥ level` are skipped, so
+//! a level-1 probe sees exactly the classic prefix index.
+//!
+//! Two more pre-candidate kills ride the same scan, both order- and
+//! layout-insensitive:
+//!
+//! - **Last-token truncation**: from probe position `i`, a first hit on
+//!   a record longer than `positional_len_cutoff(lx, i, t)` can never
+//!   pass the positional filter, and the cutoff only tightens with `i`.
+//!   At level 1 the cutoff clamps the bucket length window per position
+//!   (those postings are never enumerated); at higher levels each hit
+//!   must be counted, so over-cutoff candidates are dropped after the
+//!   merge by `ly > cut(best_i)` — the same pairs, decided from the
+//!   merged minimum instead of enumeration order.
+//! - **Count filter**: after the merge, candidates with fewer than
+//!   `level` window hits are dropped.
+//!
+//! Like the length skip, pairs killed by either never surface as
+//! `candidates` — they are proven dead from index geometry alone.
+//! Survivors then face a 256-bit **band-signature** check
+//! (`BandSignature`, XOR + popcount lower bound on the symmetric
+//! difference) between positional/space filtering and the suffix
+//! filter, tallied as `signature_rejected`.
+//!
 //! Degenerate thresholds mirror the batch engine so the cumulative
 //! output stays bit-identical: `threshold ≤ 0` compares the arrival
 //! against every indexed candidate exhaustively (no filter can help at
 //! a zero threshold), and `threshold > 1` yields nothing.
 
 use crowder_simjoin::filters::{
-    max_match_len, min_match_len, min_overlap, overlap_reaching, prefix_len, suffix_hamming_lb,
-    SUFFIX_FILTER_DEPTH,
+    extend_prefix, extended_prefix_len, max_match_len, min_match_len, min_overlap,
+    overlap_reaching, positional_len_cutoff, posting_tier, prefix_len, suffix_hamming_lb,
+    BandSignature, MAX_PREFIX_EXT, SUFFIX_FILTER_DEPTH,
 };
 use crowder_simjoin::JoinStats;
 use crowder_text::jaccard_ids;
@@ -132,6 +167,7 @@ fn publish_probe_delta(before: &JoinStats, after: &JoinStats) {
         candidates: after.candidates - before.candidates,
         positional_pruned: after.positional_pruned - before.positional_pruned,
         space_pruned: after.space_pruned - before.space_pruned,
+        signature_rejected: after.signature_rejected - before.signature_rejected,
         suffix_pruned: after.suffix_pruned - before.suffix_pruned,
         verified: after.verified - before.verified,
         results: after.results - before.results,
@@ -146,6 +182,11 @@ fn publish_probe_delta(before: &JoinStats, after: &JoinStats) {
 struct Posting {
     record: u32,
     pos: u32,
+    /// Extension tier of `pos` past the record's base probe prefix
+    /// (`posting_tier`): 0 for base-prefix postings, `k` for the k-th
+    /// extension token. A probe at count-filter level `l` only admits
+    /// `tier < l`, so a level-1 probe sees exactly the classic index.
+    tier: u8,
 }
 
 /// One rank's postings, bucketed by record length: buckets ascend in
@@ -161,6 +202,14 @@ struct Posting {
 #[derive(Debug, Clone, Default)]
 struct PostingList {
     buckets: Vec<(u32, Vec<Posting>)>,
+    /// Exact number of **live** (non-tombstoned) postings in the list —
+    /// the adaptive-prefix selectivity estimate. Maintained at every
+    /// push, strip, and tombstone, so it is invariant under shard
+    /// layout, compaction, and rebuilds: probes pick the same
+    /// count-filter level no matter what mutation history populated the
+    /// index, which is what keeps probe output a pure function of the
+    /// corpus.
+    live: u32,
 }
 
 impl PostingList {
@@ -169,6 +218,7 @@ impl PostingList {
     /// record lengths under one rank), so the occasional header insert
     /// is cheap.
     fn push(&mut self, len: u32, posting: Posting) {
+        self.live += 1;
         match self.buckets.binary_search_by_key(&len, |b| b.0) {
             Ok(at) => self.buckets[at].1.push(posting),
             Err(at) => self.buckets.insert(at, (len, vec![posting])),
@@ -179,7 +229,9 @@ impl PostingList {
     /// update path strips a record's stale prefix).
     fn remove(&mut self, len: u32, record: u32) {
         if let Ok(at) = self.buckets.binary_search_by_key(&len, |b| b.0) {
+            let before = self.buckets[at].1.len();
             self.buckets[at].1.retain(|p| p.record != record);
+            self.live -= (before - self.buckets[at].1.len()) as u32;
             if self.buckets[at].1.is_empty() {
                 self.buckets.remove(at);
             }
@@ -216,6 +268,11 @@ pub struct DeltaIndex {
     shards: Vec<HashMap<u32, PostingList>>,
     /// Per-record token lists, as ranks sorted ascending.
     docs: Vec<Vec<u32>>,
+    /// Per-record 256-bit band signatures over the rank lists —
+    /// recomputed wherever `docs` changes (push, update, rebuild):
+    /// ranks shift between dictionary epochs, so signatures are
+    /// epoch-local just like the docs they summarize.
+    sigs: Vec<BandSignature>,
     /// Per-probe candidate dedup: the probe stamp that last reached
     /// each indexed record. A fresh stamp per probe (not the probing
     /// record's id) lets the same record probe twice — the in-place
@@ -227,8 +284,14 @@ pub struct DeltaIndex {
     /// where `seen == stamp`).
     best_i: Vec<u32>,
     best_j: Vec<u32>,
+    /// Per-record window-hit count of the current probe (valid where
+    /// `seen == stamp`) — the count-filter tally.
+    cnt: Vec<u8>,
     /// Scratch: candidate ids of the current probe.
     cand: Vec<u32>,
+    /// Scratch: per-probe-position length cutoffs of the last-token
+    /// truncation (`positional_len_cutoff`), one per window position.
+    cuts: Vec<u32>,
     /// Scratch: phase-2 matches `(y, sim)` of the current probe.
     found: Vec<(u32, f64)>,
     /// Tombstones: `false` for deleted records (slots are never
@@ -253,11 +316,14 @@ impl DeltaIndex {
             layout,
             shards: vec![HashMap::new(); layout.shards],
             docs: Vec::new(),
+            sigs: Vec::new(),
             seen: Vec::new(),
             stamp: 0,
             best_i: Vec::new(),
             best_j: Vec::new(),
+            cnt: Vec::new(),
             cand: Vec::new(),
+            cuts: Vec::new(),
             found: Vec::new(),
             alive: Vec::new(),
             live: 0,
@@ -286,6 +352,7 @@ impl DeltaIndex {
         let layout = layout.normalized();
         let live = alive.iter().filter(|&&a| a).count();
         let n = docs.len();
+        let sigs = docs.iter().map(|d| BandSignature::build(d)).collect();
         let mut index = DeltaIndex {
             threshold,
             layout,
@@ -294,9 +361,12 @@ impl DeltaIndex {
             stamp: 0,
             best_i: vec![0; n],
             best_j: vec![0; n],
+            cnt: vec![0; n],
             cand: Vec::new(),
+            cuts: Vec::new(),
             found: Vec::new(),
             docs,
+            sigs,
             alive,
             live,
         };
@@ -308,7 +378,8 @@ impl DeltaIndex {
                 let doc = &index.docs[r];
                 let len = doc.len() as u32;
                 let plen = prefix_len(doc.len(), threshold);
-                for (pos, &rank) in doc[..plen].iter().enumerate() {
+                let window = extended_prefix_len(plen, doc.len());
+                for (pos, &rank) in doc[..window].iter().enumerate() {
                     index.shards[shard_of(rank, layout.shards)]
                         .entry(rank)
                         .or_default()
@@ -317,6 +388,7 @@ impl DeltaIndex {
                             Posting {
                                 record: r as u32,
                                 pos: pos as u32,
+                                tier: posting_tier(pos, plen),
                             },
                         );
                 }
@@ -357,12 +429,26 @@ impl DeltaIndex {
     }
 
     /// Tombstone one record: every future probe skips it. Its postings
-    /// are garbage until the next [`DeltaIndex::rebuild`] sweeps them.
+    /// are garbage until the next [`DeltaIndex::rebuild`] sweeps them,
+    /// but the live-posting estimator counters are settled right here —
+    /// an O(window) walk — so the adaptive prefix level never sees
+    /// tombstone mass (probes stay bit-identical to a compacted index).
     /// Idempotent.
     pub fn remove(&mut self, record: RecordId) {
         let slot = record.index();
         if std::mem::replace(&mut self.alive[slot], false) {
             self.live -= 1;
+            let t = self.threshold;
+            if t > 0.0 && t <= 1.0 && !self.docs[slot].is_empty() {
+                let doc = &self.docs[slot];
+                let window = extended_prefix_len(prefix_len(doc.len(), t), doc.len());
+                let nshards = self.shards.len();
+                for &rank in &doc[..window] {
+                    if let Some(list) = self.shards[shard_of(rank, nshards)].get_mut(&rank) {
+                        list.live -= 1;
+                    }
+                }
+            }
         }
     }
 
@@ -387,6 +473,7 @@ impl DeltaIndex {
             if !alive[r] && !doc.is_empty() {
                 doc.clear();
                 doc.shrink_to_fit();
+                self.sigs[r] = BandSignature::default();
             }
         }
     }
@@ -525,8 +612,9 @@ impl DeltaIndex {
         let t = self.threshold;
         if t > 0.0 && t <= 1.0 && !self.docs[slot].is_empty() {
             let old_len = self.docs[slot].len() as u32;
-            let plen = prefix_len(self.docs[slot].len(), t);
-            let old_prefix: Vec<u32> = self.docs[slot][..plen].to_vec();
+            let window =
+                extended_prefix_len(prefix_len(self.docs[slot].len(), t), self.docs[slot].len());
+            let old_prefix: Vec<u32> = self.docs[slot][..window].to_vec();
             let nshards = self.shards.len();
             for rank in old_prefix {
                 let shard = &mut self.shards[shard_of(rank, nshards)];
@@ -539,6 +627,7 @@ impl DeltaIndex {
             }
         }
         if t > 1.0 {
+            self.sigs[slot] = BandSignature::build(&doc);
             self.docs[slot] = doc;
             return;
         }
@@ -557,29 +646,34 @@ impl DeltaIndex {
             out.push(ScoredPair::new(pair, sim));
         }
         self.found = found;
+        self.sigs[slot] = BandSignature::build(&doc);
         self.docs[slot] = doc;
     }
 
     fn push_slot(&mut self, doc: Vec<u32>) {
+        self.sigs.push(BandSignature::build(&doc));
         self.docs.push(doc);
         self.seen.push(0);
         self.best_i.push(0);
         self.best_j.push(0);
+        self.cnt.push(0);
         self.alive.push(true);
         self.live += 1;
     }
 
-    /// Index `record`'s probe prefix into its shards' length buckets —
-    /// an O(1) append per token (plus a binary search over the short
-    /// bucket-header vec).
+    /// Index `record`'s **extended** probe window into its shards'
+    /// length buckets — an O(1) append per token (plus a binary search
+    /// over the short bucket-header vec). Postings past the base prefix
+    /// carry their extension tier so level-1 probes skip them.
     fn index_prefix(&mut self, record: u32, doc: &[u32]) {
         if doc.is_empty() {
             return;
         }
         let len = doc.len() as u32;
         let plen = prefix_len(doc.len(), self.threshold);
+        let window = extended_prefix_len(plen, doc.len());
         let nshards = self.shards.len();
-        for (pos, &rank) in doc[..plen].iter().enumerate() {
+        for (pos, &rank) in doc[..window].iter().enumerate() {
             self.shards[shard_of(rank, nshards)]
                 .entry(rank)
                 .or_default()
@@ -588,6 +682,7 @@ impl DeltaIndex {
                     Posting {
                         record,
                         pos: pos as u32,
+                        tier: posting_tier(pos, plen),
                     },
                 );
         }
@@ -638,24 +733,60 @@ impl DeltaIndex {
         let t = self.threshold;
         let lx = doc.len();
         let plen = prefix_len(lx, t);
-        let prefix = &doc[..plen];
         let (min_ly, max_ly) = (min_match_len(lx, t), max_match_len(lx, t));
+
+        // Adaptive count-filter level from the live posting mass under
+        // the base prefix (see module docs): extend the window one
+        // frontier token at a time while the frontier list is cheap
+        // relative to what the window already scans. The cap ⌈t·lx⌉ is
+        // the lemma's soundness bound and keeps the frontier index in
+        // range (plen + level − 1 < lx whenever level < ⌈t·lx⌉).
+        let nshards = self.shards.len();
+        let live_of = |shards: &[HashMap<u32, PostingList>], rank: u32| -> u64 {
+            shards[shard_of(rank, nshards)]
+                .get(&rank)
+                .map_or(0, |l| l.live as u64)
+        };
+        let level_cap = MAX_PREFIX_EXT.min(min_match_len(lx, t));
+        let mut level = 1usize;
+        if level_cap > 1 {
+            let mut scanned: u64 = doc[..plen].iter().map(|&r| live_of(&self.shards, r)).sum();
+            while level < level_cap {
+                let frontier = live_of(&self.shards, doc[plen + level - 1]);
+                if !extend_prefix(scanned, frontier) {
+                    break;
+                }
+                scanned += frontier;
+                level += 1;
+            }
+        }
+        let window = (plen + level - 1).min(lx);
+        // Last-token truncation cutoffs, one per window position.
+        self.cuts.clear();
+        self.cuts.extend(
+            (0..window).map(|i| positional_len_cutoff(lx, i, t).min(u32::MAX as usize) as u32),
+        );
+        let sig_x = BandSignature::build(doc);
         self.stamp += 1;
         let stamp = self.stamp;
 
-        // Phase 1: collect the minimal-(i, j) hit per candidate.
+        // Phase 1: collect the minimal-(i, j) hit per candidate and the
+        // per-candidate window-hit count.
         let Self {
             ref shards,
             ref docs,
+            ref sigs,
             ref alive,
+            ref cuts,
             ref mut seen,
             ref mut best_i,
             ref mut best_j,
+            ref mut cnt,
             ref mut cand,
             ..
         } = *self;
+        let prefix = &doc[..window];
         cand.clear();
-        let nshards = shards.len();
         let threads = self.layout.probe_threads.min(nshards);
         let mut merge = |h: Hit| {
             let yi = h.y as usize;
@@ -663,10 +794,14 @@ impl DeltaIndex {
                 seen[yi] = stamp;
                 best_i[yi] = h.i;
                 best_j[yi] = h.j;
+                cnt[yi] = 1;
                 cand.push(h.y);
-            } else if h.i < best_i[yi] {
-                best_i[yi] = h.i;
-                best_j[yi] = h.j;
+            } else {
+                cnt[yi] = cnt[yi].saturating_add(1);
+                if h.i < best_i[yi] {
+                    best_i[yi] = h.i;
+                    best_j[yi] = h.j;
+                }
             }
         };
         if threads > 1 {
@@ -686,6 +821,8 @@ impl DeltaIndex {
                                     prefix,
                                     min_ly,
                                     max_ly,
+                                    level,
+                                    cuts,
                                     alive,
                                     &mut |h| hits.push(h),
                                 );
@@ -709,7 +846,9 @@ impl DeltaIndex {
             // allocation. Identical output: the merge is a minimum over
             // distinct `i`, insensitive to feed order.
             for (s, shard) in shards.iter().enumerate() {
-                collect_shard_hits(shard, s, nshards, prefix, min_ly, max_ly, alive, &mut merge);
+                collect_shard_hits(
+                    shard, s, nshards, prefix, min_ly, max_ly, level, cuts, alive, &mut merge,
+                );
             }
         }
         // Ascending record order: the canonical, shard-independent
@@ -723,12 +862,14 @@ impl DeltaIndex {
                 let handles: Vec<_> = cand
                     .chunks(chunk)
                     .map(|part| {
-                        let (best_i, best_j) = (&*best_i, &*best_j);
+                        let (best_i, best_j, cnt) = (&*best_i, &*best_j, &*cnt);
+                        let sig_x = &sig_x;
                         scope.spawn(move || {
                             let mut out = Vec::new();
                             let mut local = JoinStats::default();
                             verify_candidates(
-                                t, doc, docs, best_i, best_j, part, space_ok, &mut out, &mut local,
+                                t, level, doc, sig_x, docs, sigs, best_i, best_j, cnt, cuts, part,
+                                space_ok, &mut out, &mut local,
                             );
                             (out, local)
                         })
@@ -744,7 +885,10 @@ impl DeltaIndex {
                 stats.absorb(&local);
             }
         } else {
-            verify_candidates(t, doc, docs, best_i, best_j, cand, space_ok, found, stats);
+            verify_candidates(
+                t, level, doc, &sig_x, docs, sigs, best_i, best_j, cnt, cuts, cand, space_ok,
+                found, stats,
+            );
         }
     }
 
@@ -763,15 +907,20 @@ impl DeltaIndex {
             doc.clear();
             if !self.alive[r] {
                 // Tombstone sweep: a deleted record keeps its slot but
-                // loses its doc and postings for good.
+                // loses its doc, signature, and postings for good.
+                self.sigs[r] = BandSignature::default();
                 continue;
             }
             doc.extend(ids.iter().map(|&id| dict.rank(id)));
             doc.sort_unstable();
+            // Ranks shifted with the epoch, so the signature is rebuilt
+            // from the fresh rank list.
+            self.sigs[r] = BandSignature::build(doc);
             if self.threshold > 0.0 && self.threshold <= 1.0 && !doc.is_empty() {
                 let len = doc.len() as u32;
                 let plen = prefix_len(doc.len(), self.threshold);
-                for (pos, &rank) in doc[..plen].iter().enumerate() {
+                let window = extended_prefix_len(plen, doc.len());
+                for (pos, &rank) in doc[..window].iter().enumerate() {
                     self.shards[shard_of(rank, nshards)]
                         .entry(rank)
                         .or_default()
@@ -780,6 +929,7 @@ impl DeltaIndex {
                             Posting {
                                 record: r as u32,
                                 pos: pos as u32,
+                                tier: posting_tier(pos, plen),
                             },
                         );
                 }
@@ -788,10 +938,18 @@ impl DeltaIndex {
     }
 }
 
-/// Phase 1 for one shard: scan the probe prefix for ranks this shard
-/// owns and feed every live posting inside the binary-searched length
-/// window `[min_ly, max_ly]` to `sink` (a buffer push on parallel
+/// Phase 1 for one shard: scan the probe window for ranks this shard
+/// owns and feed every live, tier-admissible posting inside the
+/// binary-searched length window to `sink` (a buffer push on parallel
 /// probes, the merge itself on serial ones).
+///
+/// At level 1 the length window's upper edge is additionally clamped by
+/// the truncation cutoff of the probe position (`cuts[i]`): a first hit
+/// past it can never survive the positional filter, and level 1 needs
+/// no hit counts, so those postings are never enumerated at all. Higher
+/// levels must count every window hit (merges into candidates that
+/// registered below the cutoff), so the cutoff is applied after the
+/// merge instead — same pairs, decided order-insensitively.
 #[allow(clippy::too_many_arguments)]
 fn collect_shard_hits(
     shard: &HashMap<u32, PostingList>,
@@ -800,6 +958,8 @@ fn collect_shard_hits(
     prefix: &[u32],
     min_ly: usize,
     max_ly: usize,
+    level: usize,
+    cuts: &[u32],
     alive: &[bool],
     sink: &mut impl FnMut(Hit),
 ) {
@@ -810,17 +970,24 @@ fn collect_shard_hits(
         let Some(list) = shard.get(&rank) else {
             continue;
         };
+        let hi_len = if level == 1 {
+            max_ly.min(cuts[i] as usize)
+        } else {
+            max_ly
+        };
         // The binary-searched length skip: bucket headers ascend in
         // `len`, so the admissible lengths form one contiguous window
         // of buckets — out-of-window postings are never enumerated.
         let lo = list.buckets.partition_point(|b| (b.0 as usize) < min_ly);
-        let hi = list.buckets.partition_point(|b| (b.0 as usize) <= max_ly);
-        for (_, bucket) in &list.buckets[lo..hi] {
+        let hi = list.buckets.partition_point(|b| (b.0 as usize) <= hi_len);
+        for (_, bucket) in &list.buckets[lo..hi.max(lo)] {
             for p in bucket {
                 // Tombstoned records stay in the postings until the
                 // next rebuild; skip them before any accounting so the
-                // funnel matches a live-only corpus.
-                if !alive[p.record as usize] {
+                // funnel matches a live-only corpus. Postings past the
+                // probe's count-filter level are invisible the same
+                // way.
+                if !alive[p.record as usize] || (p.tier as usize) >= level {
                     continue;
                 }
                 sink(Hit {
@@ -833,18 +1000,25 @@ fn collect_shard_hits(
     }
 }
 
-/// Phase 2 over one chunk of candidates: positional filter,
-/// candidate-space filter, suffix filter, resume-merge verification —
+/// Phase 2 over one chunk of candidates: count filter and truncation
+/// drop (both silent — proven dead from index geometry, never surfaced
+/// as candidates), then positional filter, candidate-space filter,
+/// band-signature check, suffix filter, and resume-merge verification —
 /// all shared with the batch engine (the merged `(i, j)` is the pair's
 /// first shared prefix token, so overlap before it is exactly 0 and
 /// the merge resumes at `(i+1, j+1)` with overlap 1).
 #[allow(clippy::too_many_arguments)]
 fn verify_candidates<F: Fn(u32) -> bool>(
     t: f64,
+    level: usize,
     doc: &[u32],
+    sig_x: &BandSignature,
     docs: &[Vec<u32>],
+    sigs: &[BandSignature],
     best_i: &[u32],
     best_j: &[u32],
+    cnt: &[u8],
+    cuts: &[u32],
     cand: &[u32],
     space_ok: &F,
     found: &mut Vec<(u32, f64)>,
@@ -852,10 +1026,24 @@ fn verify_candidates<F: Fn(u32) -> bool>(
 ) {
     let lx = doc.len();
     for &y in cand {
-        stats.candidates += 1;
+        // Count filter: a qualifying pair shares at least `level`
+        // tokens between the extended windows (the generalized prefix
+        // lemma), so fewer hits prove the pair dead.
+        if (cnt[y as usize] as usize) < level {
+            continue;
+        }
         let ydoc = &docs[y as usize];
         let ly = ydoc.len();
         let (i, j) = (best_i[y as usize] as usize, best_j[y as usize] as usize);
+        // Last-token truncation at the merged first hit: the cutoff is
+        // exactly the largest ly the positional filter admits from
+        // position `i`, so over-cutoff candidates are the ones a
+        // level-1 scan never enumerates. (At level 1 this never fires —
+        // collection already clamped the length window per position.)
+        if ly > cuts[i] as usize {
+            continue;
+        }
+        stats.candidates += 1;
         let alpha = min_overlap(lx, ly, t);
         let upper = 1 + (lx - i - 1).min(ly - j - 1);
         if upper < alpha {
@@ -864,6 +1052,15 @@ fn verify_candidates<F: Fn(u32) -> bool>(
         }
         if !space_ok(y) {
             stats.space_pruned += 1;
+            continue;
+        }
+        // Band-signature reject: popcount(sig_x ^ sig_y) lower-bounds
+        // |x Δ y|, which a qualifying pair keeps ≤ lx + ly − 2α. The
+        // check self-gates to short records (bound < 256); `upper ≥ α`
+        // above guarantees `2α ≤ lx + ly`.
+        let sig_budget = lx + ly - 2 * alpha;
+        if sig_budget < 256 && sig_x.distance_lb(&sigs[y as usize]) > sig_budget {
+            stats.signature_rejected += 1;
             continue;
         }
         let (xs, ys) = (&doc[i + 1..], &ydoc[j + 1..]);
@@ -927,7 +1124,11 @@ mod tests {
         assert_eq!(stats.results, 3);
         assert_eq!(
             stats.candidates,
-            stats.positional_pruned + stats.space_pruned + stats.suffix_pruned + stats.verified
+            stats.positional_pruned
+                + stats.space_pruned
+                + stats.signature_rejected
+                + stats.suffix_pruned
+                + stats.verified
         );
     }
 

@@ -26,6 +26,13 @@
 //! the corpus — so sorting it in front keeps record prefixes maximally
 //! selective without disturbing any existing rank (which would force an
 //! index rebuild on every arrival).
+//!
+//! The ascending-df rank order also feeds the `DeltaIndex` adaptive
+//! prefix tier: a probe reads the live posting count under each window
+//! rank as its selectivity estimate, and extends the window only while
+//! the frontier rank stays cheap. Stale ranks degrade that estimate
+//! (and the funnel), never correctness — exactly the contract ranks
+//! already had with prefix filtering itself.
 
 use crowder_text::TokenSet;
 use crowder_types::{Error, Result};

@@ -1362,7 +1362,11 @@ mod tests {
         let s = r.cumulative_stats();
         assert_eq!(
             s.candidates,
-            s.positional_pruned + s.space_pruned + s.suffix_pruned + s.verified,
+            s.positional_pruned
+                + s.space_pruned
+                + s.signature_rejected
+                + s.suffix_pruned
+                + s.verified,
             "{s:?}"
         );
         assert_eq!(s.results as usize, r.pairs().len());

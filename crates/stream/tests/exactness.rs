@@ -226,15 +226,58 @@ proptest! {
         prop_assert_eq!(resolver.ranked_pairs(), batch_pairs(&dataset, thr, 2));
     }
 
-    /// Degenerate thresholds degrade exactly like the batch engine.
+    /// Degenerate thresholds degrade exactly like the batch engine —
+    /// including t = 1.0, where every prefix saturates (the adaptive
+    /// window cap ⌈t·lx⌉ and the truncation cutoffs sit exactly on
+    /// their boundaries) — and they do so under every shard layout.
     #[test]
     fn degenerate_thresholds_match_batch(
         names in proptest::collection::vec("[a-c]{1,2}( [a-c]{1,2}){0,3}", 2..12),
-        which in 0usize..=2,
+        which in 0usize..=3,
     ) {
-        let thr = [0.0, -0.5, 1.5][which];
+        let thr = [0.0, -0.5, 1.5, 1.0][which];
         let (resolver, dataset) = stream_and_batch(&names, false, thr, 16);
-        prop_assert_eq!(resolver.ranked_pairs(), batch_pairs(&dataset, thr, 1));
+        let reference = resolver.ranked_pairs();
+        prop_assert_eq!(&reference, &batch_pairs(&dataset, thr, 1));
+        for (shards, probe_threads) in [(2, 1), (7, 2), (16, 4)] {
+            let layout = IndexLayout { shards, probe_threads };
+            let sharded = stream_with_layout(&names, false, thr, 16, layout);
+            prop_assert_eq!(
+                &sharded.ranked_pairs(),
+                &reference,
+                "layout {}x{} diverged at t = {}",
+                shards,
+                probe_threads,
+                thr
+            );
+        }
+    }
+
+    /// Empty and one-token records through the adaptive-prefix and
+    /// bitset-verify paths, under every shard layout: a 1-token record
+    /// clamps its extended window to the record length and its
+    /// count-filter cap to level 1, and an empty record must be inert
+    /// at every positive threshold — all bit-identical to batch.
+    #[test]
+    fn tiny_records_match_batch_under_every_layout(
+        names in proptest::collection::vec("( ?[a-c]{1,2}){0,3}", 2..14),
+        thr in 0.05f64..=1.0,
+        cross in proptest::bool::ANY,
+    ) {
+        let (resolver, dataset) = stream_and_batch(&names, cross, thr, 8);
+        let reference = resolver.ranked_pairs();
+        prop_assert_eq!(&reference, &batch_pairs(&dataset, thr, 0));
+        for (shards, probe_threads) in [(2, 1), (7, 2), (16, 4)] {
+            let layout = IndexLayout { shards, probe_threads };
+            let sharded = stream_with_layout(&names, cross, thr, 8, layout);
+            prop_assert_eq!(
+                &sharded.ranked_pairs(),
+                &reference,
+                "layout {}x{} diverged",
+                shards,
+                probe_threads
+            );
+        }
     }
 
     /// The exactness contract *under mutation*: any interleaving of
